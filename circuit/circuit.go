@@ -1,0 +1,204 @@
+// Package circuit provides the arithmetic-circuit representation
+// evaluated by the MPC engine: circuits over GF(2^61-1) with one input
+// wire per party, linear gates (addition, subtraction, constant
+// addition/multiplication) evaluated locally by the protocol, and
+// multiplication gates evaluated with Beaver triples.
+//
+// Circuits are built with a Builder, are immutable once built, and
+// carry the metadata the paper's cost model uses: the multiplication
+// count cM and the multiplicative depth DM.
+package circuit
+
+import (
+	"fmt"
+
+	"repro/field"
+)
+
+// Op is a gate operation.
+type Op uint8
+
+// Gate operations.
+const (
+	// OpInput reads party P_{Arg}'s private input.
+	OpInput Op = iota + 1
+	// OpConst produces the constant Const.
+	OpConst
+	// OpAdd produces A + B.
+	OpAdd
+	// OpSub produces A - B.
+	OpSub
+	// OpMul produces A · B (consumes one Beaver triple).
+	OpMul
+	// OpAddConst produces A + Const.
+	OpAddConst
+	// OpMulConst produces A · Const.
+	OpMulConst
+)
+
+// Wire identifies a gate's output value.
+type Wire int
+
+// Gate is one circuit node.
+type Gate struct {
+	Op    Op
+	A, B  Wire
+	Arg   int // party index for OpInput
+	Const field.Element
+	// MulIndex numbers multiplication gates 0..cM-1 (triple assignment).
+	MulIndex int
+	// Depth is the multiplicative depth of the gate's output.
+	Depth int
+}
+
+// Circuit is an immutable arithmetic circuit.
+type Circuit struct {
+	N       int // number of parties / input slots
+	Gates   []Gate
+	Outputs []Wire
+	// MulCount is cM; MulDepth is DM.
+	MulCount int
+	MulDepth int
+}
+
+// Builder constructs circuits.
+type Builder struct {
+	n     int
+	gates []Gate
+	outs  []Wire
+	muls  int
+}
+
+// NewBuilder returns a builder for an n-party circuit.
+func NewBuilder(n int) *Builder {
+	if n < 1 {
+		panic("circuit: need at least one party")
+	}
+	return &Builder{n: n}
+}
+
+func (b *Builder) push(g Gate) Wire {
+	b.gates = append(b.gates, g)
+	return Wire(len(b.gates) - 1)
+}
+
+func (b *Builder) wireCheck(w Wire) {
+	if int(w) < 0 || int(w) >= len(b.gates) {
+		panic(fmt.Sprintf("circuit: wire %d out of range", w))
+	}
+}
+
+func (b *Builder) depth(w Wire) int { return b.gates[w].Depth }
+
+// Input adds party's private input (1-based party index).
+func (b *Builder) Input(party int) Wire {
+	if party < 1 || party > b.n {
+		panic(fmt.Sprintf("circuit: party %d out of range [1,%d]", party, b.n))
+	}
+	return b.push(Gate{Op: OpInput, Arg: party})
+}
+
+// Const adds a public constant.
+func (b *Builder) Const(c field.Element) Wire {
+	return b.push(Gate{Op: OpConst, Const: c})
+}
+
+// Add adds x + y.
+func (b *Builder) Add(x, y Wire) Wire {
+	b.wireCheck(x)
+	b.wireCheck(y)
+	return b.push(Gate{Op: OpAdd, A: x, B: y, Depth: max(b.depth(x), b.depth(y))})
+}
+
+// Sub adds x - y.
+func (b *Builder) Sub(x, y Wire) Wire {
+	b.wireCheck(x)
+	b.wireCheck(y)
+	return b.push(Gate{Op: OpSub, A: x, B: y, Depth: max(b.depth(x), b.depth(y))})
+}
+
+// Mul adds x · y, consuming one Beaver triple.
+func (b *Builder) Mul(x, y Wire) Wire {
+	b.wireCheck(x)
+	b.wireCheck(y)
+	g := Gate{Op: OpMul, A: x, B: y, MulIndex: b.muls, Depth: max(b.depth(x), b.depth(y)) + 1}
+	b.muls++
+	return b.push(g)
+}
+
+// AddConst adds x + c.
+func (b *Builder) AddConst(x Wire, c field.Element) Wire {
+	b.wireCheck(x)
+	return b.push(Gate{Op: OpAddConst, A: x, Const: c, Depth: b.depth(x)})
+}
+
+// MulConst adds x · c.
+func (b *Builder) MulConst(x Wire, c field.Element) Wire {
+	b.wireCheck(x)
+	return b.push(Gate{Op: OpMulConst, A: x, Const: c, Depth: b.depth(x)})
+}
+
+// Output marks w as a circuit output.
+func (b *Builder) Output(w Wire) {
+	b.wireCheck(w)
+	b.outs = append(b.outs, w)
+}
+
+// Build finalises the circuit.
+func (b *Builder) Build() *Circuit {
+	if len(b.outs) == 0 {
+		panic("circuit: no outputs marked")
+	}
+	dm := 0
+	for _, g := range b.gates {
+		if g.Depth > dm {
+			dm = g.Depth
+		}
+	}
+	gates := make([]Gate, len(b.gates))
+	copy(gates, b.gates)
+	outs := make([]Wire, len(b.outs))
+	copy(outs, b.outs)
+	return &Circuit{
+		N:        b.n,
+		Gates:    gates,
+		Outputs:  outs,
+		MulCount: b.muls,
+		MulDepth: dm,
+	}
+}
+
+// Eval evaluates the circuit in the clear on the given inputs
+// (inputs[i-1] is party i's input); the reference semantics for tests
+// and for the MPC engine's correctness claims.
+func (c *Circuit) Eval(inputs []field.Element) ([]field.Element, error) {
+	if len(inputs) != c.N {
+		return nil, fmt.Errorf("circuit: got %d inputs, want %d", len(inputs), c.N)
+	}
+	vals := make([]field.Element, len(c.Gates))
+	for i, g := range c.Gates {
+		switch g.Op {
+		case OpInput:
+			vals[i] = inputs[g.Arg-1]
+		case OpConst:
+			vals[i] = g.Const
+		case OpAdd:
+			vals[i] = vals[g.A].Add(vals[g.B])
+		case OpSub:
+			vals[i] = vals[g.A].Sub(vals[g.B])
+		case OpMul:
+			vals[i] = vals[g.A].Mul(vals[g.B])
+		case OpAddConst:
+			vals[i] = vals[g.A].Add(g.Const)
+		case OpMulConst:
+			vals[i] = vals[g.A].Mul(g.Const)
+		default:
+			return nil, fmt.Errorf("circuit: unknown op %d", g.Op)
+		}
+	}
+	out := make([]field.Element, len(c.Outputs))
+	for i, w := range c.Outputs {
+		out[i] = vals[w]
+	}
+	return out, nil
+}

@@ -1,0 +1,254 @@
+package circuit
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/field"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 17)) }
+
+func randInputs(r *rand.Rand, n int) []field.Element {
+	out := make([]field.Element, n)
+	for i := range out {
+		out[i] = field.Random(r)
+	}
+	return out
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(3)
+	x := b.Input(1)
+	y := b.Input(2)
+	z := b.Input(3)
+	s := b.Add(x, y)
+	p := b.Mul(s, z)
+	q := b.MulConst(b.AddConst(p, field.New(5)), field.New(2))
+	b.Output(q)
+	c := b.Build()
+	if c.MulCount != 1 || c.MulDepth != 1 {
+		t.Fatalf("cM=%d DM=%d, want 1, 1", c.MulCount, c.MulDepth)
+	}
+	got, err := c.Eval([]field.Element{field.New(3), field.New(4), field.New(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ((3+4)*10 + 5) * 2 = 150
+	if got[0] != field.New(150) {
+		t.Fatalf("Eval = %v, want 150", got[0])
+	}
+}
+
+func TestEvalWrongInputCount(t *testing.T) {
+	c := Sum(4)
+	if _, err := c.Eval(make([]field.Element, 3)); err == nil {
+		t.Fatal("wrong input count accepted")
+	}
+}
+
+func TestSubAndConst(t *testing.T) {
+	b := NewBuilder(2)
+	d := b.Sub(b.Input(1), b.Input(2))
+	b.Output(d)
+	b.Output(b.Const(field.New(42)))
+	c := b.Build()
+	got, err := c.Eval([]field.Element{field.New(10), field.New(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != field.New(7) || got[1] != field.New(42) {
+		t.Fatalf("Eval = %v", got)
+	}
+}
+
+func TestSumGadget(t *testing.T) {
+	r := rng(1)
+	c := Sum(6)
+	if c.MulCount != 0 || c.MulDepth != 0 {
+		t.Fatalf("Sum should be linear, got cM=%d DM=%d", c.MulCount, c.MulDepth)
+	}
+	in := randInputs(r, 6)
+	got, err := c.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != field.Sum(in) {
+		t.Fatal("Sum mismatch")
+	}
+}
+
+func TestProductGadget(t *testing.T) {
+	r := rng(2)
+	for _, n := range []int{2, 3, 5, 8} {
+		c := Product(n)
+		if c.MulCount != n-1 {
+			t.Fatalf("Product(%d) cM = %d, want %d", n, c.MulCount, n-1)
+		}
+		in := randInputs(r, n)
+		want := field.One
+		for _, x := range in {
+			want = want.Mul(x)
+		}
+		got, err := c.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want {
+			t.Fatalf("Product(%d) mismatch", n)
+		}
+	}
+	// Balanced tree: depth log2.
+	if Product(8).MulDepth != 3 {
+		t.Fatalf("Product(8) DM = %d, want 3", Product(8).MulDepth)
+	}
+}
+
+func TestDotProductGadget(t *testing.T) {
+	r := rng(3)
+	k := 4
+	c := DotProduct(k)
+	if c.N != 8 || c.MulCount != k || c.MulDepth != 1 {
+		t.Fatalf("DotProduct shape wrong: n=%d cM=%d DM=%d", c.N, c.MulCount, c.MulDepth)
+	}
+	in := randInputs(r, 8)
+	got, err := c.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != field.Dot(in[:k], in[k:]) {
+		t.Fatal("DotProduct mismatch")
+	}
+}
+
+func TestSumAndVariancePieces(t *testing.T) {
+	r := rng(4)
+	n := 5
+	c := SumAndVariancePieces(n)
+	in := randInputs(r, n)
+	got, err := c.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq field.Element
+	for _, x := range in {
+		sum = sum.Add(x)
+		sumSq = sumSq.Add(x.Mul(x))
+	}
+	if got[0] != sum || got[1] != sumSq {
+		t.Fatal("statistics pieces mismatch")
+	}
+}
+
+func TestSetMembershipGadget(t *testing.T) {
+	n := 6
+	c := SetMembership(n)
+	// e = 7, set = {3, 9, 7, 1, 4} -> member -> 0.
+	in := []field.Element{field.New(7), field.New(3), field.New(9), field.New(7), field.New(1), field.New(4)}
+	got, err := c.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].IsZero() {
+		t.Fatalf("member should evaluate to 0, got %v", got[0])
+	}
+	in[0] = field.New(8) // not a member
+	got, err = c.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].IsZero() {
+		t.Fatal("non-member evaluated to 0")
+	}
+}
+
+func TestPolyEvalGadget(t *testing.T) {
+	// p(x) = 1 + 2x + 3x²; x=5 -> 1+10+75=86; plus x_2 + x_3.
+	coeffs := []field.Element{field.New(1), field.New(2), field.New(3)}
+	c := PolyEval(3, coeffs)
+	got, err := c.Eval([]field.Element{field.New(5), field.New(100), field.New(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != field.New(86+100+1000) {
+		t.Fatalf("PolyEval = %v, want 1186", got[0])
+	}
+	if c.MulCount != 2 || c.MulDepth != 2 {
+		t.Fatalf("PolyEval shape: cM=%d DM=%d", c.MulCount, c.MulDepth)
+	}
+}
+
+func TestMatMul2x2(t *testing.T) {
+	c := MatMul2x2()
+	if c.N != 8 || c.MulCount != 8 || c.MulDepth != 1 || len(c.Outputs) != 4 {
+		t.Fatalf("MatMul shape: n=%d cM=%d DM=%d outs=%d", c.N, c.MulCount, c.MulDepth, len(c.Outputs))
+	}
+	// A = [1 2; 3 4], B = [5 6; 7 8] -> C = [19 22; 43 50].
+	in := []field.Element{
+		field.New(1), field.New(2), field.New(3), field.New(4),
+		field.New(5), field.New(6), field.New(7), field.New(8),
+	}
+	got, err := c.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{19, 22, 43, 50}
+	for i := range want {
+		if got[i] != field.New(want[i]) {
+			t.Fatalf("C[%d] = %v, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDepthChain(t *testing.T) {
+	c := DepthChain(3, 4)
+	if c.MulDepth != 4 || c.MulCount != 4 {
+		t.Fatalf("DepthChain shape: cM=%d DM=%d", c.MulCount, c.MulDepth)
+	}
+	// x=2: 2^(2^4) = 65536; + x2 + x3.
+	got, err := c.Eval([]field.Element{field.New(2), field.New(1), field.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != field.New(65538) {
+		t.Fatalf("DepthChain = %v, want 65538", got[0])
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBuilder(0) },
+		func() { NewBuilder(2).Input(3) },
+		func() { NewBuilder(2).Input(0) },
+		func() { b := NewBuilder(2); b.Add(Wire(0), Wire(5)) },
+		func() { NewBuilder(2).Build() }, // no outputs
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMulIndexSequential(t *testing.T) {
+	c := Product(5)
+	seen := map[int]bool{}
+	for _, g := range c.Gates {
+		if g.Op == OpMul {
+			if seen[g.MulIndex] {
+				t.Fatalf("duplicate MulIndex %d", g.MulIndex)
+			}
+			seen[g.MulIndex] = true
+		}
+	}
+	for i := 0; i < c.MulCount; i++ {
+		if !seen[i] {
+			t.Fatalf("missing MulIndex %d", i)
+		}
+	}
+}

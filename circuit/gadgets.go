@@ -1,0 +1,162 @@
+package circuit
+
+import (
+	"repro/field"
+)
+
+// Sum builds the n-party circuit computing Σ x_i — the canonical
+// linear-only benchmark (cM = 0, DM = 0).
+func Sum(n int) *Circuit {
+	b := NewBuilder(n)
+	acc := b.Input(1)
+	for i := 2; i <= n; i++ {
+		acc = b.Add(acc, b.Input(i))
+	}
+	b.Output(acc)
+	return b.Build()
+}
+
+// Product builds the n-party circuit computing Π x_i with a balanced
+// multiplication tree (cM = n-1, DM = ⌈log2 n⌉).
+func Product(n int) *Circuit {
+	b := NewBuilder(n)
+	wires := make([]Wire, n)
+	for i := 1; i <= n; i++ {
+		wires[i-1] = b.Input(i)
+	}
+	for len(wires) > 1 {
+		var next []Wire
+		for i := 0; i+1 < len(wires); i += 2 {
+			next = append(next, b.Mul(wires[i], wires[i+1]))
+		}
+		if len(wires)%2 == 1 {
+			next = append(next, wires[len(wires)-1])
+		}
+		wires = next
+	}
+	b.Output(wires[0])
+	return b.Build()
+}
+
+// DotProduct builds the circuit computing Σ x_i · y_i where parties
+// 1..k hold the x vector and parties k+1..2k hold the y vector
+// (n = 2k parties; cM = k, DM = 1).
+func DotProduct(k int) *Circuit {
+	b := NewBuilder(2 * k)
+	var acc Wire
+	for i := 1; i <= k; i++ {
+		term := b.Mul(b.Input(i), b.Input(k+i))
+		if i == 1 {
+			acc = term
+		} else {
+			acc = b.Add(acc, term)
+		}
+	}
+	b.Output(acc)
+	return b.Build()
+}
+
+// SumAndVariancePieces builds the n-party "federated statistics"
+// circuit outputting (Σ x_i, Σ x_i²): mean and variance derive from
+// these in the clear (E[x²] - E[x]², scaled by public n), so nothing
+// beyond the two aggregates leaks. cM = n, DM = 1.
+func SumAndVariancePieces(n int) *Circuit {
+	b := NewBuilder(n)
+	var sum, sumSq Wire
+	for i := 1; i <= n; i++ {
+		x := b.Input(i)
+		sq := b.Mul(x, x)
+		if i == 1 {
+			sum, sumSq = x, sq
+		} else {
+			sum = b.Add(sum, x)
+			sumSq = b.Add(sumSq, sq)
+		}
+	}
+	b.Output(sum)
+	b.Output(sumSq)
+	return b.Build()
+}
+
+// SetMembership builds the private-set-membership circuit: party 1
+// holds an element e, parties 2..n hold set elements s_2..s_n, and the
+// output is Π (e - s_j), which is zero iff e appears in the set.
+// cM = n-2, DM = ⌈log2 (n-1)⌉.
+func SetMembership(n int) *Circuit {
+	b := NewBuilder(n)
+	e := b.Input(1)
+	var terms []Wire
+	for j := 2; j <= n; j++ {
+		terms = append(terms, b.Sub(e, b.Input(j)))
+	}
+	for len(terms) > 1 {
+		var next []Wire
+		for i := 0; i+1 < len(terms); i += 2 {
+			next = append(next, b.Mul(terms[i], terms[i+1]))
+		}
+		if len(terms)%2 == 1 {
+			next = append(next, terms[len(terms)-1])
+		}
+		terms = next
+	}
+	b.Output(terms[0])
+	return b.Build()
+}
+
+// PolyEval builds the circuit evaluating the public polynomial with
+// the given coefficients (ascending) at party 1's private input by
+// Horner's rule, with every other party's input folded in additively
+// so that all n inputs participate: output = p(x_1) + Σ_{i≥2} x_i.
+// cM = deg, DM = deg.
+func PolyEval(n int, coeffs []field.Element) *Circuit {
+	b := NewBuilder(n)
+	x := b.Input(1)
+	acc := b.Const(coeffs[len(coeffs)-1])
+	for k := len(coeffs) - 2; k >= 0; k-- {
+		acc = b.AddConst(b.Mul(acc, x), coeffs[k])
+	}
+	for i := 2; i <= n; i++ {
+		acc = b.Add(acc, b.Input(i))
+	}
+	b.Output(acc)
+	return b.Build()
+}
+
+// MatMul2x2 builds the 2×2 matrix-product circuit: parties 1..4 hold
+// matrix A row-major, parties 5..8 hold matrix B, and the four outputs
+// are C = A·B. The multiplication-heavy benchmark shape (n = 8,
+// cM = 8, DM = 1).
+func MatMul2x2() *Circuit {
+	b := NewBuilder(8)
+	a := [4]Wire{}
+	bb := [4]Wire{}
+	for i := 0; i < 4; i++ {
+		a[i] = b.Input(i + 1)
+		bb[i] = b.Input(i + 5)
+	}
+	// C[r][c] = Σ_k A[r][k]·B[k][c], row-major indices i = 2r + c.
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			t1 := b.Mul(a[2*r+0], bb[0*2+c])
+			t2 := b.Mul(a[2*r+1], bb[1*2+c])
+			b.Output(b.Add(t1, t2))
+		}
+	}
+	return b.Build()
+}
+
+// DepthChain builds a worst-case-depth circuit: a chain of dm
+// multiplications of party 1's input with itself, plus every other
+// party's input folded in linearly (used by the DM timing sweeps).
+func DepthChain(n, dm int) *Circuit {
+	b := NewBuilder(n)
+	acc := b.Input(1)
+	for k := 0; k < dm; k++ {
+		acc = b.Mul(acc, acc)
+	}
+	for i := 2; i <= n; i++ {
+		acc = b.Add(acc, b.Input(i))
+	}
+	b.Output(acc)
+	return b.Build()
+}

@@ -1,0 +1,131 @@
+// Command benchtables regenerates, in one run, every experiment table
+// from DESIGN.md's index (E1..E13): measured communication and virtual
+// termination times for each protocol layer against the paper's bounds
+// (Lemma 2.4, Lemma 3.2/3.3, Theorems 3.5/3.6/4.8/4.16, Lemma 5.1,
+// Lemmas 6.1-6.4, Theorems 6.5/7.1) plus the n=8 headline matrix. Its
+// output is the measured side of EXPERIMENTS.md.
+//
+// Run with -quick for a faster, smaller sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/circuit"
+	"repro/internal/bench"
+	"repro/mpc"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller sweeps")
+	flag.Parse()
+
+	ns := []int{5, 8, 11, 13}
+	if *quick {
+		ns = []int{5, 8}
+	}
+
+	fmt.Println("== E1: Bracha Acast (Lemma 2.4) — O(n²ℓ) bits, liveness ≤ 3Δ (sync, honest S)")
+	for _, n := range ns {
+		for _, l := range []int{8, 256} {
+			m := bench.E1Acast(n, l, 1)
+			fmt.Println(bench.FormatRow(fmt.Sprintf("n=%-2d ℓ=%-4d", n, l), m))
+		}
+	}
+
+	fmt.Println("\n== E4: ΠBC (Thm 3.5) — regular-mode output at exactly TBC = 3Δ + TSBA")
+	for _, n := range ns {
+		m := bench.E4BC(n, 32, 2)
+		fmt.Println(bench.FormatRow(fmt.Sprintf("n=%-2d", n), m))
+	}
+
+	fmt.Println("\n== E5: ΠBA (Thm 3.6) — SBA in sync, output ≤ TBA = TBC + kΔ")
+	for _, n := range ns {
+		m := bench.E5BA(n, 3)
+		fmt.Println(bench.FormatRow(fmt.Sprintf("n=%-2d", n), m))
+	}
+
+	fmt.Println("\n== E6: ΠWPS (Thm 4.8) — O((n²L + n⁴) log|F|) bits, output ≤ TWPS")
+	for _, l := range []int{1, 8, 64} {
+		m := bench.E6WPS(bench.Config8(), l, 4)
+		fmt.Println(bench.FormatRow(fmt.Sprintf("n=8 L=%-3d", l), m))
+	}
+	if !*quick {
+		m := bench.E6WPS(bench.ConfigN(13), 1, 4)
+		fmt.Println(bench.FormatRow("n=13 L=1", m))
+	}
+
+	fmt.Println("\n== E7: ΠVSS (Thm 4.16) — O((n³L + n⁵) log|F|) bits, output ≤ TVSS")
+	for _, l := range []int{1, 8} {
+		m := bench.E7VSS(bench.Config8(), l, 5)
+		fmt.Println(bench.FormatRow(fmt.Sprintf("n=8 L=%-3d", l), m))
+	}
+
+	fmt.Println("\n== E8: ΠACS (Lemma 5.1) — O((n⁴L + n⁶) log|F|) bits, all honest in CS, ≤ TACS")
+	for _, l := range []int{1, 4} {
+		m := bench.E8ACS(bench.Config5(), l, 6)
+		fmt.Println(bench.FormatRow(fmt.Sprintf("n=5 L=%-3d", l), m))
+	}
+	m8 := bench.E8ACS(bench.Config8(), 1, 6)
+	fmt.Println(bench.FormatRow("n=8 L=1", m8))
+
+	fmt.Println("\n== E9: ΠBeaver (Lemma 6.1) — O(n² log|F|) bits, Δ time")
+	for _, n := range ns {
+		m := bench.E9Beaver(bench.ConfigN(n), 7)
+		fmt.Println(bench.FormatRow(fmt.Sprintf("n=%-2d", n), m))
+	}
+
+	fmt.Println("\n== E10: ΠPreProcessing (Thm 6.5) — cM shared random triples ≤ TTripGen")
+	cms := []int{1, 4}
+	if !*quick {
+		cms = append(cms, 8)
+	}
+	for _, cm := range cms {
+		m := bench.E10Preprocessing(bench.Config5(), cm, 8)
+		fmt.Println(bench.FormatRow(fmt.Sprintf("n=5 cM=%-2d", cm), m))
+	}
+	if !*quick {
+		m := bench.E10Preprocessing(bench.Config8(), 4, 8)
+		fmt.Println(bench.FormatRow("n=8 cM=4", m))
+	}
+
+	fmt.Println("\n== E11: ΠCirEval (Thm 7.1) — full MPC, both networks")
+	circs := []struct {
+		name string
+		c    *circuit.Circuit
+	}{
+		{"sum (cM=0, DM=0)", circuit.Sum(5)},
+		{"product (cM=4, DM=3)", circuit.Product(5)},
+		{"depth-4 chain", circuit.DepthChain(5, 4)},
+	}
+	for _, cc := range circs {
+		for _, net := range []mpc.Network{mpc.Sync, mpc.Async} {
+			m := bench.E11CirEval(bench.Config5(), cc.c, net, 9)
+			fmt.Println(bench.FormatRow(fmt.Sprintf("%s %s", cc.name, net), m))
+		}
+	}
+
+	fmt.Println("\n== E12: the n=8 headline matrix (§1) — who survives what")
+	fmt.Printf("%-18s %-7s %-8s %s\n", "mode", "net", "faults", "result")
+	for _, mode := range []bench.MatrixMode{bench.ModeBoBW, bench.ModeSyncOnly, bench.ModeAsyncOnly} {
+		for _, net := range []mpc.Network{mpc.Sync, mpc.Async} {
+			for _, faults := range []int{1, 2} {
+				ok, tolerated := bench.E12Matrix(mode, net, faults, 10)
+				verdict := "OK"
+				if !tolerated {
+					verdict = "beyond threshold"
+				} else if !ok {
+					verdict = "FAILED"
+				}
+				fmt.Printf("%-18s %-7s %-8d %s\n", mode, net, faults, verdict)
+			}
+		}
+	}
+
+	fmt.Println("\n== E13: single circuit evaluation (§1.2) — gate work is not duplicated")
+	mSum := bench.E11CirEval(bench.Config5(), circuit.Product(5), mpc.Sync, 11)
+	fmt.Printf("BoBW evaluates %d multiplication gates once: %d honest msgs.\n", circuit.Product(5).MulCount, mSum.HonestMsgs)
+	fmt.Printf("A run-both-protocols compiler (e.g. [19,30]) would evaluate the circuit twice:\n")
+	fmt.Printf("~2x the gate-evaluation traffic plus a full second preprocessing.\n")
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Perfectly-Secure
+// Synchronous MPC with Asynchronous Fallback Guarantees" (Appan,
+// Chandramouli, Choudhury; PODC 2022, arXiv:2201.12194).
+//
+// The public API lives in the mpc, circuit, field and poly packages;
+// the protocol stack (Acast, phase-king SBA, ABA, ΠBC, ΠBA, ΠWPS,
+// ΠVSS, ΠACS, the Beaver-triple preprocessing and ΠCirEval) lives
+// under internal/. See README.md for the architecture overview,
+// DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for the paper-vs-measured record. The root-level
+// benchmarks in bench_test.go regenerate every experiment row.
+package repro

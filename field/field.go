@@ -1,0 +1,227 @@
+// Package field implements arithmetic in the prime field GF(p) with
+// p = 2^61 - 1 (a Mersenne prime).
+//
+// All protocols in this repository perform their computations over this
+// field, mirroring the paper's field F with |F| > 2n. Elements are stored
+// fully reduced in a uint64, so the zero value of Element is the field's
+// additive identity and Element values are directly comparable with ==.
+package field
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// Modulus is the field characteristic p = 2^61 - 1.
+const Modulus uint64 = (1 << 61) - 1
+
+// ElementSize is the wire size of a marshaled Element, in bytes.
+const ElementSize = 8
+
+// Element is a fully reduced element of GF(2^61 - 1).
+type Element uint64
+
+// ErrNotInvertible is returned when the inverse of zero is requested.
+var ErrNotInvertible = errors.New("field: zero has no multiplicative inverse")
+
+// New returns the element congruent to v modulo p.
+func New(v uint64) Element {
+	return Element(v % Modulus)
+}
+
+// Zero and One are the additive and multiplicative identities.
+const (
+	Zero Element = 0
+	One  Element = 1
+)
+
+// Uint64 returns the canonical representative in [0, p).
+func (e Element) Uint64() uint64 { return uint64(e) }
+
+// IsZero reports whether e is the additive identity.
+func (e Element) IsZero() bool { return e == 0 }
+
+// Add returns e + b mod p.
+func (e Element) Add(b Element) Element {
+	s := uint64(e) + uint64(b) // < 2^62, no overflow
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return Element(s)
+}
+
+// Sub returns e - b mod p.
+func (e Element) Sub(b Element) Element {
+	if e >= b {
+		return e - b
+	}
+	return e + Element(Modulus) - b
+}
+
+// Neg returns -e mod p.
+func (e Element) Neg() Element {
+	if e == 0 {
+		return 0
+	}
+	return Element(Modulus) - e
+}
+
+// Mul returns e * b mod p using Mersenne reduction.
+func (e Element) Mul(b Element) Element {
+	hi, lo := bits.Mul64(uint64(e), uint64(b))
+	// The 122-bit product hi·2^64 + lo splits into 61-bit limbs
+	// p2·2^122 + p1·2^61 + p0, and 2^61 ≡ 1 (mod p).
+	p0 := lo & Modulus
+	p1 := (hi<<3 | lo>>61) & Modulus
+	p2 := hi >> 58
+	s := p0 + p1 + p2 // ≤ 3(p-1), fits in 63 bits
+	s = (s & Modulus) + (s >> 61)
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return Element(s)
+}
+
+// Square returns e² mod p.
+func (e Element) Square() Element { return e.Mul(e) }
+
+// Pow returns e^k mod p by binary exponentiation. Pow(0, 0) = 1.
+func (e Element) Pow(k uint64) Element {
+	result := One
+	base := e
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Square()
+		k >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of e, or an error for zero.
+func (e Element) Inv() (Element, error) {
+	if e == 0 {
+		return 0, ErrNotInvertible
+	}
+	return e.Pow(Modulus - 2), nil
+}
+
+// MustInv returns the multiplicative inverse of e and panics on zero.
+// It is intended for callers that have already established e != 0
+// (e.g. differences of distinct evaluation points).
+func (e Element) MustInv() Element {
+	inv, err := e.Inv()
+	if err != nil {
+		panic(fmt.Sprintf("field: MustInv(0): %v", err))
+	}
+	return inv
+}
+
+// Div returns e / b mod p, or an error if b is zero.
+func (e Element) Div(b Element) (Element, error) {
+	inv, err := b.Inv()
+	if err != nil {
+		return 0, err
+	}
+	return e.Mul(inv), nil
+}
+
+// String implements fmt.Stringer.
+func (e Element) String() string { return fmt.Sprintf("%d", uint64(e)) }
+
+// Bytes returns the 8-byte big-endian encoding of e.
+func (e Element) Bytes() [ElementSize]byte {
+	var b [ElementSize]byte
+	binary.BigEndian.PutUint64(b[:], uint64(e))
+	return b
+}
+
+// AppendBytes appends the 8-byte big-endian encoding of e to dst.
+func (e Element) AppendBytes(dst []byte) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(e))
+}
+
+// FromBytes decodes an element from an 8-byte big-endian encoding.
+// It returns an error if the encoding is not canonical (value ≥ p).
+func FromBytes(b []byte) (Element, error) {
+	if len(b) < ElementSize {
+		return 0, fmt.Errorf("field: short encoding: %d bytes", len(b))
+	}
+	v := binary.BigEndian.Uint64(b[:ElementSize])
+	if v >= Modulus {
+		return 0, fmt.Errorf("field: non-canonical encoding %d", v)
+	}
+	return Element(v), nil
+}
+
+// Random returns a uniformly random field element drawn from rng.
+func Random(rng *rand.Rand) Element {
+	// Rejection sampling on 61-bit candidates keeps the output uniform.
+	for {
+		v := rng.Uint64() & ((1 << 61) - 1)
+		if v < Modulus {
+			return Element(v)
+		}
+	}
+}
+
+// RandomNonZero returns a uniformly random non-zero field element.
+func RandomNonZero(rng *rand.Rand) Element {
+	for {
+		if e := Random(rng); !e.IsZero() {
+			return e
+		}
+	}
+}
+
+// Sum returns the sum of all elements in xs.
+func Sum(xs []Element) Element {
+	var s Element
+	for _, x := range xs {
+		s = s.Add(x)
+	}
+	return s
+}
+
+// Dot returns the inner product of xs and ys, which must have equal length.
+func Dot(xs, ys []Element) Element {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("field: Dot length mismatch %d != %d", len(xs), len(ys)))
+	}
+	var s Element
+	for i := range xs {
+		s = s.Add(xs[i].Mul(ys[i]))
+	}
+	return s
+}
+
+// BatchInv computes the inverses of all elements in xs with a single field
+// inversion (Montgomery's trick). It returns an error if any input is zero.
+func BatchInv(xs []Element) ([]Element, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	prefix := make([]Element, len(xs))
+	acc := One
+	for i, x := range xs {
+		if x.IsZero() {
+			return nil, ErrNotInvertible
+		}
+		prefix[i] = acc
+		acc = acc.Mul(x)
+	}
+	inv, err := acc.Inv()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Element, len(xs))
+	for i := len(xs) - 1; i >= 0; i-- {
+		out[i] = inv.Mul(prefix[i])
+		inv = inv.Mul(xs[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,326 @@
+package field
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func rng(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+func TestNewReduces(t *testing.T) {
+	tests := []struct {
+		in   uint64
+		want Element
+	}{
+		{0, 0},
+		{1, 1},
+		{Modulus - 1, Element(Modulus - 1)},
+		{Modulus, 0},
+		{Modulus + 5, 5},
+		{^uint64(0), Element(^uint64(0) % Modulus)},
+	}
+	for _, tt := range tests {
+		if got := New(tt.in); got != tt.want {
+			t.Errorf("New(%d) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	r := rng(1)
+	for i := 0; i < 2000; i++ {
+		a, b := Random(r), Random(r)
+		if got := a.Add(b).Sub(b); got != a {
+			t.Fatalf("(a+b)-b = %v, want %v", got, a)
+		}
+		if got := a.Add(a.Neg()); got != 0 {
+			t.Fatalf("a + (-a) = %v, want 0", got)
+		}
+		if got := a.Sub(b); got != a.Add(b.Neg()) {
+			t.Fatalf("a-b != a+(-b)")
+		}
+	}
+}
+
+func TestAddBoundary(t *testing.T) {
+	max := Element(Modulus - 1)
+	if got := max.Add(1); got != 0 {
+		t.Errorf("(p-1)+1 = %v, want 0", got)
+	}
+	if got := max.Add(max); got != Element(Modulus-2) {
+		t.Errorf("(p-1)+(p-1) = %v, want %v", got, Modulus-2)
+	}
+	if got := Zero.Sub(1); got != max {
+		t.Errorf("0-1 = %v, want %v", got, max)
+	}
+}
+
+func TestMulAgainstBigIntSemantics(t *testing.T) {
+	// Cross-check Mersenne reduction against schoolbook 128-bit math
+	// (done via repeated addition on structured cases plus identities).
+	cases := []Element{0, 1, 2, 3, Element(Modulus - 1), Element(Modulus - 2), 1 << 60, (1 << 60) + 12345}
+	for _, a := range cases {
+		for _, b := range cases {
+			got := a.Mul(b)
+			// verify via decomposition: a*b mod p computed with Pow-free
+			// double-and-add using only Add (correct by TestAddSubNeg).
+			want := mulBySchoolbook(a, b)
+			if got != want {
+				t.Errorf("Mul(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func mulBySchoolbook(a, b Element) Element {
+	var acc Element
+	x := a
+	for k := uint64(b); k > 0; k >>= 1 {
+		if k&1 == 1 {
+			acc = acc.Add(x)
+		}
+		x = x.Add(x)
+	}
+	return acc
+}
+
+func TestMulProperties(t *testing.T) {
+	r := rng(2)
+	for i := 0; i < 1000; i++ {
+		a, b, c := Random(r), Random(r), Random(r)
+		if a.Mul(b) != b.Mul(a) {
+			t.Fatalf("commutativity broken")
+		}
+		if a.Mul(b).Mul(c) != a.Mul(b.Mul(c)) {
+			t.Fatalf("associativity broken")
+		}
+		if a.Mul(b.Add(c)) != a.Mul(b).Add(a.Mul(c)) {
+			t.Fatalf("distributivity broken")
+		}
+		if a.Mul(One) != a || a.Mul(Zero) != 0 {
+			t.Fatalf("identity broken")
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	if _, err := Zero.Inv(); err == nil {
+		t.Fatal("Inv(0) should fail")
+	}
+	r := rng(3)
+	for i := 0; i < 500; i++ {
+		a := RandomNonZero(r)
+		inv, err := a.Inv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Mul(inv) != One {
+			t.Fatalf("a * a^-1 = %v, want 1", a.Mul(inv))
+		}
+	}
+}
+
+func TestMustInvPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInv(0) should panic")
+		}
+	}()
+	Zero.MustInv()
+}
+
+func TestDiv(t *testing.T) {
+	r := rng(4)
+	for i := 0; i < 200; i++ {
+		a, b := Random(r), RandomNonZero(r)
+		q, err := a.Div(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Mul(b) != a {
+			t.Fatalf("(a/b)*b != a")
+		}
+	}
+	if _, err := One.Div(Zero); err == nil {
+		t.Fatal("division by zero should fail")
+	}
+}
+
+func TestPow(t *testing.T) {
+	r := rng(5)
+	if got := Zero.Pow(0); got != One {
+		t.Errorf("0^0 = %v, want 1", got)
+	}
+	for i := 0; i < 100; i++ {
+		a := Random(r)
+		if a.Pow(1) != a {
+			t.Fatalf("a^1 != a")
+		}
+		if a.Pow(2) != a.Mul(a) {
+			t.Fatalf("a^2 != a*a")
+		}
+		if a.Pow(5) != a.Mul(a).Mul(a).Mul(a).Mul(a) {
+			t.Fatalf("a^5 mismatch")
+		}
+	}
+	// Fermat: a^(p-1) = 1 for a != 0.
+	for i := 0; i < 50; i++ {
+		a := RandomNonZero(r)
+		if a.Pow(Modulus-1) != One {
+			t.Fatalf("Fermat little theorem violated for %v", a)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	r := rng(6)
+	for i := 0; i < 500; i++ {
+		a := Random(r)
+		b := a.Bytes()
+		got, err := FromBytes(b[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a {
+			t.Fatalf("round trip %v -> %v", a, got)
+		}
+	}
+	// Non-canonical and short encodings must be rejected.
+	bad := Element(Modulus).Add(0) // canonical 0; craft raw bytes instead
+	_ = bad
+	raw := [8]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	if _, err := FromBytes(raw[:]); err == nil {
+		t.Fatal("non-canonical encoding accepted")
+	}
+	if _, err := FromBytes([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short encoding accepted")
+	}
+}
+
+func TestAppendBytes(t *testing.T) {
+	a := New(123456789)
+	buf := a.AppendBytes([]byte{0xaa})
+	if len(buf) != 9 || buf[0] != 0xaa {
+		t.Fatalf("AppendBytes wrong framing: %x", buf)
+	}
+	got, err := FromBytes(buf[1:])
+	if err != nil || got != a {
+		t.Fatalf("AppendBytes round trip failed: %v %v", got, err)
+	}
+}
+
+func TestSumDot(t *testing.T) {
+	xs := []Element{1, 2, 3, 4}
+	ys := []Element{5, 6, 7, 8}
+	if got := Sum(xs); got != 10 {
+		t.Errorf("Sum = %v, want 10", got)
+	}
+	if got := Dot(xs, ys); got != New(5+12+21+32) {
+		t.Errorf("Dot = %v, want 70", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths should panic")
+		}
+	}()
+	Dot([]Element{1}, []Element{1, 2})
+}
+
+func TestBatchInv(t *testing.T) {
+	r := rng(7)
+	xs := make([]Element, 64)
+	for i := range xs {
+		xs[i] = RandomNonZero(r)
+	}
+	invs, err := BatchInv(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if xs[i].Mul(invs[i]) != One {
+			t.Fatalf("BatchInv wrong at %d", i)
+		}
+	}
+	if _, err := BatchInv([]Element{1, 0, 2}); err == nil {
+		t.Fatal("BatchInv with zero should fail")
+	}
+	if out, err := BatchInv(nil); err != nil || out != nil {
+		t.Fatal("BatchInv(nil) should be a no-op")
+	}
+}
+
+func TestRandomIsReduced(t *testing.T) {
+	r := rng(8)
+	for i := 0; i < 1000; i++ {
+		if v := Random(r); uint64(v) >= Modulus {
+			t.Fatalf("Random produced unreduced element %d", v)
+		}
+	}
+}
+
+// Property-based checks via testing/quick.
+
+func TestQuickFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	add3 := func(a, b, c uint64) bool {
+		x, y, z := New(a), New(b), New(c)
+		return x.Add(y.Add(z)) == x.Add(y).Add(z)
+	}
+	if err := quick.Check(add3, cfg); err != nil {
+		t.Error(err)
+	}
+	mulDist := func(a, b, c uint64) bool {
+		x, y, z := New(a), New(b), New(c)
+		return x.Mul(y.Add(z)) == x.Mul(y).Add(x.Mul(z))
+	}
+	if err := quick.Check(mulDist, cfg); err != nil {
+		t.Error(err)
+	}
+	subInverse := func(a, b uint64) bool {
+		x, y := New(a), New(b)
+		return x.Sub(y).Add(y) == x
+	}
+	if err := quick.Check(subInverse, cfg); err != nil {
+		t.Error(err)
+	}
+	invRoundTrip := func(a uint64) bool {
+		x := New(a)
+		if x.IsZero() {
+			return true
+		}
+		inv, err := x.Inv()
+		return err == nil && x.Mul(inv) == One
+	}
+	if err := quick.Check(invRoundTrip, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	r := rng(9)
+	x, y := Random(r), Random(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y)
+	}
+	_ = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	r := rng(10)
+	x := RandomNonZero(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x, _ = x.Inv()
+	}
+	_ = x
+}

@@ -1,0 +1,328 @@
+// Package aba implements randomized asynchronous binary Byzantine
+// agreement filling the ΠABA role of the paper (Lemma 3.3), following
+// the round structure of Mostéfaoui, Moumen and Raynal (signature-free
+// binary consensus, t < n/3) over plain point-to-point channels, plus a
+// Bracha-style DECIDED amplification gadget for termination.
+//
+// Per round r with binary estimate est:
+//
+//  1. BV-broadcast: send BVAL(r, est); relay BVAL(r, v) after t+1
+//     copies; add v to binValues[r] after 2t+1 copies. binValues only
+//     ever contains values BVAL'd by at least one honest party.
+//  2. Send AUX(r, w) for the first w entering binValues[r]. Wait until
+//     ≥ n-t AUX(r, ·) messages carry values inside binValues[r]; let
+//     vals be the set of those values.
+//  3. Draw the round coin c. If vals = {v}: decide v when v = c, and in
+//     any case est := v. If vals = {0, 1}: est := c.
+//
+// A decider keeps participating in subsequent rounds (with est frozen)
+// and broadcasts DECIDED(v); t+1 DECIDED(v) make a party decide, 2t+1
+// let it halt. Agreement is coin-independent; liveness relies on the
+// coin matching the forced value with probability 1/2 per round.
+//
+// The coin is pluggable (see CoinSource). The default schedule —
+// deterministic 0 then 1 for rounds 1-2, unpredictable common coin from
+// round 3 — soundly provides the paper's "guaranteed liveness within
+// k·Δ on unanimous inputs" (with unanimous inputs est can never change,
+// so coin predictability is irrelevant and rounds 1-2 cover both
+// values) while keeping almost-surely liveness on mixed inputs. This
+// substitutes for the shunning-AVSS common coin of [3,7]; see
+// DESIGN.md §2.
+package aba
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Message types.
+const (
+	msgBval uint8 = iota + 1
+	msgAux
+	msgDecided
+)
+
+// CoinSource produces the round coins.
+type CoinSource interface {
+	// Flip returns the coin for the given instance and round, in {0,1}.
+	// rng is the calling party's private random stream (used only by
+	// local-coin implementations); common coins must ignore both rng and
+	// the party identity.
+	Flip(rng *rand.Rand, inst string, round int) uint8
+}
+
+// CommonCoin is an ideal common coin: every party obtains the same
+// unpredictable-to-the-scheduler bit for (instance, round). It models
+// the output of the shunning-AVSS coin of [3,7].
+type CommonCoin struct {
+	Seed uint64
+}
+
+// Flip implements CoinSource.
+func (c CommonCoin) Flip(_ *rand.Rand, inst string, round int) uint8 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(c.Seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(inst))
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(round) >> (8 * i))
+	}
+	h.Write(b[:])
+	return uint8(h.Sum64() & 1)
+}
+
+// ScheduledCoin plays fixed coins for the first rounds, then delegates.
+// Schedule [0, 1] with a CommonCoin tail is the package default.
+type ScheduledCoin struct {
+	Schedule []uint8
+	Tail     CoinSource
+}
+
+// Flip implements CoinSource.
+func (c ScheduledCoin) Flip(rng *rand.Rand, inst string, round int) uint8 {
+	if round >= 1 && round <= len(c.Schedule) {
+		return c.Schedule[round-1]
+	}
+	return c.Tail.Flip(rng, inst, round)
+}
+
+// LocalCoin is Bracha's perfectly-secure local coin: each party flips
+// privately. Almost-surely terminating, exponential expected rounds.
+type LocalCoin struct{}
+
+// Flip implements CoinSource.
+func (LocalCoin) Flip(rng *rand.Rand, _ string, _ int) uint8 {
+	return uint8(rng.Uint64() & 1)
+}
+
+// DefaultCoin returns the package default: deterministic 0, 1 for
+// rounds 1-2 (guaranteed liveness on unanimous inputs), ideal common
+// coin afterwards (almost-surely liveness on mixed inputs).
+func DefaultCoin(seed uint64) CoinSource {
+	return ScheduledCoin{Schedule: []uint8{0, 1}, Tail: CommonCoin{Seed: seed}}
+}
+
+type roundState struct {
+	bval      map[uint8]map[int]bool // v -> senders
+	sentBval  map[uint8]bool
+	binValues []uint8 // insertion-ordered, subset of {0,1}
+	aux       map[int]uint8
+	sentAux   bool
+	advanced  bool
+}
+
+// ABA is one party's state in a binary-agreement instance.
+type ABA struct {
+	rt   *proto.Runtime
+	inst string
+	n, t int
+	coin CoinSource
+
+	started bool
+	est     uint8
+	round   int
+	rounds  map[int]*roundState
+
+	decided  bool
+	decision uint8
+	halted   bool
+
+	decidedFrom map[uint8]map[int]bool
+	sentDecided bool
+
+	onDecide func(uint8)
+}
+
+// New registers an ABA instance. Call Start to provide the input;
+// onDecide fires exactly once.
+func New(rt *proto.Runtime, inst string, t int, coin CoinSource, onDecide func(uint8)) *ABA {
+	a := &ABA{
+		rt:          rt,
+		inst:        inst,
+		n:           rt.N(),
+		t:           t,
+		coin:        coin,
+		rounds:      make(map[int]*roundState),
+		decidedFrom: make(map[uint8]map[int]bool),
+		onDecide:    onDecide,
+	}
+	rt.Register(inst, a)
+	return a
+}
+
+// Start begins the protocol with the given binary input.
+func (a *ABA) Start(input uint8) {
+	if a.started {
+		return
+	}
+	a.started = true
+	a.est = input & 1
+	a.round = 1
+	a.sendBval(1, a.est)
+	a.progress()
+}
+
+// Decided reports the decision, if any.
+func (a *ABA) Decided() (uint8, bool) { return a.decision, a.decided }
+
+// Round returns the current round number (1-based once started); after
+// a decision it reflects how many rounds the instance consumed, which
+// the coin-source ablation (A2 in DESIGN.md) compares across coins.
+func (a *ABA) Round() int { return a.round }
+
+// Halted reports whether the instance has fully terminated.
+func (a *ABA) Halted() bool { return a.halted }
+
+func (a *ABA) state(r int) *roundState {
+	rs := a.rounds[r]
+	if rs == nil {
+		rs = &roundState{
+			bval:     map[uint8]map[int]bool{0: {}, 1: {}},
+			sentBval: make(map[uint8]bool),
+			aux:      make(map[int]uint8),
+		}
+		a.rounds[r] = rs
+	}
+	return rs
+}
+
+func (a *ABA) sendBval(r int, v uint8) {
+	rs := a.state(r)
+	if rs.sentBval[v] {
+		return
+	}
+	rs.sentBval[v] = true
+	a.rt.SendAll(a.inst, msgBval, wire.NewWriter().Int(r).Uint(uint64(v)).Bytes())
+}
+
+func (a *ABA) inBin(rs *roundState, v uint8) bool {
+	for _, w := range rs.binValues {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// progress advances the current round as far as the received messages
+// allow. It loops because completing round r can immediately complete
+// round r+1 from buffered traffic.
+func (a *ABA) progress() {
+	for a.started && !a.halted {
+		rs := a.state(a.round)
+		if !rs.sentAux {
+			if len(rs.binValues) == 0 {
+				return
+			}
+			rs.sentAux = true
+			w := rs.binValues[0]
+			a.rt.SendAll(a.inst, msgAux, wire.NewWriter().Int(a.round).Uint(uint64(w)).Bytes())
+		}
+		// Count AUX messages whose value is inside binValues.
+		count := 0
+		seen := map[uint8]bool{}
+		for _, v := range rs.aux {
+			if a.inBin(rs, v) {
+				count++
+				seen[v] = true
+			}
+		}
+		if count < a.n-a.t {
+			return
+		}
+		rs.advanced = true
+		c := a.coin.Flip(a.rt.Rand(), a.inst, a.round) & 1
+		if len(seen) == 1 {
+			var v uint8
+			for w := range seen {
+				v = w
+			}
+			if v == c {
+				a.decide(v)
+			}
+			a.est = v
+		} else {
+			a.est = c
+		}
+		if a.decided {
+			a.est = a.decision
+		}
+		a.round++
+		a.sendBval(a.round, a.est)
+	}
+}
+
+func (a *ABA) decide(v uint8) {
+	if a.decided {
+		return
+	}
+	a.decided = true
+	a.decision = v
+	a.est = v
+	if !a.sentDecided {
+		a.sentDecided = true
+		a.rt.SendAll(a.inst, msgDecided, wire.NewWriter().Uint(uint64(v)).Bytes())
+	}
+	if a.onDecide != nil {
+		a.onDecide(v)
+	}
+}
+
+// Deliver implements proto.Handler.
+func (a *ABA) Deliver(from int, msgType uint8, body []byte) {
+	r := wire.NewReader(body)
+	switch msgType {
+	case msgBval, msgAux:
+		round := r.Int()
+		v := uint8(r.Uint())
+		if r.Done() != nil || v > 1 || round < 1 || round > 1<<20 {
+			return
+		}
+		rs := a.state(round)
+		if msgType == msgBval {
+			set := rs.bval[v]
+			if set[from] {
+				return
+			}
+			set[from] = true
+			if len(set) >= a.t+1 && a.started && !a.halted {
+				a.sendBval(round, v) // relay
+			}
+			if len(set) >= 2*a.t+1 && !a.inBin(rs, v) {
+				rs.binValues = append(rs.binValues, v)
+			}
+		} else {
+			if _, dup := rs.aux[from]; dup {
+				return
+			}
+			rs.aux[from] = v
+		}
+		a.progress()
+	case msgDecided:
+		v := uint8(r.Uint())
+		if r.Done() != nil || v > 1 {
+			return
+		}
+		set := a.decidedFrom[v]
+		if set == nil {
+			set = make(map[int]bool)
+			a.decidedFrom[v] = set
+		}
+		if set[from] {
+			return
+		}
+		set[from] = true
+		if len(set) >= a.t+1 {
+			a.decide(v)
+		}
+		if len(set) >= 2*a.t+1 && a.decided && a.decision == v {
+			a.halted = true
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package aba
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+func cfg() proto.Config { return proto.Config{N: 8, Ts: 2, Ta: 1, Delta: 10} }
+
+type harness struct {
+	w     *proto.World
+	abas  []*ABA
+	outs  []*uint8
+	outAt []sim.Time
+}
+
+func newHarness(w *proto.World, t int, coin CoinSource) *harness {
+	h := &harness{
+		w:     w,
+		abas:  make([]*ABA, w.Cfg.N+1),
+		outs:  make([]*uint8, w.Cfg.N+1),
+		outAt: make([]sim.Time, w.Cfg.N+1),
+	}
+	for i := 1; i <= w.Cfg.N; i++ {
+		i := i
+		h.abas[i] = New(w.Runtimes[i], "aba", t, coin, func(v uint8) {
+			h.outs[i] = &v
+			h.outAt[i] = w.Sched.Now()
+		})
+	}
+	return h
+}
+
+func (h *harness) start(inputs []uint8) {
+	for i := 1; i <= h.w.Cfg.N; i++ {
+		h.abas[i].Start(inputs[i])
+	}
+}
+
+func (h *harness) checkAgreementAndReturn(t *testing.T) uint8 {
+	t.Helper()
+	var ref *uint8
+	for i := 1; i <= h.w.Cfg.N; i++ {
+		if h.w.IsCorrupt(i) {
+			continue
+		}
+		if h.outs[i] == nil {
+			t.Fatalf("honest party %d did not decide", i)
+		}
+		if ref == nil {
+			ref = h.outs[i]
+		} else if *ref != *h.outs[i] {
+			t.Fatalf("agreement violated: %d vs %d", *ref, *h.outs[i])
+		}
+	}
+	if ref == nil {
+		t.Fatal("no honest decisions")
+	}
+	return *ref
+}
+
+func inputsAll(n int, v uint8) []uint8 {
+	in := make([]uint8, n+1)
+	for i := 1; i <= n; i++ {
+		in[i] = v
+	}
+	return in
+}
+
+func TestUnanimousDecidesBothValuesSync(t *testing.T) {
+	for _, v := range []uint8{0, 1} {
+		for seed := uint64(0); seed < 4; seed++ {
+			w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Sync, Seed: seed})
+			h := newHarness(w, w.Cfg.Ts, DefaultCoin(seed))
+			h.start(inputsAll(8, v))
+			w.RunToQuiescence()
+			if got := h.checkAgreementAndReturn(t); got != v {
+				t.Fatalf("validity violated: input %d, output %d", v, got)
+			}
+			// Guaranteed liveness within k·Δ on unanimous inputs
+			// (k = CoinRounds = 8 with margin; the DetFirstCoins schedule
+			// covers both values within two coin rounds).
+			kDelta := sim.Time(8) * w.Cfg.Delta
+			for i := 1; i <= 8; i++ {
+				if h.outAt[i] > kDelta {
+					t.Fatalf("party %d decided at %d > kΔ = %d on unanimous inputs", i, h.outAt[i], kDelta)
+				}
+			}
+		}
+	}
+}
+
+func TestUnanimousWithByzantineSync(t *testing.T) {
+	// Honest unanimous 1; corrupt parties push 0 everywhere.
+	zeroBval := func(env sim.Envelope) []byte {
+		return []byte{1, 0} // round=1 varint, value=0 — crude but decodable
+	}
+	ctrl := adversary.NewController().
+		Set(3, adversary.Mutate(adversary.MutateSpec{Rewrite: zeroBval})).
+		Set(6, adversary.GarbleMatching(func(string) bool { return true }))
+	w := proto.NewWorld(proto.WorldOpts{
+		Cfg: cfg(), Network: proto.Sync, Seed: 2, Corrupt: []int{3, 6}, Interceptor: ctrl,
+	})
+	h := newHarness(w, w.Cfg.Ts, DefaultCoin(2))
+	h.start(inputsAll(8, 1))
+	w.RunToQuiescence()
+	if got := h.checkAgreementAndReturn(t); got != 1 {
+		t.Fatalf("validity violated under Byzantine pressure: got %d", got)
+	}
+}
+
+func TestMixedInputsAgreeSyncAndAsync(t *testing.T) {
+	for _, nk := range []proto.NetKind{proto.Sync, proto.Async} {
+		for seed := uint64(0); seed < 6; seed++ {
+			w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: nk, Seed: seed})
+			h := newHarness(w, w.Cfg.Ts, DefaultCoin(seed^0xabc))
+			in := make([]uint8, 9)
+			r := rand.New(rand.NewPCG(seed, 1))
+			for i := 1; i <= 8; i++ {
+				in[i] = uint8(r.Uint64() & 1)
+			}
+			h.start(in)
+			w.RunToQuiescence()
+			h.checkAgreementAndReturn(t)
+		}
+	}
+}
+
+func TestMixedInputsWithByzantineAsync(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		ctrl := adversary.NewController().
+			Set(2, adversary.Mutate(adversary.MutateSpec{
+				Rewrite: func(env sim.Envelope) []byte {
+					return []byte{1, byte(env.To & 1)} // equivocate
+				},
+			}))
+		w := proto.NewWorld(proto.WorldOpts{
+			Cfg: cfg(), Network: proto.Async, Seed: seed, Corrupt: []int{2}, Interceptor: ctrl,
+		})
+		h := newHarness(w, w.Cfg.Ts, DefaultCoin(seed))
+		in := []uint8{0, 0, 1, 1, 0, 1, 0, 1, 0}
+		h.start(in)
+		w.RunToQuiescence()
+		h.checkAgreementAndReturn(t)
+	}
+}
+
+func TestLocalCoinTerminates(t *testing.T) {
+	// Bracha-style local coin: almost-surely terminating; with n=8 and
+	// random scheduling it converges quickly in practice.
+	for seed := uint64(0); seed < 4; seed++ {
+		w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Async, Seed: seed,
+			EventLimit: 5_000_000})
+		h := newHarness(w, w.Cfg.Ts, LocalCoin{})
+		in := []uint8{0, 0, 1, 0, 1, 0, 1, 0, 1}
+		h.start(in)
+		w.RunToQuiescence()
+		h.checkAgreementAndReturn(t)
+	}
+}
+
+func TestValidityOnlyDecidesProposedValue(t *testing.T) {
+	// MMR non-intrusion: with honest unanimous 0, output 1 is impossible
+	// whatever the corrupt parties do, because 1 can never enter any
+	// honest binValues (needs t+1 BVAL senders, only t corrupt).
+	for seed := uint64(0); seed < 8; seed++ {
+		ctrl := adversary.NewController().
+			Set(1, adversary.Mutate(adversary.MutateSpec{
+				Rewrite: func(env sim.Envelope) []byte { return []byte{1, 1} },
+			})).
+			Set(8, adversary.Mutate(adversary.MutateSpec{
+				Rewrite: func(env sim.Envelope) []byte { return []byte{1, 1} },
+			}))
+		w := proto.NewWorld(proto.WorldOpts{
+			Cfg: cfg(), Network: proto.Async, Seed: seed, Corrupt: []int{1, 8}, Interceptor: ctrl,
+		})
+		h := newHarness(w, w.Cfg.Ts, DefaultCoin(seed))
+		h.start(inputsAll(8, 0))
+		w.RunToQuiescence()
+		if got := h.checkAgreementAndReturn(t); got != 0 {
+			t.Fatalf("seed %d: corrupt parties forced non-proposed value %d", seed, got)
+		}
+	}
+}
+
+func TestHaltsAndStopsSending(t *testing.T) {
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Sync, Seed: 3})
+	h := newHarness(w, w.Cfg.Ts, DefaultCoin(3))
+	h.start(inputsAll(8, 0))
+	w.RunToQuiescence()
+	for i := 1; i <= 8; i++ {
+		if !h.abas[i].Halted() {
+			t.Fatalf("party %d never halted", i)
+		}
+	}
+	if w.Sched.Pending() != 0 {
+		t.Fatalf("events still pending after halt: %d", w.Sched.Pending())
+	}
+}
+
+func TestScheduledCoin(t *testing.T) {
+	c := ScheduledCoin{Schedule: []uint8{0, 1}, Tail: CommonCoin{Seed: 1}}
+	if c.Flip(nil, "x", 1) != 0 || c.Flip(nil, "x", 2) != 1 {
+		t.Fatal("schedule not honoured")
+	}
+	// Tail delegates to the common coin: same value for everyone.
+	if c.Flip(nil, "x", 3) != (CommonCoin{Seed: 1}).Flip(nil, "x", 3) {
+		t.Fatal("tail mismatch")
+	}
+}
+
+func TestCommonCoinIsCommonAndSpread(t *testing.T) {
+	c := CommonCoin{Seed: 99}
+	zeros, ones := 0, 0
+	for r := 1; r <= 200; r++ {
+		v1 := c.Flip(nil, "inst", r)
+		v2 := c.Flip(nil, "inst", r)
+		if v1 != v2 {
+			t.Fatal("common coin differs across calls")
+		}
+		if v1 == 0 {
+			zeros++
+		} else {
+			ones++
+		}
+	}
+	if zeros < 50 || ones < 50 {
+		t.Fatalf("coin heavily biased: %d zeros, %d ones", zeros, ones)
+	}
+	// Different instances/rounds decorrelate.
+	if c.Flip(nil, "a", 1) == c.Flip(nil, "b", 1) &&
+		c.Flip(nil, "a", 2) == c.Flip(nil, "b", 2) &&
+		c.Flip(nil, "a", 3) == c.Flip(nil, "b", 3) &&
+		c.Flip(nil, "a", 4) == c.Flip(nil, "b", 4) &&
+		c.Flip(nil, "a", 5) == c.Flip(nil, "b", 5) {
+		t.Fatal("suspiciously correlated across instances")
+	}
+}
+
+func TestStartIdempotent(t *testing.T) {
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Sync, Seed: 4})
+	h := newHarness(w, w.Cfg.Ts, DefaultCoin(4))
+	h.abas[1].Start(0)
+	h.abas[1].Start(1) // ignored
+	for i := 2; i <= 8; i++ {
+		h.abas[i].Start(0)
+	}
+	w.RunToQuiescence()
+	if got := h.checkAgreementAndReturn(t); got != 0 {
+		t.Fatalf("double Start changed input: got %d", got)
+	}
+}

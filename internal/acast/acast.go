@@ -1,0 +1,139 @@
+// Package acast implements Bracha's asynchronous reliable broadcast
+// (ΠACast, Section 2.1 and Appendix A of the paper; Lemma 2.4).
+//
+// A designated sender S distributes a message m identically to all
+// parties despite t < n/3 Byzantine corruptions (possibly including S):
+//
+//   - S sends (SEND, m) to all parties.
+//   - On the first (SEND, m) from S, a party sends (ECHO, m) to all.
+//   - On ⌈(n+t+1)/2⌉ (ECHO, m) for the same m, a party sends (READY, m)
+//     if it has not yet sent a READY.
+//   - On t+1 (READY, m), a party sends (READY, m) if it has not yet.
+//   - On 2t+1 (READY, m), a party outputs m.
+//
+// In a synchronous network with honest S every party outputs within 3Δ;
+// if S is corrupt and some honest party outputs m* at time T, all output
+// m* by T + 2Δ. In an asynchronous network outputs are eventual with the
+// same validity/consistency guarantees. Communication is O(n²ℓ).
+package acast
+
+import (
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Message types.
+const (
+	msgSend uint8 = iota + 1
+	msgEcho
+	msgReady
+)
+
+// Acast is one party's state in a single reliable-broadcast instance.
+type Acast struct {
+	rt     *proto.Runtime
+	inst   string
+	sender int
+	n, t   int
+
+	gotSend   bool
+	sentEcho  bool
+	sentReady bool
+	echoes    map[string]map[int]bool // value -> senders
+	readies   map[string]map[int]bool
+	delivered bool
+	output    []byte
+	onOutput  func(m []byte)
+}
+
+// New registers a reliable-broadcast instance at runtime rt under the
+// given instance path. sender is the designated S; onOutput fires once,
+// when the instance delivers.
+func New(rt *proto.Runtime, inst string, sender, t int, onOutput func(m []byte)) *Acast {
+	a := &Acast{
+		rt:       rt,
+		inst:     inst,
+		sender:   sender,
+		n:        rt.N(),
+		t:        t,
+		echoes:   make(map[string]map[int]bool),
+		readies:  make(map[string]map[int]bool),
+		onOutput: onOutput,
+	}
+	rt.Register(inst, a)
+	return a
+}
+
+// Broadcast initiates the broadcast; only the designated sender calls it.
+func (a *Acast) Broadcast(m []byte) {
+	if a.rt.ID() != a.sender {
+		panic("acast: Broadcast called by non-sender")
+	}
+	body := wire.NewWriter().Blob(m).Bytes()
+	a.rt.SendAll(a.inst, msgSend, body)
+}
+
+// Delivered reports whether the instance has produced its output.
+func (a *Acast) Delivered() bool { return a.delivered }
+
+// Output returns the delivered message; valid only after Delivered.
+func (a *Acast) Output() []byte { return a.output }
+
+// echoThreshold is ⌈(n+t+1)/2⌉.
+func (a *Acast) echoThreshold() int { return (a.n + a.t + 2) / 2 }
+
+// Deliver implements proto.Handler.
+func (a *Acast) Deliver(from int, msgType uint8, body []byte) {
+	r := wire.NewReader(body)
+	m := r.Blob()
+	if r.Done() != nil {
+		return // malformed: drop
+	}
+	key := string(m)
+	switch msgType {
+	case msgSend:
+		if from != a.sender || a.gotSend {
+			return
+		}
+		a.gotSend = true
+		if !a.sentEcho {
+			a.sentEcho = true
+			a.rt.SendAll(a.inst, msgEcho, wire.NewWriter().Blob(m).Bytes())
+		}
+	case msgEcho:
+		set := a.echoes[key]
+		if set == nil {
+			set = make(map[int]bool)
+			a.echoes[key] = set
+		}
+		if set[from] {
+			return
+		}
+		set[from] = true
+		if len(set) >= a.echoThreshold() && !a.sentReady {
+			a.sentReady = true
+			a.rt.SendAll(a.inst, msgReady, wire.NewWriter().Blob(m).Bytes())
+		}
+	case msgReady:
+		set := a.readies[key]
+		if set == nil {
+			set = make(map[int]bool)
+			a.readies[key] = set
+		}
+		if set[from] {
+			return
+		}
+		set[from] = true
+		if len(set) >= a.t+1 && !a.sentReady {
+			a.sentReady = true
+			a.rt.SendAll(a.inst, msgReady, wire.NewWriter().Blob(m).Bytes())
+		}
+		if len(set) >= 2*a.t+1 && !a.delivered {
+			a.delivered = true
+			a.output = m
+			if a.onOutput != nil {
+				a.onOutput(m)
+			}
+		}
+	}
+}

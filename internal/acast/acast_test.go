@@ -1,0 +1,226 @@
+package acast
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func cfg() proto.Config { return proto.Config{N: 8, Ts: 2, Ta: 1, Delta: 10} }
+
+// harness builds one Acast instance per party with sender s.
+type harness struct {
+	w       *proto.World
+	outs    [][]byte   // 1-based; nil if not delivered
+	outAt   []sim.Time // delivery times
+	casts   []*Acast
+	msgCnt  int
+	senders int
+}
+
+func newHarness(w *proto.World, sender, t int) *harness {
+	h := &harness{
+		w:     w,
+		outs:  make([][]byte, w.Cfg.N+1),
+		outAt: make([]sim.Time, w.Cfg.N+1),
+		casts: make([]*Acast, w.Cfg.N+1),
+	}
+	for i := 1; i <= w.Cfg.N; i++ {
+		i := i
+		h.casts[i] = New(w.Runtimes[i], "acast", sender, t, func(m []byte) {
+			h.outs[i] = m
+			h.outAt[i] = w.Sched.Now()
+		})
+	}
+	return h
+}
+
+func TestHonestSenderSync(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Sync, Seed: seed})
+		h := newHarness(w, 3, w.Cfg.Ts)
+		msg := []byte("hello world")
+		h.casts[3].Broadcast(msg)
+		w.RunToQuiescence()
+		for i := 1; i <= w.Cfg.N; i++ {
+			if !bytes.Equal(h.outs[i], msg) {
+				t.Fatalf("seed %d: party %d output %q, want %q", seed, i, h.outs[i], msg)
+			}
+			// Lemma 2.4: liveness within 3Δ in a synchronous network.
+			if h.outAt[i] > 3*w.Cfg.Delta {
+				t.Fatalf("seed %d: party %d delivered at %d > 3Δ=%d", seed, i, h.outAt[i], 3*w.Cfg.Delta)
+			}
+		}
+	}
+}
+
+func TestHonestSenderAsync(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Async, Seed: seed})
+		h := newHarness(w, 1, w.Cfg.Ts)
+		msg := []byte{0xde, 0xad}
+		h.casts[1].Broadcast(msg)
+		w.RunToQuiescence()
+		for i := 1; i <= w.Cfg.N; i++ {
+			if !bytes.Equal(h.outs[i], msg) {
+				t.Fatalf("seed %d: party %d output %v, want %v", seed, i, h.outs[i], msg)
+			}
+		}
+	}
+}
+
+func TestCorruptSenderEquivocationConsistency(t *testing.T) {
+	// Corrupt sender sends m1 to parties {1..4}, m2 to {5..8} at the
+	// SEND layer. Acast consistency: no two honest parties may output
+	// different values; with an even split nobody should deliver at all.
+	for _, network := range []proto.NetKind{proto.Sync, proto.Async} {
+		m1 := wire.NewWriter().Blob([]byte("m1")).Bytes()
+		m2 := wire.NewWriter().Blob([]byte("m2")).Bytes()
+		ctrl := adversary.NewController().Set(2, adversary.Mutate(adversary.MutateSpec{
+			Match: func(env sim.Envelope) bool { return env.Type == 1 }, // SEND
+			Rewrite: func(env sim.Envelope) []byte {
+				if env.To <= 4 {
+					return m1
+				}
+				return m2
+			},
+		}))
+		w := proto.NewWorld(proto.WorldOpts{
+			Cfg: cfg(), Network: network, Seed: 7, Corrupt: []int{2}, Interceptor: ctrl,
+		})
+		h := newHarness(w, 2, w.Cfg.Ts)
+		h.casts[2].Broadcast([]byte("ignored"))
+		w.RunToQuiescence()
+		var got [][]byte
+		for i := 1; i <= w.Cfg.N; i++ {
+			if w.IsCorrupt(i) {
+				continue
+			}
+			if h.outs[i] != nil {
+				got = append(got, h.outs[i])
+			}
+		}
+		for _, g := range got {
+			if !bytes.Equal(g, got[0]) {
+				t.Fatalf("%v: honest parties output different values: %q vs %q", network, got[0], g)
+			}
+		}
+	}
+}
+
+func TestCorruptSenderStragglerGap(t *testing.T) {
+	// Sync network, corrupt sender withholds SEND from some parties. If
+	// any honest party outputs m* at time T, all must output by T + 2Δ
+	// (Lemma 2.4 sync consistency).
+	allowed := map[int]bool{1: true, 3: true, 4: true, 5: true, 6: true}
+	ctrl := adversary.NewController().Set(2, adversary.ToSubset(
+		func(string) bool { return true }, allowed))
+	w := proto.NewWorld(proto.WorldOpts{
+		Cfg: cfg(), Network: proto.Sync, Seed: 3, Corrupt: []int{2}, Interceptor: ctrl,
+	})
+	h := newHarness(w, 2, w.Cfg.Ts)
+	h.casts[2].Broadcast([]byte("partial"))
+	w.RunToQuiescence()
+	var minT, maxT sim.Time
+	delivered := 0
+	for i := 1; i <= w.Cfg.N; i++ {
+		if w.IsCorrupt(i) || h.outs[i] == nil {
+			continue
+		}
+		delivered++
+		if minT == 0 || h.outAt[i] < minT {
+			minT = h.outAt[i]
+		}
+		if h.outAt[i] > maxT {
+			maxT = h.outAt[i]
+		}
+	}
+	if delivered == 0 {
+		return // nobody delivered: consistent, nothing to check
+	}
+	if delivered != 7 {
+		t.Fatalf("only %d of 7 honest delivered; consistency violated", delivered)
+	}
+	if maxT-minT > 2*w.Cfg.Delta {
+		t.Fatalf("straggler gap %d exceeds 2Δ=%d", maxT-minT, 2*w.Cfg.Delta)
+	}
+}
+
+func TestSilentSenderNoOutput(t *testing.T) {
+	ctrl := adversary.NewController().Set(4, adversary.Silent())
+	w := proto.NewWorld(proto.WorldOpts{
+		Cfg: cfg(), Network: proto.Sync, Seed: 1, Corrupt: []int{4}, Interceptor: ctrl,
+	})
+	h := newHarness(w, 4, w.Cfg.Ts)
+	h.casts[4].Broadcast([]byte("never arrives"))
+	w.RunToQuiescence()
+	for i := 1; i <= w.Cfg.N; i++ {
+		if h.outs[i] != nil {
+			t.Fatalf("party %d delivered despite silent sender", i)
+		}
+	}
+}
+
+func TestGarbledPayloadsDropped(t *testing.T) {
+	// A corrupt non-sender garbling its ECHO/READY traffic must not
+	// prevent delivery (n - t - 1 honest echoes still suffice... with
+	// n=8, t=2: echo threshold ⌈11/2⌉ = 6, honest non-sender count 7).
+	ctrl := adversary.NewController().Set(5, adversary.GarbleMatching(func(string) bool { return true }))
+	w := proto.NewWorld(proto.WorldOpts{
+		Cfg: cfg(), Network: proto.Sync, Seed: 2, Corrupt: []int{5}, Interceptor: ctrl,
+	})
+	h := newHarness(w, 1, w.Cfg.Ts)
+	h.casts[1].Broadcast([]byte("resilient"))
+	w.RunToQuiescence()
+	for i := 1; i <= w.Cfg.N; i++ {
+		if w.IsCorrupt(i) {
+			continue
+		}
+		if !bytes.Equal(h.outs[i], []byte("resilient")) {
+			t.Fatalf("party %d failed to deliver with one garbling party", i)
+		}
+	}
+}
+
+func TestCommunicationQuadratic(t *testing.T) {
+	// Lemma 2.4: O(n²ℓ) bits. Verify the message count is Θ(n²) and
+	// that bytes scale linearly in ℓ.
+	run := func(n int, l int) (msgs, bytes uint64) {
+		c := proto.Config{N: n, Ts: (n - 2) / 3, Ta: 0, Delta: 10}
+		if c.Ts < 1 {
+			c.Ts = 1
+		}
+		w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 9})
+		h := newHarness(w, 1, c.Ts)
+		h.casts[1].Broadcast(make([]byte, l))
+		w.RunToQuiescence()
+		return w.Metrics().HonestMessages(), w.Metrics().HonestBytes()
+	}
+	m8, b8 := run(8, 64)
+	m16, b16 := run(16, 64)
+	// n 8→16: message count should grow ≈4×; allow [3,6].
+	ratio := float64(m16) / float64(m8)
+	if ratio < 3 || ratio > 6 {
+		t.Fatalf("message growth %f not quadratic-ish (m8=%d m16=%d)", ratio, m8, m16)
+	}
+	_, b8big := run(8, 1024)
+	if b8big < 10*b8 {
+		t.Fatalf("byte count does not scale with ℓ: %d vs %d", b8big, b8)
+	}
+	_ = b16
+}
+
+func TestBroadcastByNonSenderPanics(t *testing.T) {
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Sync, Seed: 1})
+	h := newHarness(w, 1, w.Cfg.Ts)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-sender Broadcast should panic")
+		}
+	}()
+	h.casts[2].Broadcast([]byte("x"))
+}

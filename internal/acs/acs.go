@@ -1,0 +1,195 @@
+// Package acs implements ΠACS (Fig 5, Lemma 5.1): best-of-both-worlds
+// agreement on a common subset.
+//
+// Every party acts as a dealer in its own ΠVSS instance, sharing L
+// polynomials of degree ts. One ΠBA instance per party decides whether
+// that party makes it into the common subset CS: a party inputs 1 to
+// Π(j)BA once Π(j)VSS has produced its output locally (from the
+// structural time T0+TVSS onwards), and once n-ts ΠBA instances have
+// output 1 it inputs 0 to every ΠBA it has not yet joined. CS is the
+// set of parties whose ΠBA output 1.
+//
+// Guarantees: |CS| ≥ n-ts always; in a synchronous network every honest
+// party is in CS (by T0+TVSS every honest dealer's VSS has delivered,
+// so all honest parties input 1 to every honest dealer's ΠBA), and the
+// protocol completes by TACS = TVSS + 2·TBA; in an asynchronous network
+// CS is output eventually, almost surely. For every P_j ∈ CS, every
+// honest party eventually holds f_j's shares (the VSS strong
+// commitment: ΠBA validity means some honest party fed 1, i.e. had a
+// VSS output, which commits the polynomials for everyone).
+package acs
+
+import (
+	"fmt"
+
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/ba"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/vss"
+	"repro/poly"
+)
+
+// ACS is one party's state in a ΠACS instance.
+type ACS struct {
+	rt    *proto.Runtime
+	inst  string
+	L     int
+	cfg   proto.Config
+	start sim.Time
+
+	vssInst []*vss.VSS // 1-based; vssInst[j] is P_j's dealer instance
+	baInst  []*ba.BA   // 1-based
+
+	shares    map[int][]field.Element // dealer -> my shares
+	baGiven   map[int]bool
+	baOut     map[int]*uint8
+	phase2    bool // the structural input time T0+TVSS has passed
+	zeroWave  bool
+	onesCount int
+	decidedCS []int
+
+	done     bool
+	onOutput func(cs []int, shares map[int][]field.Element)
+}
+
+// Deadline returns TACS - T0 = TVSS + 2·TBA.
+func Deadline(cfg proto.Config) sim.Time {
+	tb := timing.New(cfg.N, cfg.Ts, cfg.Delta, cfg.CoinRounds)
+	return vss.Deadline(cfg) + 2*tb.BA
+}
+
+// New registers a ΠACS instance anchored at structural time start. The
+// party must call Start with its own L polynomials at that time.
+// onOutput fires once, when CS is decided and the shares of every CS
+// member are held locally.
+func New(rt *proto.Runtime, inst string, l int, cfg proto.Config, coin aba.CoinSource, start sim.Time, onOutput func(cs []int, shares map[int][]field.Element)) *ACS {
+	a := &ACS{
+		rt:       rt,
+		inst:     inst,
+		L:        l,
+		cfg:      cfg,
+		start:    start,
+		vssInst:  make([]*vss.VSS, cfg.N+1),
+		baInst:   make([]*ba.BA, cfg.N+1),
+		shares:   make(map[int][]field.Element),
+		baGiven:  make(map[int]bool),
+		baOut:    make(map[int]*uint8),
+		onOutput: onOutput,
+	}
+	for j := 1; j <= cfg.N; j++ {
+		j := j
+		a.vssInst[j] = vss.New(rt, proto.Join(inst, "vss", fmt.Sprint(j)), j, l, cfg, coin, start,
+			func(s []field.Element) { a.onVSS(j, s) })
+		a.baInst[j] = ba.New(rt, proto.Join(inst, "ba", fmt.Sprint(j)), cfg.Ts, cfg.Delta,
+			start+vss.Deadline(cfg), coin,
+			func(v uint8) { a.onBA(j, v) })
+	}
+	rt.AtProcessing(start+vss.Deadline(cfg), func() { a.enterPhase2() })
+	return a
+}
+
+// Start provides this party's own polynomials and invokes its dealer
+// VSS. Honest parties call it at the structural start time.
+func (a *ACS) Start(polys []poly.Poly) {
+	a.vssInst[a.rt.ID()].Start(polys)
+}
+
+// StartRows lets adversarial tests deal inconsistent rows.
+func (a *ACS) StartRows(rows [][]poly.Poly) {
+	a.vssInst[a.rt.ID()].StartRows(rows)
+}
+
+// SetBivariates forwards the dealer's bivariate polynomials to its VSS
+// instance for NOK pruning (StartRows dealers only).
+func (a *ACS) SetBivariates(bs []*poly.Symmetric) {
+	a.vssInst[a.rt.ID()].SetBivariates(bs)
+}
+
+// Done reports completion.
+func (a *ACS) Done() bool { return a.done }
+
+// CS returns the decided common subset (sorted); valid when decided
+// (which may precede Done if CS members' shares are still in flight).
+func (a *ACS) CS() []int { return a.decidedCS }
+
+// Shares returns this party's shares from dealer j, if held.
+func (a *ACS) Shares(j int) ([]field.Element, bool) {
+	s, ok := a.shares[j]
+	return s, ok
+}
+
+func (a *ACS) onVSS(j int, s []field.Element) {
+	if _, dup := a.shares[j]; dup {
+		return
+	}
+	a.shares[j] = s
+	if a.phase2 && !a.baGiven[j] && !a.zeroWave {
+		a.baGiven[j] = true
+		a.baInst[j].Start(1)
+	}
+	a.maybeFinish()
+}
+
+func (a *ACS) enterPhase2() {
+	a.phase2 = true
+	for j := 1; j <= a.cfg.N; j++ {
+		if _, ok := a.shares[j]; ok && !a.baGiven[j] {
+			a.baGiven[j] = true
+			a.baInst[j].Start(1)
+		}
+	}
+}
+
+func (a *ACS) onBA(j int, v uint8) {
+	vv := v
+	a.baOut[j] = &vv
+	if v == 1 {
+		a.onesCount++
+		if a.onesCount >= a.cfg.N-a.cfg.Ts && !a.zeroWave {
+			a.zeroWave = true
+			for k := 1; k <= a.cfg.N; k++ {
+				if !a.baGiven[k] {
+					a.baGiven[k] = true
+					a.baInst[k].Start(0)
+				}
+			}
+		}
+	}
+	a.maybeFinish()
+}
+
+func (a *ACS) maybeFinish() {
+	if a.done {
+		return
+	}
+	if a.decidedCS == nil {
+		for j := 1; j <= a.cfg.N; j++ {
+			if a.baOut[j] == nil {
+				return
+			}
+		}
+		var cs []int
+		for j := 1; j <= a.cfg.N; j++ {
+			if *a.baOut[j] == 1 {
+				cs = append(cs, j)
+			}
+		}
+		a.decidedCS = cs
+	}
+	for _, j := range a.decidedCS {
+		if _, ok := a.shares[j]; !ok {
+			return
+		}
+	}
+	a.done = true
+	if a.onOutput != nil {
+		out := make(map[int][]field.Element, len(a.decidedCS))
+		for _, j := range a.decidedCS {
+			out[j] = a.shares[j]
+		}
+		a.onOutput(a.decidedCS, out)
+	}
+}

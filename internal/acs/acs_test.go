@@ -1,0 +1,234 @@
+package acs
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/adversary"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/poly"
+)
+
+func cfg8() proto.Config { return proto.Config{N: 8, Ts: 2, Ta: 1, Delta: 10, CoinRounds: 8} }
+func cfg5() proto.Config { return proto.Config{N: 5, Ts: 1, Ta: 1, Delta: 10, CoinRounds: 8} }
+
+type harness struct {
+	w      *proto.World
+	insts  []*ACS
+	cs     [][]int
+	shares []map[int][]field.Element
+	doneAt []sim.Time
+	inputs [][]poly.Poly // 1-based dealer inputs
+}
+
+func newHarness(w *proto.World, l int, seed uint64) *harness {
+	h := &harness{
+		w:      w,
+		insts:  make([]*ACS, w.Cfg.N+1),
+		cs:     make([][]int, w.Cfg.N+1),
+		shares: make([]map[int][]field.Element, w.Cfg.N+1),
+		doneAt: make([]sim.Time, w.Cfg.N+1),
+		inputs: make([][]poly.Poly, w.Cfg.N+1),
+	}
+	coin := aba.DefaultCoin(seed)
+	r := rand.New(rand.NewPCG(seed, 1234))
+	for i := 1; i <= w.Cfg.N; i++ {
+		i := i
+		h.insts[i] = New(w.Runtimes[i], "acs", l, w.Cfg, coin, 0, func(cs []int, sh map[int][]field.Element) {
+			h.cs[i] = cs
+			h.shares[i] = sh
+			h.doneAt[i] = w.Sched.Now()
+		})
+		h.inputs[i] = make([]poly.Poly, l)
+		for k := range h.inputs[i] {
+			h.inputs[i][k] = poly.Random(r, w.Cfg.Ts, field.Random(r))
+		}
+	}
+	return h
+}
+
+func (h *harness) startAll(skip map[int]bool) {
+	for i := 1; i <= h.w.Cfg.N; i++ {
+		if skip[i] {
+			continue
+		}
+		h.insts[i].Start(h.inputs[i])
+	}
+}
+
+// verify checks Lemma 5.1's structure: common CS of size ≥ n-ts, every
+// honest CS member's real polynomial shared faithfully, and corrupt CS
+// members committed to *some* degree-ts polynomial consistently.
+func (h *harness) verify(t *testing.T, l int, requireAllHonestInCS bool) {
+	t.Helper()
+	c := h.w.Cfg
+	var ref []int
+	for i := 1; i <= c.N; i++ {
+		if h.w.IsCorrupt(i) {
+			continue
+		}
+		if h.cs[i] == nil {
+			t.Fatalf("honest party %d never completed ACS", i)
+		}
+		if ref == nil {
+			ref = h.cs[i]
+		} else if len(ref) != len(h.cs[i]) {
+			t.Fatalf("CS size mismatch: %v vs %v", ref, h.cs[i])
+		} else {
+			for k := range ref {
+				if ref[k] != h.cs[i][k] {
+					t.Fatalf("CS mismatch: %v vs %v", ref, h.cs[i])
+				}
+			}
+		}
+	}
+	if len(ref) < c.N-c.Ts {
+		t.Fatalf("|CS| = %d < n-ts = %d", len(ref), c.N-c.Ts)
+	}
+	inCS := map[int]bool{}
+	for _, j := range ref {
+		inCS[j] = true
+	}
+	if requireAllHonestInCS {
+		for i := 1; i <= c.N; i++ {
+			if !h.w.IsCorrupt(i) && !inCS[i] {
+				t.Fatalf("honest party %d missing from CS in a synchronous run", i)
+			}
+		}
+	}
+	// Share correctness per CS member.
+	for _, j := range ref {
+		for slot := 0; slot < l; slot++ {
+			// Gather honest shares; they must lie on one degree-ts poly.
+			pts := []poly.Point{}
+			for i := 1; i <= c.N; i++ {
+				if h.w.IsCorrupt(i) || h.shares[i] == nil {
+					continue
+				}
+				s, ok := h.shares[i][j]
+				if !ok {
+					t.Fatalf("party %d missing shares of CS member %d", i, j)
+				}
+				pts = append(pts, poly.Point{X: poly.Alpha(i), Y: s[slot]})
+			}
+			q, err := poly.Interpolate(pts[:c.Ts+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Degree() > c.Ts {
+				t.Fatalf("CS member %d slot %d: committed degree %d > ts", j, slot, q.Degree())
+			}
+			for _, p := range pts {
+				if q.Eval(p.X) != p.Y {
+					t.Fatalf("CS member %d slot %d: share off committed polynomial", j, slot)
+				}
+			}
+			if !h.w.IsCorrupt(j) {
+				if !q.Equal(h.inputs[j][slot]) {
+					t.Fatalf("honest dealer %d slot %d: committed polynomial differs from input", j, slot)
+				}
+			}
+		}
+	}
+}
+
+func TestAllHonestSync(t *testing.T) {
+	for _, c := range []proto.Config{cfg5(), cfg8()} {
+		w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 2})
+		h := newHarness(w, 1, 2)
+		h.startAll(nil)
+		w.RunToQuiescence()
+		h.verify(t, 1, true)
+		deadline := Deadline(c)
+		for i := 1; i <= c.N; i++ {
+			if h.doneAt[i] > deadline {
+				t.Fatalf("n=%d: party %d finished at %d > TACS=%d", c.N, i, h.doneAt[i], deadline)
+			}
+		}
+	}
+}
+
+func TestSilentDealersSync(t *testing.T) {
+	// ts corrupt parties never invoke their VSS. CS must still form,
+	// containing all honest parties, by TACS.
+	c := cfg8()
+	ctrl := adversary.NewController().
+		Set(2, adversary.Silent()).
+		Set(5, adversary.Silent())
+	w := proto.NewWorld(proto.WorldOpts{
+		Cfg: c, Network: proto.Sync, Seed: 3, Corrupt: []int{2, 5}, Interceptor: ctrl,
+	})
+	h := newHarness(w, 1, 3)
+	h.startAll(map[int]bool{2: true, 5: true})
+	w.RunToQuiescence()
+	h.verify(t, 1, true)
+	for i := 1; i <= c.N; i++ {
+		if w.IsCorrupt(i) {
+			continue
+		}
+		if h.doneAt[i] > Deadline(c) {
+			t.Fatalf("party %d finished at %d > TACS=%d", i, h.doneAt[i], Deadline(c))
+		}
+		// Silent dealers cannot be in CS.
+		for _, j := range h.cs[i] {
+			if j == 2 || j == 5 {
+				t.Fatalf("silent dealer %d ended up in CS", j)
+			}
+		}
+	}
+}
+
+func TestBadDealerSync(t *testing.T) {
+	// A corrupt dealer distributes inconsistent rows. Whether or not it
+	// makes CS, the invariants must hold.
+	c := cfg8()
+	w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 4, Corrupt: []int{3}})
+	h := newHarness(w, 1, 4)
+	r := rand.New(rand.NewPCG(4, 99))
+	// Dealer 3: inconsistent rows for parties 1 and 6.
+	q := poly.Random(r, c.Ts, field.Random(r))
+	biv, err := poly.NewSymmetricRandom(r, c.Ts, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]poly.Poly, c.N)
+	for i := 1; i <= c.N; i++ {
+		if i == 1 || i == 6 {
+			rows[i-1] = []poly.Poly{poly.Random(r, c.Ts, field.Random(r))}
+		} else {
+			rows[i-1] = []poly.Poly{biv.RowForParty(i)}
+		}
+	}
+	h.insts[3].StartRows(rows)
+	h.insts[3].SetBivariates([]*poly.Symmetric{biv})
+	h.startAll(map[int]bool{3: true})
+	w.RunToQuiescence()
+	h.verify(t, 1, true)
+}
+
+func TestAsyncEventualCompletion(t *testing.T) {
+	for seed := uint64(0); seed < 2; seed++ {
+		c := cfg5()
+		ctrl := adversary.NewController().Set(4, adversary.GarbleMatching(func(string) bool { return true }))
+		w := proto.NewWorld(proto.WorldOpts{
+			Cfg: c, Network: proto.Async, Seed: seed, Corrupt: []int{4}, Interceptor: ctrl,
+		})
+		h := newHarness(w, 1, seed)
+		h.startAll(map[int]bool{4: true})
+		w.RunToQuiescence()
+		// In async honest parties need not all be in CS; no timing bound.
+		h.verify(t, 1, false)
+	}
+}
+
+func TestMultiplePolynomials(t *testing.T) {
+	c := cfg5()
+	w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 7})
+	h := newHarness(w, 3, 7)
+	h.startAll(nil)
+	w.RunToQuiescence()
+	h.verify(t, 3, true)
+}

@@ -1,0 +1,183 @@
+// Package adversary implements the Byzantine behaviour library used by
+// the integration tests and benchmarks: message dropping, crashing,
+// equivocation, payload corruption, and targeted delays, all expressed
+// as interceptors over corrupt parties' outgoing traffic.
+//
+// The static adversary of the paper is modelled as (i) a set of corrupt
+// party indices, (ii) an Interceptor rewriting those parties' sends, and
+// (iii) for asynchronous runs, control of the delivery schedule via
+// sim.Policy (e.g. sim.StarvePolicy).
+package adversary
+
+import (
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Behavior maps an outgoing envelope of a corrupt party to the
+// deliveries that actually happen.
+type Behavior func(now sim.Time, env sim.Envelope) []sim.Delivery
+
+// pass delivers the envelope unchanged.
+func pass(env sim.Envelope) []sim.Delivery { return []sim.Delivery{{Env: env}} }
+
+// Controller routes each corrupt party's traffic through its configured
+// behaviour. Parties without an entry behave honestly (semi-honest
+// corruption: they follow the protocol but the adversary reads their
+// state).
+type Controller struct {
+	perParty map[int]Behavior
+}
+
+// NewController returns an empty controller.
+func NewController() *Controller {
+	return &Controller{perParty: make(map[int]Behavior)}
+}
+
+// Set assigns a behaviour to party i, returning the controller for
+// chaining.
+func (c *Controller) Set(i int, b Behavior) *Controller {
+	c.perParty[i] = b
+	return c
+}
+
+// Intercept implements sim.Interceptor.
+func (c *Controller) Intercept(now sim.Time, env sim.Envelope) []sim.Delivery {
+	if b, ok := c.perParty[env.From]; ok && b != nil {
+		return b(now, env)
+	}
+	return pass(env)
+}
+
+// Honest is the identity behaviour.
+func Honest() Behavior {
+	return func(_ sim.Time, env sim.Envelope) []sim.Delivery { return pass(env) }
+}
+
+// Silent drops every message: a party that crashed before the protocol
+// started (or never invokes its dealer role).
+func Silent() Behavior {
+	return func(sim.Time, sim.Envelope) []sim.Delivery { return nil }
+}
+
+// CrashAt drops messages sent at or after the given time.
+func CrashAt(t sim.Time) Behavior {
+	return func(now sim.Time, env sim.Envelope) []sim.Delivery {
+		if now >= t {
+			return nil
+		}
+		return pass(env)
+	}
+}
+
+// DropMatching drops messages whose instance path satisfies match.
+func DropMatching(match func(inst string) bool) Behavior {
+	return func(_ sim.Time, env sim.Envelope) []sim.Delivery {
+		if match(env.Inst) {
+			return nil
+		}
+		return pass(env)
+	}
+}
+
+// InstanceHasPrefix builds a matcher on instance path prefixes.
+func InstanceHasPrefix(prefix string) func(string) bool {
+	return func(inst string) bool { return strings.HasPrefix(inst, prefix) }
+}
+
+// InstanceContains builds a matcher on instance path substrings.
+func InstanceContains(sub string) func(string) bool {
+	return func(inst string) bool { return strings.Contains(inst, sub) }
+}
+
+// MutateBody rewrites the payload of matching messages. The mutator
+// receives the recipient, so equivocation (different payloads to
+// different parties) is expressible. Returning nil drops the message.
+type MutateSpec struct {
+	// Match selects affected messages; nil matches everything.
+	Match func(env sim.Envelope) bool
+	// Rewrite returns the replacement payload, or nil to drop.
+	Rewrite func(env sim.Envelope) []byte
+}
+
+// Mutate applies the first matching spec to each message.
+func Mutate(specs ...MutateSpec) Behavior {
+	return func(_ sim.Time, env sim.Envelope) []sim.Delivery {
+		for _, s := range specs {
+			if s.Match != nil && !s.Match(env) {
+				continue
+			}
+			body := s.Rewrite(env)
+			if body == nil {
+				return nil
+			}
+			out := env
+			out.Body = body
+			return pass(out)
+		}
+		return pass(env)
+	}
+}
+
+// GarbleMatching flips bytes in the payloads of matching messages,
+// producing undecodable junk that receivers must reject.
+func GarbleMatching(match func(inst string) bool) Behavior {
+	return func(_ sim.Time, env sim.Envelope) []sim.Delivery {
+		if !match(env.Inst) || len(env.Body) == 0 {
+			return pass(env)
+		}
+		out := env
+		out.Body = make([]byte, len(env.Body))
+		copy(out.Body, env.Body)
+		for i := range out.Body {
+			out.Body[i] ^= 0xa5
+		}
+		return pass(out)
+	}
+}
+
+// DelayMatching adds extra delay to matching messages (withhold-then-
+// release attacks within the eventual-delivery contract).
+func DelayMatching(match func(inst string) bool, extra sim.Time) Behavior {
+	return func(_ sim.Time, env sim.Envelope) []sim.Delivery {
+		if !match(env.Inst) {
+			return pass(env)
+		}
+		return []sim.Delivery{{Env: env, DelayExtra: extra}}
+	}
+}
+
+// ToSubset delivers matching messages only to the given recipients,
+// dropping the rest (a classic equivocation building block: tell half
+// the parties one thing, the other half nothing).
+func ToSubset(match func(inst string) bool, allowed map[int]bool) Behavior {
+	return func(_ sim.Time, env sim.Envelope) []sim.Delivery {
+		if match(env.Inst) && !allowed[env.To] {
+			return nil
+		}
+		return pass(env)
+	}
+}
+
+// Chain applies behaviours in order: the output envelopes of one stage
+// feed the next (drops propagate, extra delays accumulate).
+func Chain(bs ...Behavior) Behavior {
+	return func(now sim.Time, env sim.Envelope) []sim.Delivery {
+		current := []sim.Delivery{{Env: env}}
+		for _, b := range bs {
+			var next []sim.Delivery
+			for _, d := range current {
+				if d.Drop {
+					continue
+				}
+				for _, nd := range b(now, d.Env) {
+					nd.DelayExtra += d.DelayExtra
+					next = append(next, nd)
+				}
+			}
+			current = next
+		}
+		return current
+	}
+}

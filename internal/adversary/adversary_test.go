@@ -1,0 +1,149 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func env(from, to int, inst string, body []byte) sim.Envelope {
+	return sim.Envelope{From: from, To: to, Inst: inst, Type: 1, Body: body}
+}
+
+func deliveredBodies(ds []sim.Delivery) [][]byte {
+	var out [][]byte
+	for _, d := range ds {
+		if !d.Drop {
+			out = append(out, d.Env.Body)
+		}
+	}
+	return out
+}
+
+func TestControllerDefaultsToHonest(t *testing.T) {
+	c := NewController()
+	ds := c.Intercept(0, env(1, 2, "x", []byte{1}))
+	if len(ds) != 1 || ds[0].Env.Body[0] != 1 {
+		t.Fatalf("default behaviour mutated traffic: %+v", ds)
+	}
+}
+
+func TestHonestAndSilent(t *testing.T) {
+	c := NewController().Set(1, Honest()).Set(2, Silent())
+	if got := c.Intercept(0, env(1, 3, "x", nil)); len(got) != 1 {
+		t.Fatal("Honest dropped a message")
+	}
+	if got := c.Intercept(0, env(2, 3, "x", nil)); len(got) != 0 {
+		t.Fatal("Silent delivered a message")
+	}
+}
+
+func TestCrashAt(t *testing.T) {
+	c := NewController().Set(1, CrashAt(100))
+	if got := c.Intercept(99, env(1, 2, "x", nil)); len(got) != 1 {
+		t.Fatal("pre-crash message dropped")
+	}
+	if got := c.Intercept(100, env(1, 2, "x", nil)); len(got) != 0 {
+		t.Fatal("post-crash message delivered")
+	}
+}
+
+func TestDropMatching(t *testing.T) {
+	c := NewController().Set(1, DropMatching(InstanceHasPrefix("vss/")))
+	if got := c.Intercept(0, env(1, 2, "vss/3", nil)); len(got) != 0 {
+		t.Fatal("matching message delivered")
+	}
+	if got := c.Intercept(0, env(1, 2, "ba/3", nil)); len(got) != 1 {
+		t.Fatal("non-matching message dropped")
+	}
+}
+
+func TestInstanceMatchers(t *testing.T) {
+	if !InstanceHasPrefix("a/")("a/b") || InstanceHasPrefix("a/")("b/a") {
+		t.Fatal("InstanceHasPrefix wrong")
+	}
+	if !InstanceContains("wps")("vss/1/wps/2") || InstanceContains("wps")("vss/1") {
+		t.Fatal("InstanceContains wrong")
+	}
+}
+
+func TestMutateEquivocation(t *testing.T) {
+	b := Mutate(MutateSpec{
+		Match: func(e sim.Envelope) bool { return e.Inst == "x" },
+		Rewrite: func(e sim.Envelope) []byte {
+			return []byte{byte(e.To)}
+		},
+	})
+	d2 := b(0, env(1, 2, "x", []byte{9}))
+	d3 := b(0, env(1, 3, "x", []byte{9}))
+	if d2[0].Env.Body[0] != 2 || d3[0].Env.Body[0] != 3 {
+		t.Fatal("per-recipient equivocation failed")
+	}
+	// Non-matching instance passes through.
+	d := b(0, env(1, 2, "y", []byte{9}))
+	if d[0].Env.Body[0] != 9 {
+		t.Fatal("non-matching message rewritten")
+	}
+}
+
+func TestMutateDropViaNil(t *testing.T) {
+	b := Mutate(MutateSpec{Rewrite: func(sim.Envelope) []byte { return nil }})
+	if got := b(0, env(1, 2, "x", []byte{1})); len(got) != 0 {
+		t.Fatal("nil rewrite should drop")
+	}
+}
+
+func TestGarbleMatching(t *testing.T) {
+	b := GarbleMatching(func(string) bool { return true })
+	orig := []byte{1, 2, 3}
+	ds := b(0, env(1, 2, "x", orig))
+	if string(ds[0].Env.Body) == string(orig) {
+		t.Fatal("garble did not change payload")
+	}
+	if orig[0] != 1 {
+		t.Fatal("garble mutated the original slice")
+	}
+	// Empty payloads pass through unchanged.
+	ds = b(0, env(1, 2, "x", nil))
+	if len(ds) != 1 || ds[0].Env.Body != nil {
+		t.Fatal("empty payload mishandled")
+	}
+}
+
+func TestDelayMatching(t *testing.T) {
+	b := DelayMatching(InstanceHasPrefix("slow/"), 500)
+	ds := b(0, env(1, 2, "slow/x", nil))
+	if ds[0].DelayExtra != 500 {
+		t.Fatalf("extra delay = %d", ds[0].DelayExtra)
+	}
+	ds = b(0, env(1, 2, "fast/x", nil))
+	if ds[0].DelayExtra != 0 {
+		t.Fatal("unmatched message delayed")
+	}
+}
+
+func TestToSubset(t *testing.T) {
+	b := ToSubset(func(string) bool { return true }, map[int]bool{2: true})
+	if got := b(0, env(1, 2, "x", nil)); len(got) != 1 {
+		t.Fatal("allowed recipient dropped")
+	}
+	if got := b(0, env(1, 3, "x", nil)); len(got) != 0 {
+		t.Fatal("disallowed recipient delivered")
+	}
+}
+
+func TestChainComposition(t *testing.T) {
+	// Delay then drop-by-instance: drops propagate, delays accumulate.
+	b := Chain(
+		DelayMatching(func(string) bool { return true }, 10),
+		DelayMatching(func(string) bool { return true }, 5),
+	)
+	ds := b(0, env(1, 2, "x", nil))
+	if len(ds) != 1 || ds[0].DelayExtra != 15 {
+		t.Fatalf("chained delays = %+v", ds)
+	}
+	b2 := Chain(Silent(), DelayMatching(func(string) bool { return true }, 5))
+	if got := b2(0, env(1, 2, "x", nil)); len(got) != 0 {
+		t.Fatal("chained silent leaked a message")
+	}
+}

@@ -1,0 +1,137 @@
+// Package ba implements ΠBA (Fig 2, Theorem 3.6): the paper's
+// best-of-both-worlds Byzantine agreement on a bit.
+//
+// Every party broadcasts its input bit through its own ΠBC instance. At
+// local time T0 + TBC the regular-mode outputs of all n instances are
+// in; if at least n-t are non-⊥, the party adopts the majority bit of
+// that set R (ties to 1) as its ABA input, otherwise it keeps its own
+// input. The ΠBA output is the ABA output.
+//
+// In a synchronous network this is a t-perfectly-secure SBA terminating
+// by T0 + TBA = T0 + TBC + TABA (all honest parties feed the ABA a
+// common input, so the ABA's unanimous fast path fires). In an
+// asynchronous network it is a t-perfectly-secure ABA.
+package ba
+
+import (
+	"fmt"
+
+	"repro/internal/aba"
+	"repro/internal/bc"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Deadline returns TBA - T0 = TBC + k·Δ.
+func Deadline(t int, delta sim.Time, coinRounds int) sim.Time {
+	return bc.Deadline(t, delta) + sim.Time(coinRounds)*delta
+}
+
+// BA is one party's state in a ΠBA instance.
+type BA struct {
+	rt    *proto.Runtime
+	inst  string
+	t     int
+	delta sim.Time
+	start sim.Time
+
+	input     uint8
+	hasInput  bool
+	joinReady bool // the structural ABA-join time has passed
+
+	bcs  []*bc.BC // 1-based; bcs[j] is P_j's broadcast instance
+	bits []*uint8 // regular-mode bit per party (nil = ⊥ / invalid), 1-based
+	aba  *aba.ABA
+
+	decided  bool
+	output   uint8
+	onDecide func(uint8)
+}
+
+// New registers a ΠBA instance with structural start time start. The
+// party must call Start with its input bit at that time. onDecide fires
+// exactly once.
+func New(rt *proto.Runtime, inst string, t int, delta sim.Time, start sim.Time, coin aba.CoinSource, onDecide func(uint8)) *BA {
+	b := &BA{
+		rt:       rt,
+		inst:     inst,
+		t:        t,
+		delta:    delta,
+		start:    start,
+		bcs:      make([]*bc.BC, rt.N()+1),
+		bits:     make([]*uint8, rt.N()+1),
+		onDecide: onDecide,
+	}
+	n := rt.N()
+	for j := 1; j <= n; j++ {
+		j := j
+		b.bcs[j] = bc.New(rt, proto.Join(inst, "bc", fmt.Sprint(j)), j, t, delta, start,
+			func(m []byte) { b.bits[j] = decodeBit(m) }, nil)
+	}
+	b.aba = aba.New(rt, proto.Join(inst, "aba"), t, coin, func(v uint8) {
+		b.decided = true
+		b.output = v
+		if b.onDecide != nil {
+			b.onDecide(v)
+		}
+	})
+	// Post-processing class: joinABA must observe the regular-mode
+	// outputs of all n ΠBC instances, which land at exactly this tick.
+	rt.AtProcessing(start+bc.Deadline(t, delta), func() {
+		b.joinReady = true
+		if b.hasInput {
+			b.joinABA()
+		}
+	})
+	return b
+}
+
+// Start provides the party's input bit and broadcasts it. Honest
+// parties call it at the structural start time; callers that decide
+// their input only later (the ΠACS pattern) may call it late, in which
+// case the ABA is joined immediately with the input derived from the
+// (already final) regular-mode broadcast view.
+func (b *BA) Start(input uint8) {
+	if b.hasInput {
+		return
+	}
+	b.hasInput = true
+	b.input = input & 1
+	// Broadcast through this party's own ΠBC instance.
+	b.bcs[b.rt.ID()].Broadcast([]byte{b.input})
+	if b.joinReady {
+		b.joinABA()
+	}
+}
+
+// Decided returns the output, if any.
+func (b *BA) Decided() (uint8, bool) { return b.output, b.decided }
+
+func decodeBit(m []byte) *uint8 {
+	if len(m) != 1 || m[0] > 1 {
+		return nil
+	}
+	v := m[0]
+	return &v
+}
+
+func (b *BA) joinABA() {
+	vstar := b.input // default: own input (⊥-less fallback)
+	var present, ones int
+	for j := 1; j < len(b.bits); j++ {
+		if b.bits[j] != nil {
+			present++
+			if *b.bits[j] == 1 {
+				ones++
+			}
+		}
+	}
+	if present >= b.rt.N()-b.t {
+		if 2*ones >= present { // majority, ties to 1
+			vstar = 1
+		} else {
+			vstar = 0
+		}
+	}
+	b.aba.Start(vstar)
+}

@@ -1,0 +1,219 @@
+package ba
+
+import (
+	"testing"
+
+	"repro/internal/aba"
+	"repro/internal/adversary"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+func cfg() proto.Config { return proto.Config{N: 8, Ts: 2, Ta: 1, Delta: 10} }
+
+type harness struct {
+	w     *proto.World
+	bas   []*BA
+	outs  []*uint8
+	outAt []sim.Time
+}
+
+func newHarness(w *proto.World, t int, seed uint64) *harness {
+	h := &harness{
+		w:     w,
+		bas:   make([]*BA, w.Cfg.N+1),
+		outs:  make([]*uint8, w.Cfg.N+1),
+		outAt: make([]sim.Time, w.Cfg.N+1),
+	}
+	coin := aba.DefaultCoin(seed)
+	for i := 1; i <= w.Cfg.N; i++ {
+		i := i
+		h.bas[i] = New(w.Runtimes[i], "ba", t, w.Cfg.Delta, 0, coin, func(v uint8) {
+			h.outs[i] = &v
+			h.outAt[i] = w.Sched.Now()
+		})
+	}
+	return h
+}
+
+func (h *harness) start(inputs []uint8, skip map[int]bool) {
+	for i := 1; i <= h.w.Cfg.N; i++ {
+		if skip[i] {
+			continue
+		}
+		h.bas[i].Start(inputs[i])
+	}
+}
+
+func (h *harness) agreement(t *testing.T) uint8 {
+	t.Helper()
+	var ref *uint8
+	for i := 1; i <= h.w.Cfg.N; i++ {
+		if h.w.IsCorrupt(i) {
+			continue
+		}
+		if h.outs[i] == nil {
+			t.Fatalf("honest party %d did not decide", i)
+		}
+		if ref == nil {
+			ref = h.outs[i]
+		} else if *ref != *h.outs[i] {
+			t.Fatalf("consistency violated: %d vs %d", *ref, *h.outs[i])
+		}
+	}
+	return *ref
+}
+
+func allBits(n int, v uint8) []uint8 {
+	out := make([]uint8, n+1)
+	for i := 1; i <= n; i++ {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSyncValidityAndDeadline(t *testing.T) {
+	// Theorem 3.6: in sync, ΠBA is a t-perfectly-secure SBA with output
+	// by TBA = TBC + TABA.
+	for _, v := range []uint8{0, 1} {
+		for seed := uint64(0); seed < 3; seed++ {
+			w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Sync, Seed: seed})
+			h := newHarness(w, w.Cfg.Ts, seed)
+			h.start(allBits(8, v), nil)
+			w.RunToQuiescence()
+			if got := h.agreement(t); got != v {
+				t.Fatalf("validity violated: in %d out %d", v, got)
+			}
+			deadline := Deadline(w.Cfg.Ts, w.Cfg.Delta, w.Cfg.CoinRounds)
+			for i := 1; i <= 8; i++ {
+				if h.outAt[i] > deadline {
+					t.Fatalf("party %d decided at %d > TBA = %d", i, h.outAt[i], deadline)
+				}
+			}
+		}
+	}
+}
+
+func TestSyncMixedInputsConsistent(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Sync, Seed: seed})
+		h := newHarness(w, w.Cfg.Ts, seed)
+		h.start([]uint8{0, 0, 1, 0, 1, 1, 0, 1, 0}, nil)
+		w.RunToQuiescence()
+		h.agreement(t)
+		// Mixed inputs in sync: all honest still decide by TBA because
+		// the ΠBC layer gives them a common view, hence a common ABA
+		// input (the Fig 2 mechanism).
+		deadline := Deadline(w.Cfg.Ts, w.Cfg.Delta, w.Cfg.CoinRounds)
+		for i := 1; i <= 8; i++ {
+			if h.outAt[i] > deadline {
+				t.Fatalf("seed %d: party %d decided at %d > TBA = %d", seed, i, h.outAt[i], deadline)
+			}
+		}
+	}
+}
+
+func TestSyncWithByzantine(t *testing.T) {
+	// Honest majority inputs 1; corrupt parties equivocate in their own
+	// broadcasts and garble their BA traffic. Validity: unanimous honest
+	// inputs must win.
+	for seed := uint64(0); seed < 4; seed++ {
+		ctrl := adversary.NewController().
+			Set(2, adversary.GarbleMatching(func(string) bool { return true })).
+			Set(6, adversary.Mutate(adversary.MutateSpec{
+				Rewrite: func(env sim.Envelope) []byte { return []byte{0} },
+			}))
+		w := proto.NewWorld(proto.WorldOpts{
+			Cfg: cfg(), Network: proto.Sync, Seed: seed, Corrupt: []int{2, 6}, Interceptor: ctrl,
+		})
+		h := newHarness(w, w.Cfg.Ts, seed)
+		h.start(allBits(8, 1), map[int]bool{2: true}) // corrupt 2 never starts
+		w.RunToQuiescence()
+		if got := h.agreement(t); got != 1 {
+			t.Fatalf("seed %d: validity violated: got %d", seed, got)
+		}
+	}
+}
+
+func TestAsyncValidity(t *testing.T) {
+	for _, v := range []uint8{0, 1} {
+		for seed := uint64(0); seed < 4; seed++ {
+			w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Async, Seed: seed})
+			h := newHarness(w, w.Cfg.Ta, seed) // threshold ta in async... the
+			// stack always runs BA with t = ts; use ts to mirror usage.
+			h = newHarnessWithInst(w, w.Cfg.Ts, seed)
+			h.start(allBits(8, v), nil)
+			w.RunToQuiescence()
+			if got := h.agreement(t); got != v {
+				t.Fatalf("async validity violated: in %d out %d", v, got)
+			}
+		}
+	}
+}
+
+// newHarnessWithInst avoids duplicate instance registration in tests
+// that build two harnesses.
+func newHarnessWithInst(w *proto.World, t int, seed uint64) *harness {
+	h := &harness{
+		w:     w,
+		bas:   make([]*BA, w.Cfg.N+1),
+		outs:  make([]*uint8, w.Cfg.N+1),
+		outAt: make([]sim.Time, w.Cfg.N+1),
+	}
+	coin := aba.DefaultCoin(seed)
+	for i := 1; i <= w.Cfg.N; i++ {
+		i := i
+		h.bas[i] = New(w.Runtimes[i], "ba2", t, w.Cfg.Delta, 0, coin, func(v uint8) {
+			h.outs[i] = &v
+			h.outAt[i] = w.Sched.Now()
+		})
+	}
+	return h
+}
+
+func TestAsyncMixedWithByzantine(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		ctrl := adversary.NewController().
+			Set(4, adversary.Mutate(adversary.MutateSpec{
+				Rewrite: func(env sim.Envelope) []byte { return []byte{byte(env.To & 1)} },
+			}))
+		w := proto.NewWorld(proto.WorldOpts{
+			Cfg: cfg(), Network: proto.Async, Seed: seed, Corrupt: []int{4}, Interceptor: ctrl,
+		})
+		h := newHarness(w, w.Cfg.Ts, seed)
+		h.start([]uint8{0, 1, 0, 1, 0, 1, 0, 1, 0}, nil)
+		w.RunToQuiescence()
+		h.agreement(t)
+	}
+}
+
+func TestAsyncStarvationAttack(t *testing.T) {
+	// The adversary starves every link out of parties {1,2,3} until a
+	// far horizon; BA must still decide (almost-sure liveness exercised
+	// under a hostile schedule).
+	starved := map[int]bool{1: true, 2: true, 3: true}
+	pol := sim.StarvePolicy{
+		Base:   sim.AsyncPolicy{Delta: 10},
+		Until:  5000,
+		Starve: func(from, to int) bool { return starved[from] },
+	}
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Async, Policy: pol, Seed: 3})
+	h := newHarness(w, w.Cfg.Ts, 3)
+	h.start([]uint8{0, 1, 1, 0, 0, 1, 0, 1, 1}, nil)
+	w.RunToQuiescence()
+	h.agreement(t)
+}
+
+func TestDecidedAccessor(t *testing.T) {
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Sync, Seed: 9})
+	h := newHarness(w, w.Cfg.Ts, 9)
+	if _, ok := h.bas[1].Decided(); ok {
+		t.Fatal("decided before start")
+	}
+	h.start(allBits(8, 1), nil)
+	w.RunToQuiescence()
+	v, ok := h.bas[1].Decided()
+	if !ok || v != 1 {
+		t.Fatalf("Decided() = %d,%v", v, ok)
+	}
+}

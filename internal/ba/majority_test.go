@@ -1,0 +1,62 @@
+package ba
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// TestMajorityOfRDecidesSyncOutput pins down the Fig 2 mechanism: with
+// |R| ≥ n-t regular broadcast outputs, every honest party adopts the
+// majority bit of R as its ABA input — so the sync output equals the
+// majority of the honest inputs (when the corrupt parties' broadcasts
+// cannot tip it), and unanimity in the ABA yields the TBA deadline.
+func TestMajorityOfRDecidesSyncOutput(t *testing.T) {
+	cases := []struct {
+		name   string
+		inputs []uint8 // 1-based
+		want   uint8
+	}{
+		{"five ones three zeros", []uint8{0, 1, 1, 0, 1, 0, 1, 1, 0}, 1},
+		{"five zeros three ones", []uint8{0, 0, 0, 1, 0, 1, 0, 0, 1}, 0},
+		{"tie goes to one", []uint8{0, 1, 1, 1, 1, 0, 0, 0, 0}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Sync, Seed: 3})
+			h := newHarness(w, w.Cfg.Ts, 3)
+			h.start(tc.inputs, nil)
+			w.RunToQuiescence()
+			got := h.agreement(t)
+			if got != tc.want {
+				t.Fatalf("output %d, want majority %d", got, tc.want)
+			}
+			deadline := Deadline(w.Cfg.Ts, w.Cfg.Delta, w.Cfg.CoinRounds)
+			for i := 1; i <= 8; i++ {
+				if h.outAt[i] > deadline {
+					t.Fatalf("party %d at %d > TBA %d", i, h.outAt[i], deadline)
+				}
+			}
+		})
+	}
+}
+
+// TestLateStartersAdoptCommonView checks the ΠACS staggering pattern:
+// parties that call Start only after the broadcast deadline still join
+// the ABA with the input derived from the common regular-mode view, so
+// agreement and (eventual) liveness hold.
+func TestLateStartersAdoptCommonView(t *testing.T) {
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Sync, Seed: 4})
+	h := newHarness(w, w.Cfg.Ts, 4)
+	inputs := []uint8{0, 1, 1, 1, 1, 1, 0, 0, 0}
+	// Parties 1..5 start at time 0; parties 6..8 start much later.
+	for i := 1; i <= 5; i++ {
+		h.bas[i].Start(inputs[i])
+	}
+	for i := 6; i <= 8; i++ {
+		i := i
+		w.Runtimes[i].At(600, func() { h.bas[i].Start(inputs[i]) })
+	}
+	w.RunToQuiescence()
+	h.agreement(t)
+}

@@ -1,0 +1,135 @@
+// Package bc implements ΠBC (Fig 1, Theorem 3.5): synchronous broadcast
+// with asynchronous fallback guarantees, obtained by stitching Bracha's
+// Acast with the phase-king SBA.
+//
+// The sender S Acasts its message at the instance's structural start
+// time T0. At local time T0 + 3Δ every party joins an SBA instance with
+// input equal to the Acast output so far (⊥ if none). At local time
+// TBC = T0 + 3Δ + TSBA each party fixes its regular-mode output: m* if
+// m* was received from the Acast AND the SBA output equals m*, else ⊥.
+// Parties keep participating; a party whose regular-mode output was ⊥
+// switches to m* if the Acast later delivers m* (fallback mode).
+//
+// Every ΠBC instance in this repository has a structurally fixed start
+// time known to all parties (the paper's "wait until the local time is
+// a multiple of Δ" discipline), so the embedded SBA's clock-paced
+// rounds are aligned. A sender that starts late simply misses the
+// regular-mode window and is caught by fallback mode, which is exactly
+// the behaviour the VSS acceptance deadlines rely on (Lemma 4.4).
+package bc
+
+import (
+	"repro/internal/acast"
+	"repro/internal/proto"
+	"repro/internal/sba"
+	"repro/internal/sim"
+)
+
+// Deadline returns TBC - T0 = 3Δ + TSBA for threshold t.
+func Deadline(t int, delta sim.Time) sim.Time {
+	return 3*delta + sba.Deadline(t, delta)
+}
+
+// BC is one party's state in a ΠBC instance.
+type BC struct {
+	rt     *proto.Runtime
+	inst   string
+	sender int
+	t      int
+	delta  sim.Time
+	start  sim.Time
+
+	ac  *acast.Acast
+	sb  *sba.SBA
+	sbO *sba.Value // SBA output once available
+
+	regularDone bool
+	regular     []byte // nil = ⊥
+	fellBack    bool
+	noFallback  bool
+
+	onRegular  func(m []byte) // m == nil means ⊥; fires exactly once at TBC
+	onFallback func(m []byte) // fires at most once, only after a ⊥ regular output
+}
+
+// New registers a ΠBC instance with structural start time start
+// (absolute). Both callbacks may be nil.
+func New(rt *proto.Runtime, inst string, sender, t int, delta sim.Time, start sim.Time, onRegular, onFallback func([]byte)) *BC {
+	b := &BC{
+		rt:         rt,
+		inst:       inst,
+		sender:     sender,
+		t:          t,
+		delta:      delta,
+		start:      start,
+		onRegular:  onRegular,
+		onFallback: onFallback,
+	}
+	b.ac = acast.New(rt, proto.Join(inst, "acast"), sender, t, func(m []byte) { b.onAcast(m) })
+	rt.At(start+3*delta, func() { b.joinSBA() })
+	return b
+}
+
+// Broadcast initiates the broadcast (sender only). Honest senders call
+// it at the structural start time.
+func (b *BC) Broadcast(m []byte) { b.ac.Broadcast(m) }
+
+// DisableFallback turns off fallback-mode output switching, degrading
+// ΠBC to a purely synchronous broadcast (baseline/ablation mode).
+func (b *BC) DisableFallback() { b.noFallback = true }
+
+// Output returns the current output and whether it came from the
+// regular mode window. Before TBC it returns (nil, false, false).
+func (b *BC) Output() (m []byte, decided bool, fellBack bool) {
+	if !b.regularDone {
+		return nil, false, false
+	}
+	return b.regular, true, b.fellBack
+}
+
+func (b *BC) onAcast(m []byte) {
+	// Fallback mode: only parties whose regular-mode output was ⊥ adopt
+	// the Acast output after the deadline.
+	if b.regularDone && b.regular == nil && !b.fellBack && !b.noFallback {
+		b.adoptFallback(m)
+	}
+}
+
+func (b *BC) adoptFallback(m []byte) {
+	b.fellBack = true
+	b.regular = m
+	if b.onFallback != nil {
+		b.onFallback(m)
+	}
+}
+
+func (b *BC) joinSBA() {
+	input := sba.Bot()
+	if b.ac.Delivered() {
+		input = sba.Val(b.ac.Output())
+	}
+	// The SBA produces its output at exactly T0 + 3Δ + TSBA = TBC; the
+	// regular-mode decision happens in the same event, immediately after.
+	b.sb = sba.New(b.rt, proto.Join(b.inst, "sba"), b.t, b.delta, b.rt.Now(), input, func(v sba.Value) {
+		b.sbO = &v
+		b.fixRegular()
+	})
+}
+
+func (b *BC) fixRegular() {
+	b.regularDone = true
+	b.regular = nil
+	if b.ac.Delivered() && b.sbO != nil && !b.sbO.Bot {
+		if string(b.sbO.Data) == string(b.ac.Output()) {
+			b.regular = b.ac.Output()
+		}
+	}
+	if b.onRegular != nil {
+		b.onRegular(b.regular)
+	}
+	// The Acast may already have delivered a value the SBA did not
+	// confirm; in that case fallback applies immediately.
+	if b.regular == nil && b.ac.Delivered() && !b.noFallback {
+		b.adoptFallback(b.ac.Output())
+	}
+}

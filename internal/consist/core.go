@@ -1,0 +1,565 @@
+// Package consist implements the consistency-graph core shared by ΠWPS
+// (Fig 3) and ΠVSS (Fig 4). Both protocols follow the same skeleton:
+//
+//  1. Parties publish OK/NOK results of pair-wise checks: one ΠBC
+//     result vector at a structural slot (regular-mode data for the
+//     acceptance deadline), plus per-pair Acasts for checks completing
+//     later (fallback-mode data).
+//  2. The dealer prunes senders of provably wrong NOKs, computes the
+//     well-connected set W, finds an (n,ts)-star in G_D[W], and
+//     broadcasts (W, E, F) through ΠBC one TBC after the slot.
+//  3. Two TBC after the slot, every party evaluates the acceptance
+//     conditions on the regular-mode data and feeds the outcome into a
+//     ΠBA (input 0 ⟺ accepted).
+//  4. If the ΠBA outputs 1, the dealer searches its (monotone,
+//     eventually-complete) graph for an (n,ta)-star and Acasts the
+//     first one found; parties adopt it once it becomes a star in
+//     their own graph.
+//
+// The owning protocol supplies the pair-check results and consumes the
+// core's events to compute its output shares.
+package consist
+
+import (
+	"fmt"
+
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/acast"
+	"repro/internal/ba"
+	"repro/internal/bc"
+	"repro/internal/graph"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/wire"
+)
+
+// Report tags inside result vectors.
+const (
+	tagNone uint8 = iota
+	tagOK
+	tagNOK
+)
+
+// Report is one party's published check result about another party.
+type Report struct {
+	OK     bool
+	NokIdx int           // least failing polynomial index (0-based), for NOK
+	NokVal field.Element // reporter's own value of the disputed point, for NOK
+}
+
+// EncodeReport serialises a report.
+func EncodeReport(rep *Report) []byte {
+	wr := wire.NewWriter()
+	if rep.OK {
+		wr.Uint(uint64(tagOK))
+	} else {
+		wr.Uint(uint64(tagNOK)).Int(rep.NokIdx).Element(rep.NokVal)
+	}
+	return wr.Bytes()
+}
+
+func decodeReport(r *wire.Reader) (*Report, bool) {
+	tag := uint8(r.Uint())
+	if r.Err() != nil {
+		return nil, false
+	}
+	switch tag {
+	case tagNone:
+		return nil, true
+	case tagOK:
+		return &Report{OK: true}, true
+	case tagNOK:
+		idx := r.Int()
+		val := r.Element()
+		if r.Err() != nil {
+			return nil, false
+		}
+		return &Report{NokIdx: idx, NokVal: val}, true
+	default:
+		return nil, false
+	}
+}
+
+// WEF is the dealer's (W, E, F) announcement.
+type WEF struct {
+	W    []int
+	Star graph.Star
+}
+
+// Callbacks connect the core to its owning protocol.
+type Callbacks struct {
+	// VerifyNOK reports whether a regular-mode NOK(i, j, idx, val) is
+	// *correct* with respect to the dealer's polynomials (only invoked
+	// at the dealer). Senders of incorrect NOKs are pruned before W is
+	// computed. A nil VerifyNOK prunes nobody.
+	VerifyNOK func(i, j, idx int, val field.Element) bool
+	// OnUpdate fires after any event that can unblock the owner's
+	// output computation: graph growth, (W,E,F) arrival, BA decision,
+	// or star acceptance.
+	OnUpdate func()
+}
+
+// Core is one party's consistency-graph state.
+type Core struct {
+	rt     *proto.Runtime
+	inst   string
+	dealer int
+	cfg    proto.Config
+	tb     timing.Bounds
+	slot   sim.Time
+	cb     Callbacks
+
+	res        []*bc.BC
+	vectorSent bool
+	inVector   map[int]bool
+	myReports  map[int]*Report
+	lateSent   map[int]bool
+
+	regular map[int]map[int]*Report
+	anyOK   map[int]map[int]bool
+
+	wefBC      *bc.BC
+	wef        *WEF
+	wefRegular bool
+	accepted   bool
+
+	baInst *ba.BA
+	baOut  *uint8
+
+	starAcast *acast.Acast
+	starOut   bool
+	starMsg   *graph.Star
+	starOK    bool
+}
+
+// NewCore wires up the shared machinery. slot is the structural time of
+// the result-vector broadcast; the (W,E,F) broadcast is anchored at
+// slot+TBC and the acceptance ΠBA at slot+2TBC.
+func NewCore(rt *proto.Runtime, inst string, dealer int, cfg proto.Config, coin aba.CoinSource, slot sim.Time, cb Callbacks) *Core {
+	c := &Core{
+		rt:        rt,
+		inst:      inst,
+		dealer:    dealer,
+		cfg:       cfg,
+		tb:        timing.New(cfg.N, cfg.Ts, cfg.Delta, cfg.CoinRounds),
+		slot:      slot,
+		cb:        cb,
+		res:       make([]*bc.BC, cfg.N+1),
+		inVector:  make(map[int]bool),
+		myReports: make(map[int]*Report),
+		lateSent:  make(map[int]bool),
+		regular:   make(map[int]map[int]*Report),
+		anyOK:     make(map[int]map[int]bool),
+	}
+	n := cfg.N
+	for i := 1; i <= n; i++ {
+		i := i
+		c.res[i] = bc.New(rt, proto.Join(inst, "res", fmt.Sprint(i)), i, cfg.Ts, cfg.Delta, slot,
+			func(m []byte) { c.handleVector(i, m, true) },
+			func(m []byte) { c.handleVector(i, m, false) })
+		if cfg.SyncOnly {
+			c.res[i].DisableFallback()
+		}
+	}
+	latePrefix := proto.Join(inst, "late") + "/"
+	rt.RegisterPrefix(latePrefix, func(path string) proto.Handler {
+		var i, j int
+		if _, err := fmt.Sscanf(path[len(latePrefix):], "%d/%d", &i, &j); err != nil {
+			return nil
+		}
+		if i < 1 || i > n || j < 1 || j > n || rt.Registered(path) {
+			return nil
+		}
+		acast.New(rt, path, i, cfg.Ts, func(m []byte) { c.handleLate(i, j, m) })
+		return nil // acast.New self-registers
+	})
+	c.wefBC = bc.New(rt, proto.Join(inst, "wef"), dealer, cfg.Ts, cfg.Delta, slot+c.tb.BC,
+		func(m []byte) { c.handleWEF(m, true) },
+		func(m []byte) { c.handleWEF(m, false) })
+	if cfg.SyncOnly {
+		c.wefBC.DisableFallback()
+	}
+	c.starAcast = acast.New(rt, proto.Join(inst, "star"), dealer, cfg.Ts, func(m []byte) { c.handleStarMsg(m) })
+	c.baInst = ba.New(rt, proto.Join(inst, "ba"), cfg.Ts, cfg.Delta, slot+2*c.tb.BC, coin,
+		func(v uint8) { c.handleBA(v) })
+
+	rt.AtProcessing(slot, func() { c.sendVector() })
+	if rt.ID() == dealer {
+		rt.AtProcessing(slot+c.tb.BC, func() { c.dealerWEF() })
+	}
+	rt.AtProcessing(slot+2*c.tb.BC, func() { c.evaluateAcceptance() })
+	return c
+}
+
+// SetReport records this party's check result about j; results known
+// by the slot go into the vector, later ones are Acast late.
+func (c *Core) SetReport(j int, rep *Report) {
+	if _, have := c.myReports[j]; have || rep == nil {
+		return
+	}
+	c.myReports[j] = rep
+	if c.cfg.SyncOnly {
+		return // no late announcements in the synchronous baseline
+	}
+	if c.vectorSent && !c.inVector[j] && !c.lateSent[j] {
+		c.lateSent[j] = true
+		me := c.rt.ID()
+		path := proto.Join(c.inst, "late", fmt.Sprint(me), fmt.Sprint(j))
+		if c.rt.Registered(path) {
+			return
+		}
+		a := acast.New(c.rt, path, me, c.cfg.Ts, func(m []byte) { c.handleLate(me, j, m) })
+		a.Broadcast(EncodeReport(rep))
+	}
+}
+
+// BAOutput returns the acceptance ΠBA's decision, if made: 0 means some
+// honest party accepted a (W,E,F), 1 selects the (n,ta)-star path.
+func (c *Core) BAOutput() (uint8, bool) {
+	if c.baOut == nil {
+		return 0, false
+	}
+	return *c.baOut, true
+}
+
+// WEFMsg returns the dealer's (W,E,F), whether it arrived at all and
+// whether it arrived through regular mode.
+func (c *Core) WEFMsg() (*WEF, bool) { return c.wef, c.wef != nil }
+
+// Star returns the dealer's (E',F') once it has become a valid
+// (n,ta)-star in this party's graph.
+func (c *Core) Star() (*graph.Star, bool) {
+	if c.starOK {
+		return c.starMsg, true
+	}
+	return nil, false
+}
+
+func (c *Core) sendVector() {
+	if c.vectorSent {
+		return
+	}
+	c.vectorSent = true
+	wr := wire.NewWriter()
+	for j := 1; j <= c.cfg.N; j++ {
+		if rep := c.myReports[j]; rep != nil {
+			c.inVector[j] = true
+			wr.Blob(EncodeReport(rep))
+		} else {
+			wr.Blob(wire.NewWriter().Uint(uint64(tagNone)).Bytes())
+		}
+	}
+	c.res[c.rt.ID()].Broadcast(wr.Bytes())
+}
+
+func (c *Core) recordReport(i, j int, rep *Report, reg bool) {
+	if rep == nil {
+		return
+	}
+	if reg {
+		m := c.regular[i]
+		if m == nil {
+			m = make(map[int]*Report)
+			c.regular[i] = m
+		}
+		if _, dup := m[j]; !dup {
+			m[j] = rep
+		}
+	}
+	if rep.OK {
+		m := c.anyOK[i]
+		if m == nil {
+			m = make(map[int]bool)
+			c.anyOK[i] = m
+		}
+		m[j] = true
+	}
+}
+
+func (c *Core) handleVector(i int, body []byte, regular bool) {
+	if body == nil {
+		return
+	}
+	r := wire.NewReader(body)
+	reps := make([]*Report, 0, c.cfg.N)
+	for j := 1; j <= c.cfg.N; j++ {
+		sub := wire.NewReader(r.Blob())
+		if r.Err() != nil {
+			return
+		}
+		rep, ok := decodeReport(sub)
+		if !ok {
+			return
+		}
+		reps = append(reps, rep)
+	}
+	if r.Done() != nil {
+		return
+	}
+	for j := 1; j <= c.cfg.N; j++ {
+		c.recordReport(i, j, reps[j-1], regular)
+	}
+	c.onGraphUpdate()
+}
+
+func (c *Core) handleLate(i, j int, body []byte) {
+	rep, ok := decodeReport(wire.NewReader(body))
+	if !ok || rep == nil {
+		return
+	}
+	c.recordReport(i, j, rep, false)
+	c.onGraphUpdate()
+}
+
+func (c *Core) edgeAny(i, j int) bool { return c.anyOK[i][j] && c.anyOK[j][i] }
+func (c *Core) edgeRegular(i, j int) bool {
+	ri, rj := c.regular[i][j], c.regular[j][i]
+	return ri != nil && ri.OK && rj != nil && rj.OK
+}
+
+// AnyGraph materialises the monotone consistency graph.
+func (c *Core) AnyGraph() *graph.Graph {
+	g := graph.New(c.cfg.N)
+	for i := 1; i <= c.cfg.N; i++ {
+		for j := i + 1; j <= c.cfg.N; j++ {
+			if c.edgeAny(i, j) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func (c *Core) regularGraph() *graph.Graph {
+	g := graph.New(c.cfg.N)
+	for i := 1; i <= c.cfg.N; i++ {
+		for j := i + 1; j <= c.cfg.N; j++ {
+			if c.edgeRegular(i, j) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// dealerWEF runs the dealer's phase IV at slot + TBC.
+func (c *Core) dealerWEF() {
+	g := c.regularGraph()
+	if c.cb.VerifyNOK != nil {
+		for i := 1; i <= c.cfg.N; i++ {
+			for j, rep := range c.regular[i] {
+				if rep.OK {
+					continue
+				}
+				if !c.cb.VerifyNOK(i, j, rep.NokIdx, rep.NokVal) {
+					g.RemoveVertexEdges(i)
+					break
+				}
+			}
+		}
+	}
+	var members []int
+	for i := 1; i <= c.cfg.N; i++ {
+		if g.Degree(i)+1 >= c.cfg.N-c.cfg.Ts {
+			members = append(members, i)
+		}
+	}
+	for {
+		var keep []int
+		for _, i := range members {
+			if g.DegreeWithin(i, members)+1 >= c.cfg.N-c.cfg.Ts {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) == len(members) {
+			break
+		}
+		members = keep
+	}
+	if len(members) == 0 {
+		return
+	}
+	star, ok := g.FindStar(members, c.cfg.N, c.cfg.Ts)
+	if !ok {
+		return
+	}
+	c.wefBC.Broadcast(wire.NewWriter().Ints(members).Ints(star.E).Ints(star.F).Bytes())
+}
+
+func parseWEF(body []byte, n int) (*WEF, bool) {
+	r := wire.NewReader(body)
+	wSet := r.Ints()
+	e := r.Ints()
+	f := r.Ints()
+	if r.Done() != nil {
+		return nil, false
+	}
+	distinct := func(vs []int) (map[int]bool, bool) {
+		seen := map[int]bool{}
+		for _, v := range vs {
+			if v < 1 || v > n || seen[v] {
+				return nil, false
+			}
+			seen[v] = true
+		}
+		return seen, true
+	}
+	inW, ok := distinct(wSet)
+	if !ok {
+		return nil, false
+	}
+	inF, ok := distinct(f)
+	if !ok {
+		return nil, false
+	}
+	if _, ok := distinct(e); !ok {
+		return nil, false
+	}
+	for _, v := range f {
+		if !inW[v] {
+			return nil, false // F ⊆ W
+		}
+	}
+	for _, v := range e {
+		if !inF[v] {
+			return nil, false // E ⊆ F
+		}
+	}
+	return &WEF{W: wSet, Star: graph.Star{E: e, F: f}}, true
+}
+
+func (c *Core) handleWEF(body []byte, regular bool) {
+	if body == nil {
+		return
+	}
+	msg, ok := parseWEF(body, c.cfg.N)
+	if !ok {
+		return
+	}
+	if c.wef == nil {
+		c.wef = msg
+		c.wefRegular = regular
+	}
+	c.fire()
+}
+
+func (c *Core) evaluateAcceptance() {
+	c.accepted = c.checkAcceptance()
+	input := uint8(1)
+	if c.accepted {
+		input = 0
+	}
+	c.baInst.Start(input)
+}
+
+// checkAcceptance evaluates the acceptance conditions on the
+// regular-mode data (all of which landed at exactly slot + TBC, resp.
+// slot + 2TBC for the (W,E,F) itself).
+func (c *Core) checkAcceptance() bool {
+	if c.wef == nil || !c.wefRegular {
+		return false
+	}
+	msg := c.wef
+	n, ts := c.cfg.N, c.cfg.Ts
+	for _, j := range msg.W {
+		for _, k := range msg.W {
+			if j >= k {
+				continue
+			}
+			rj, rk := c.regular[j][k], c.regular[k][j]
+			if rj != nil && rk != nil && !rj.OK && !rk.OK &&
+				rj.NokIdx == rk.NokIdx && rj.NokVal != rk.NokVal {
+				return false
+			}
+		}
+	}
+	g := c.regularGraph()
+	for _, j := range msg.W {
+		if g.Degree(j)+1 < n-ts {
+			return false
+		}
+		if g.DegreeWithin(j, msg.W)+1 < n-ts {
+			return false
+		}
+	}
+	return msg.Star.Validate(g, n, ts)
+}
+
+func (c *Core) handleBA(v uint8) {
+	c.baOut = &v
+	if v == 1 && c.rt.ID() == c.dealer {
+		c.dealerStarSearch()
+	}
+	c.recheckStar()
+	c.fire()
+}
+
+func (c *Core) dealerStarSearch() {
+	if c.starOut || c.cfg.SyncOnly {
+		return // the (n,ta)-star branch is the asynchronous fallback
+	}
+	g := c.AnyGraph()
+	verts := make([]int, c.cfg.N)
+	for i := range verts {
+		verts[i] = i + 1
+	}
+	star, ok := g.FindStar(verts, c.cfg.N, c.cfg.Ta)
+	if !ok {
+		return
+	}
+	c.starOut = true
+	c.starAcast.Broadcast(wire.NewWriter().Ints(star.E).Ints(star.F).Bytes())
+}
+
+func (c *Core) handleStarMsg(body []byte) {
+	r := wire.NewReader(body)
+	e := r.Ints()
+	f := r.Ints()
+	if r.Done() != nil {
+		return
+	}
+	inF := map[int]bool{}
+	for _, v := range f {
+		if v < 1 || v > c.cfg.N || inF[v] {
+			return
+		}
+		inF[v] = true
+	}
+	for _, v := range e {
+		if !inF[v] {
+			return
+		}
+	}
+	if c.starMsg == nil {
+		c.starMsg = &graph.Star{E: e, F: f}
+	}
+	c.recheckStar()
+	c.fire()
+}
+
+// recheckStar re-validates the pending (E',F') against the current
+// graph; stars only become valid (edges are monotone).
+func (c *Core) recheckStar() {
+	if c.starOK || c.starMsg == nil || c.baOut == nil || *c.baOut != 1 {
+		return
+	}
+	if c.starMsg.Validate(c.AnyGraph(), c.cfg.N, c.cfg.Ta) {
+		c.starOK = true
+	}
+}
+
+func (c *Core) onGraphUpdate() {
+	if c.baOut != nil && *c.baOut == 1 && c.rt.ID() == c.dealer {
+		c.dealerStarSearch()
+	}
+	c.recheckStar()
+	c.fire()
+}
+
+func (c *Core) fire() {
+	if c.cb.OnUpdate != nil {
+		c.cb.OnUpdate()
+	}
+}

@@ -1,0 +1,68 @@
+package consist
+
+import (
+	"testing"
+
+	"repro/field"
+	"repro/internal/wire"
+)
+
+func TestReportEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []*Report{
+		{OK: true},
+		{OK: false, NokIdx: 0, NokVal: field.New(7)},
+		{OK: false, NokIdx: 12, NokVal: field.New(0)},
+	}
+	for _, rep := range cases {
+		got, ok := decodeReport(wire.NewReader(EncodeReport(rep)))
+		if !ok || got == nil {
+			t.Fatalf("decode failed for %+v", rep)
+		}
+		if got.OK != rep.OK || got.NokIdx != rep.NokIdx || got.NokVal != rep.NokVal {
+			t.Fatalf("round trip %+v -> %+v", rep, got)
+		}
+	}
+	// tagNone decodes to a nil report without error.
+	none := wire.NewWriter().Uint(uint64(tagNone)).Bytes()
+	got, ok := decodeReport(wire.NewReader(none))
+	if !ok || got != nil {
+		t.Fatal("tagNone mishandled")
+	}
+	// Unknown tags and truncated NOKs are rejected.
+	if _, ok := decodeReport(wire.NewReader([]byte{9})); ok {
+		t.Fatal("unknown tag accepted")
+	}
+	trunc := wire.NewWriter().Uint(uint64(tagNOK)).Int(3).Bytes() // missing value
+	if _, ok := decodeReport(wire.NewReader(trunc)); ok {
+		t.Fatal("truncated NOK accepted")
+	}
+	if _, ok := decodeReport(wire.NewReader(nil)); ok {
+		t.Fatal("empty report accepted")
+	}
+}
+
+func TestParseWEFValidation(t *testing.T) {
+	const n = 8
+	enc := func(w, e, f []int) []byte {
+		return wire.NewWriter().Ints(w).Ints(e).Ints(f).Bytes()
+	}
+	good := enc([]int{1, 2, 3, 4, 5, 6}, []int{1, 2, 3, 4}, []int{1, 2, 3, 4, 5, 6})
+	msg, ok := parseWEF(good, n)
+	if !ok || len(msg.W) != 6 || len(msg.Star.E) != 4 {
+		t.Fatalf("valid WEF rejected: %+v %v", msg, ok)
+	}
+	bad := [][]byte{
+		enc([]int{1, 2}, []int{3}, []int{3}),       // F ⊄ W
+		enc([]int{1, 2, 3}, []int{3}, []int{1, 2}), // E ⊄ F
+		enc([]int{1, 1, 2}, []int{1}, []int{1}),    // duplicate in W
+		enc([]int{0, 1}, []int{1}, []int{1}),       // out of range
+		enc([]int{1, 99}, []int{1}, []int{1}),      // out of range
+		{0xff, 0xff},                               // malformed
+		append(good, 0x00),                         // trailing garbage
+	}
+	for i, b := range bad {
+		if _, ok := parseWEF(b, n); ok {
+			t.Errorf("bad WEF %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package core implements ΠCirEval (Fig 11, Theorem 7.1): the paper's
+// best-of-both-worlds perfectly-secure circuit-evaluation protocol.
+//
+// Four phases:
+//
+//  1. Preprocessing and input sharing. ΠPreProcessing generates cM
+//     random ts-shared multiplication triples while, in parallel, every
+//     party ts-shares its input through a ΠACS instance. The agreed set
+//     CS (⊇ all honest parties in a synchronous network) fixes whose
+//     inputs enter the computation; inputs of parties outside CS
+//     default to 0.
+//  2. Shared circuit evaluation. Linear gates are local; each
+//     multiplication gate consumes one preprocessed triple via ΠBeaver.
+//     Independent multiplications at one depth run in parallel, so the
+//     evaluation adds DM·Δ to the schedule.
+//  3. Output. The shared outputs are publicly reconstructed with OEC.
+//  4. Termination à la Bracha: (ready, y) from ts+1 parties is adopted,
+//     2ts+1 terminate the protocol.
+//
+// The circuit is evaluated once — the paper's headline difference from
+// the generic run-both-protocols compilers of [17,19,30].
+package core
+
+import (
+	"fmt"
+
+	"repro/circuit"
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/acs"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/triples"
+	"repro/internal/wire"
+	"repro/poly"
+)
+
+// msgReady carries the (ready, y) termination votes.
+const msgReady uint8 = 1
+
+// Deadline returns TCirEval - T0 = TTripGen + (DM + 2)·Δ for a circuit
+// of multiplicative depth dm.
+func Deadline(cfg proto.Config, dm int) sim.Time {
+	return triples.PreprocessingDeadline(cfg) + sim.Time(dm+2)*cfg.Delta
+}
+
+// PaperDeadline returns the paper's (120n + DM + 6k - 20)·Δ for
+// comparison in EXPERIMENTS.md.
+func PaperDeadline(cfg proto.Config, dm int) sim.Time {
+	return timing.PaperCirEval(cfg.N, dm, cfg.CoinRounds, cfg.Delta)
+}
+
+// CirEval is one party's instance of the MPC engine.
+type CirEval struct {
+	rt    *proto.Runtime
+	inst  string
+	cfg   proto.Config
+	circ  *circuit.Circuit
+	start sim.Time
+
+	inputACS *acs.ACS
+	preproc  *triples.Preprocessing
+
+	cs       []int
+	inShares map[int][]field.Element
+	trips    []triples.Triple
+
+	beavers  []*triples.Beaver // per MulIndex
+	wires    []*field.Element  // this party's share per wire
+	resolved int
+
+	outRecon *triples.Recon
+
+	readyFrom map[string]map[int]bool
+	sentReady bool
+
+	evalStarted bool
+	terminated  bool
+	output      []field.Element
+	onOutput    func([]field.Element)
+}
+
+// New registers a ΠCirEval instance anchored at start; the party calls
+// Start with its private input there. onOutput fires once, at
+// termination, with the public circuit outputs.
+func New(rt *proto.Runtime, inst string, circ *circuit.Circuit, cfg proto.Config, coin aba.CoinSource, start sim.Time, onOutput func([]field.Element)) *CirEval {
+	if circ.N != cfg.N {
+		panic(fmt.Sprintf("core: circuit has %d input slots, config has %d parties", circ.N, cfg.N))
+	}
+	e := &CirEval{
+		rt:        rt,
+		inst:      inst,
+		cfg:       cfg,
+		circ:      circ,
+		start:     start,
+		inShares:  make(map[int][]field.Element),
+		beavers:   make([]*triples.Beaver, circ.MulCount),
+		wires:     make([]*field.Element, len(circ.Gates)),
+		readyFrom: make(map[string]map[int]bool),
+		onOutput:  onOutput,
+	}
+	rt.Register(inst, e)
+	e.inputACS = acs.New(rt, proto.Join(inst, "in"), 1, cfg, coin, start,
+		func(cs []int, shares map[int][]field.Element) {
+			e.cs = cs
+			e.inShares = shares
+			e.tryEvaluate()
+		})
+	cM := circ.MulCount
+	if cM > 0 {
+		e.preproc = triples.NewPreprocessing(rt, proto.Join(inst, "pp"), cM, cfg, coin, start,
+			func(ts []triples.Triple) {
+				e.trips = ts
+				e.tryEvaluate()
+			})
+	}
+	for k := 0; k < cM; k++ {
+		k := k
+		e.beavers[k] = triples.NewBeaver(rt, proto.Join(inst, "mul", fmt.Sprint(k)), cfg, func(z field.Element) {
+			e.onMul(k, z)
+		})
+	}
+	e.outRecon = triples.NewRecon(rt, proto.Join(inst, "out"), cfg, len(circ.Outputs),
+		func(vals []field.Element) { e.onReconstructed(vals) })
+	return e
+}
+
+// Start shares this party's private input. Honest parties call it at
+// the structural start time.
+func (e *CirEval) Start(input field.Element) {
+	e.inputACS.Start([]poly.Poly{poly.Random(e.rt.Rand(), e.cfg.Ts, input)})
+	if e.preproc != nil {
+		e.preproc.Start()
+	}
+}
+
+// Terminated reports whether this party has terminated with an output.
+func (e *CirEval) Terminated() bool { return e.terminated }
+
+// Output returns the public circuit outputs; valid after Terminated.
+func (e *CirEval) Output() []field.Element { return e.output }
+
+// CS returns the agreed input provider set.
+func (e *CirEval) CS() []int { return e.cs }
+
+// tryEvaluate begins gate evaluation once inputs and triples are in.
+func (e *CirEval) tryEvaluate() {
+	if e.evalStarted || e.cs == nil {
+		return
+	}
+	if e.circ.MulCount > 0 && e.trips == nil {
+		return
+	}
+	e.evalStarted = true
+	e.sweep()
+}
+
+// shareOfInput returns this party's share of P_j's input: the ACS share
+// if j ∈ CS, the default 0-sharing otherwise.
+func (e *CirEval) shareOfInput(j int) field.Element {
+	if s, ok := e.inShares[j]; ok {
+		return s[0]
+	}
+	return field.Zero
+}
+
+// sweep evaluates every gate whose operands are resolved, starting
+// Beaver instances for ready multiplication gates.
+func (e *CirEval) sweep() {
+	progress := true
+	for progress {
+		progress = false
+		for idx, g := range e.circ.Gates {
+			if e.wires[idx] != nil {
+				continue
+			}
+			var v field.Element
+			switch g.Op {
+			case circuit.OpInput:
+				v = e.shareOfInput(g.Arg)
+			case circuit.OpConst:
+				// A public constant is "shared" by the constant
+				// polynomial: every party's share is the constant.
+				v = g.Const
+			case circuit.OpAdd:
+				a, b := e.wires[g.A], e.wires[g.B]
+				if a == nil || b == nil {
+					continue
+				}
+				v = a.Add(*b)
+			case circuit.OpSub:
+				a, b := e.wires[g.A], e.wires[g.B]
+				if a == nil || b == nil {
+					continue
+				}
+				v = a.Sub(*b)
+			case circuit.OpAddConst:
+				a := e.wires[g.A]
+				if a == nil {
+					continue
+				}
+				v = a.Add(g.Const)
+			case circuit.OpMulConst:
+				a := e.wires[g.A]
+				if a == nil {
+					continue
+				}
+				v = a.Mul(g.Const)
+			case circuit.OpMul:
+				a, b := e.wires[g.A], e.wires[g.B]
+				if a == nil || b == nil {
+					continue
+				}
+				// Start the Beaver instance once (Start is idempotent);
+				// its completion resolves this wire.
+				tr := e.trips[g.MulIndex]
+				e.beavers[g.MulIndex].Start(*a, *b, tr.X, tr.Y, tr.Z)
+				continue
+			}
+			vv := v
+			e.wires[idx] = &vv
+			e.resolved++
+			progress = true
+		}
+	}
+	e.maybeOutputPhase()
+}
+
+func (e *CirEval) onMul(k int, z field.Element) {
+	for idx, g := range e.circ.Gates {
+		if g.Op == circuit.OpMul && g.MulIndex == k && e.wires[idx] == nil {
+			zz := z
+			e.wires[idx] = &zz
+			e.resolved++
+		}
+	}
+	e.sweep()
+}
+
+// maybeOutputPhase starts public output reconstruction when every
+// output wire's share is resolved.
+func (e *CirEval) maybeOutputPhase() {
+	shares := make([]field.Element, len(e.circ.Outputs))
+	for i, w := range e.circ.Outputs {
+		if e.wires[w] == nil {
+			return
+		}
+		shares[i] = *e.wires[w]
+	}
+	e.outRecon.Start(shares)
+}
+
+func (e *CirEval) onReconstructed(vals []field.Element) {
+	if e.sentReady {
+		return
+	}
+	e.sentReady = true
+	e.rt.SendAll(e.inst, msgReady, wire.NewWriter().Elements(vals).Bytes())
+}
+
+// Deliver implements proto.Handler: the Bracha-style termination vote.
+func (e *CirEval) Deliver(from int, msgType uint8, body []byte) {
+	if msgType != msgReady || e.terminated {
+		return
+	}
+	r := wire.NewReader(body)
+	vals := r.Elements()
+	if r.Done() != nil || len(vals) != len(e.circ.Outputs) {
+		return
+	}
+	key := string(body)
+	set := e.readyFrom[key]
+	if set == nil {
+		set = make(map[int]bool)
+		e.readyFrom[key] = set
+	}
+	if set[from] {
+		return
+	}
+	set[from] = true
+	if len(set) >= e.cfg.Ts+1 && !e.sentReady {
+		e.sentReady = true
+		e.rt.SendAll(e.inst, msgReady, body)
+	}
+	if len(set) >= 2*e.cfg.Ts+1 {
+		e.terminated = true
+		e.output = vals
+		if e.onOutput != nil {
+			e.onOutput(vals)
+		}
+	}
+}

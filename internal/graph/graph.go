@@ -1,0 +1,382 @@
+// Package graph implements the consistency-graph machinery of the VSS
+// protocols: undirected graphs over 1-based party indices, Edmonds'
+// blossom algorithm for maximum matching in general graphs, and the
+// AlgStar procedure of Ben-Or, Canetti and Goldreich (Section 2.1) that
+// finds an (n, t)-star whenever the graph contains a clique of size
+// at least n - t.
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Graph is a simple undirected graph over vertices 1..n.
+// The zero value is not usable; construct with New.
+type Graph struct {
+	n   int
+	adj [][]bool
+}
+
+// New returns an empty graph over vertices 1..n.
+func New(n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("graph: invalid vertex count %d", n))
+	}
+	adj := make([][]bool, n+1)
+	for i := range adj {
+		adj[i] = make([]bool, n+1)
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+func (g *Graph) check(v int) {
+	if v < 1 || v > g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [1,%d]", v, g.n))
+	}
+}
+
+// AddEdge inserts the undirected edge (u, v). Self-loops are ignored.
+// It reports whether the edge was newly added.
+func (g *Graph) AddEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if u == v || g.adj[u][v] {
+		return false
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+	return true
+}
+
+// RemoveVertexEdges removes every edge incident to v.
+func (g *Graph) RemoveVertexEdges(v int) {
+	g.check(v)
+	for u := 1; u <= g.n; u++ {
+		g.adj[v][u] = false
+		g.adj[u][v] = false
+	}
+}
+
+// HasEdge reports whether (u, v) is an edge. HasEdge(v, v) is false.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	return g.adj[u][v]
+}
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	d := 0
+	for u := 1; u <= g.n; u++ {
+		if g.adj[v][u] {
+			d++
+		}
+	}
+	return d
+}
+
+// DegreeWithin returns the number of neighbours of v inside the set vs.
+func (g *Graph) DegreeWithin(v int, vs []int) int {
+	g.check(v)
+	d := 0
+	for _, u := range vs {
+		if u != v && g.adj[v][u] {
+			d++
+		}
+	}
+	return d
+}
+
+// Neighbors returns the sorted neighbour list of v.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	var out []int
+	for u := 1; u <= g.n; u++ {
+		if g.adj[v][u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := 1; u <= g.n; u++ {
+		copy(c.adj[u], g.adj[u])
+	}
+	return c
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	c := 0
+	for u := 1; u <= g.n; u++ {
+		for v := u + 1; v <= g.n; v++ {
+			if g.adj[u][v] {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// IsClique reports whether every pair of distinct vertices in vs is
+// connected.
+func (g *Graph) IsClique(vs []int) bool {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !g.HasEdge(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaximumMatching computes a maximum matching of the subgraph induced by
+// verts using Edmonds' blossom algorithm. The result maps each matched
+// vertex to its partner (both directions present).
+func (g *Graph) MaximumMatching(verts []int) map[int]int {
+	// Map party indices to dense 0-based ids.
+	id := make(map[int]int, len(verts))
+	rev := make([]int, len(verts))
+	for i, v := range verts {
+		g.check(v)
+		if _, dup := id[v]; dup {
+			panic(fmt.Sprintf("graph: duplicate vertex %d in MaximumMatching", v))
+		}
+		id[v] = i
+		rev[i] = v
+	}
+	m := len(verts)
+	adj := make([][]int, m)
+	for i, v := range verts {
+		for j, u := range verts {
+			if i != j && g.adj[v][u] {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+
+	match := make([]int, m)
+	p := make([]int, m)
+	base := make([]int, m)
+	used := make([]bool, m)
+	blossom := make([]bool, m)
+	for i := range match {
+		match[i] = -1
+	}
+
+	lca := func(a, b int) int {
+		usedFlag := make([]bool, m)
+		for {
+			a = base[a]
+			usedFlag[a] = true
+			if match[a] == -1 {
+				break
+			}
+			a = p[match[a]]
+		}
+		for {
+			b = base[b]
+			if usedFlag[b] {
+				return b
+			}
+			b = p[match[b]]
+		}
+	}
+
+	var q []int
+	markPath := func(v, b, child int) {
+		for base[v] != b {
+			blossom[base[v]] = true
+			blossom[base[match[v]]] = true
+			p[v] = child
+			child = match[v]
+			v = p[match[v]]
+		}
+	}
+
+	findPath := func(root int) int {
+		for i := range used {
+			used[i] = false
+			p[i] = -1
+			base[i] = i
+		}
+		used[root] = true
+		q = q[:0]
+		q = append(q, root)
+		for len(q) > 0 {
+			v := q[0]
+			q = q[1:]
+			for _, to := range adj[v] {
+				if base[v] == base[to] || match[v] == to {
+					continue
+				}
+				if to == root || (match[to] != -1 && p[match[to]] != -1) {
+					// Blossom detected; contract it.
+					curBase := lca(v, to)
+					for i := range blossom {
+						blossom[i] = false
+					}
+					markPath(v, curBase, to)
+					markPath(to, curBase, v)
+					for i := 0; i < m; i++ {
+						if blossom[base[i]] {
+							base[i] = curBase
+							if !used[i] {
+								used[i] = true
+								q = append(q, i)
+							}
+						}
+					}
+				} else if p[to] == -1 {
+					p[to] = v
+					if match[to] == -1 {
+						return to // augmenting path found
+					}
+					used[match[to]] = true
+					q = append(q, match[to])
+				}
+			}
+		}
+		return -1
+	}
+
+	for v := 0; v < m; v++ {
+		if match[v] != -1 {
+			continue
+		}
+		end := findPath(v)
+		for end != -1 {
+			pv := p[end]
+			ppv := match[pv]
+			match[end] = pv
+			match[pv] = end
+			end = ppv
+		}
+	}
+
+	out := make(map[int]int)
+	for i, mi := range match {
+		if mi != -1 {
+			out[rev[i]] = rev[mi]
+		}
+	}
+	return out
+}
+
+// Star is an (n, t)-star: E ⊆ F with |E| ≥ n-2t, |F| ≥ n-t, and an edge
+// between every member of E and every member of F.
+type Star struct {
+	E []int
+	F []int
+}
+
+// Validate reports whether s is a well-formed (n, t)-star in g: the size
+// bounds hold, E ⊆ F, and every (e, f) pair with e ≠ f is an edge.
+func (s Star) Validate(g *Graph, n, t int) bool {
+	if len(s.E) < n-2*t || len(s.F) < n-t {
+		return false
+	}
+	inF := make(map[int]bool, len(s.F))
+	for _, f := range s.F {
+		if f < 1 || f > g.n || inF[f] {
+			return false
+		}
+		inF[f] = true
+	}
+	for _, e := range s.E {
+		if !inF[e] {
+			return false
+		}
+	}
+	for _, e := range s.E {
+		for _, f := range s.F {
+			if e != f && !g.HasEdge(e, f) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FindStar runs AlgStar on the subgraph induced by verts, with global
+// party count n and threshold t. It returns a star and true on success.
+//
+// The algorithm (Canetti; Ben-Or, Canetti, Goldreich):
+//  1. Compute a maximum matching M of the complement graph restricted to
+//     verts.
+//  2. N := matched vertices; T := vertices v for which some matched edge
+//     (u, w) has both (v,u) and (v,w) in the complement.
+//  3. E := verts \ (N ∪ T); F := members of verts adjacent (in g) to
+//     every member of E.
+//
+// If g[verts] contains a clique of size ≥ n - t, the output satisfies
+// |E| ≥ n - 2t and |F| ≥ n - t.
+func (g *Graph) FindStar(verts []int, n, t int) (Star, bool) {
+	comp := New(g.n)
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			u, v := verts[i], verts[j]
+			if !g.HasEdge(u, v) {
+				comp.AddEdge(u, v)
+			}
+		}
+	}
+	matching := comp.MaximumMatching(verts)
+
+	covered := make(map[int]bool)
+	for v := range matching {
+		covered[v] = true
+	}
+	// Triangle heads: v with complement-edges to both endpoints of some
+	// matched edge.
+	for _, v := range verts {
+		if covered[v] {
+			continue
+		}
+		for u, w := range matching {
+			if u > w {
+				continue // each matched edge once
+			}
+			if comp.HasEdge(v, u) && comp.HasEdge(v, w) {
+				covered[v] = true
+				break
+			}
+		}
+	}
+
+	var e []int
+	for _, v := range verts {
+		if !covered[v] {
+			e = append(e, v)
+		}
+	}
+	var f []int
+	for _, v := range verts {
+		ok := true
+		for _, u := range e {
+			if u != v && !g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			f = append(f, v)
+		}
+	}
+	slices.Sort(e)
+	slices.Sort(f)
+	star := Star{E: e, F: f}
+	if len(e) >= n-2*t && len(f) >= n-t {
+		return star, true
+	}
+	return Star{}, false
+}

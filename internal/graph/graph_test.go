@@ -1,0 +1,404 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func rng(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0xabcdef))
+}
+
+func TestBasicOps(t *testing.T) {
+	g := New(5)
+	if !g.AddEdge(1, 2) {
+		t.Fatal("AddEdge returned false for new edge")
+	}
+	if g.AddEdge(1, 2) || g.AddEdge(2, 1) {
+		t.Fatal("duplicate edge reported as new")
+	}
+	if g.AddEdge(3, 3) {
+		t.Fatal("self-loop reported as added")
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("edge not symmetric")
+	}
+	if g.HasEdge(1, 3) {
+		t.Fatal("phantom edge")
+	}
+	g.AddEdge(1, 3)
+	if g.Degree(1) != 2 || g.Degree(2) != 1 || g.Degree(4) != 0 {
+		t.Fatal("wrong degrees")
+	}
+	if got := g.Neighbors(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Neighbors(1) = %v", got)
+	}
+	if g.EdgeCount() != 2 {
+		t.Fatalf("EdgeCount = %d, want 2", g.EdgeCount())
+	}
+	g.RemoveVertexEdges(1)
+	if g.Degree(1) != 0 || g.HasEdge(1, 2) {
+		t.Fatal("RemoveVertexEdges failed")
+	}
+}
+
+func TestDegreeWithin(t *testing.T) {
+	g := New(6)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(1, 6)
+	if got := g.DegreeWithin(1, []int{1, 2, 3, 4}); got != 2 {
+		t.Fatalf("DegreeWithin = %d, want 2", got)
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	g := New(5)
+	for _, e := range [][2]int{{1, 2}, {1, 3}, {2, 3}} {
+		g.AddEdge(e[0], e[1])
+	}
+	if !g.IsClique([]int{1, 2, 3}) {
+		t.Fatal("triangle not recognised as clique")
+	}
+	if g.IsClique([]int{1, 2, 4}) {
+		t.Fatal("non-clique accepted")
+	}
+	if !g.IsClique([]int{5}) || !g.IsClique(nil) {
+		t.Fatal("trivial cliques rejected")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New(4)
+	g.AddEdge(1, 2)
+	c := g.Clone()
+	c.AddEdge(3, 4)
+	if g.HasEdge(3, 4) {
+		t.Fatal("clone shares storage with original")
+	}
+	if !c.HasEdge(1, 2) {
+		t.Fatal("clone missing original edge")
+	}
+}
+
+func TestVertexRangePanics(t *testing.T) {
+	g := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range vertex should panic")
+		}
+	}()
+	g.AddEdge(0, 1)
+}
+
+func matchingSize(m map[int]int) int { return len(m) / 2 }
+
+func checkMatching(t *testing.T, g *Graph, verts []int, m map[int]int) {
+	t.Helper()
+	for v, u := range m {
+		if m[u] != v {
+			t.Fatalf("matching not symmetric at %d-%d", v, u)
+		}
+		if !g.HasEdge(v, u) {
+			t.Fatalf("matched pair %d-%d is not an edge", v, u)
+		}
+	}
+}
+
+func TestMatchingPath(t *testing.T) {
+	// Path 1-2-3-4: maximum matching has 2 edges.
+	g := New(4)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	m := g.MaximumMatching([]int{1, 2, 3, 4})
+	checkMatching(t, g, nil, m)
+	if matchingSize(m) != 2 {
+		t.Fatalf("path matching size = %d, want 2", matchingSize(m))
+	}
+}
+
+func TestMatchingOddCycle(t *testing.T) {
+	// Triangle: maximum matching = 1 edge. Blossom case.
+	g := New(3)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1)
+	m := g.MaximumMatching([]int{1, 2, 3})
+	checkMatching(t, g, nil, m)
+	if matchingSize(m) != 1 {
+		t.Fatalf("triangle matching size = %d, want 1", matchingSize(m))
+	}
+}
+
+func TestMatchingPetersenLike(t *testing.T) {
+	// 5-cycle with a pendant forcing blossom augmentation:
+	// cycle 1-2-3-4-5-1 plus edge 5-6.
+	g := New(6)
+	for _, e := range [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 1}, {5, 6}} {
+		g.AddEdge(e[0], e[1])
+	}
+	m := g.MaximumMatching([]int{1, 2, 3, 4, 5, 6})
+	checkMatching(t, g, nil, m)
+	if matchingSize(m) != 3 {
+		t.Fatalf("matching size = %d, want 3", matchingSize(m))
+	}
+}
+
+func TestMatchingEmptyAndSingle(t *testing.T) {
+	g := New(3)
+	if m := g.MaximumMatching([]int{1, 2, 3}); len(m) != 0 {
+		t.Fatal("matching in empty graph should be empty")
+	}
+	if m := g.MaximumMatching([]int{2}); len(m) != 0 {
+		t.Fatal("single-vertex matching should be empty")
+	}
+	if m := g.MaximumMatching(nil); len(m) != 0 {
+		t.Fatal("nil verts matching should be empty")
+	}
+}
+
+// bruteMaxMatching finds the true maximum matching size by brute force
+// over edge subsets (small graphs only).
+func bruteMaxMatching(g *Graph, verts []int) int {
+	var edges [][2]int
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			if g.HasEdge(verts[i], verts[j]) {
+				edges = append(edges, [2]int{verts[i], verts[j]})
+			}
+		}
+	}
+	best := 0
+	var rec func(idx int, used map[int]bool, size int)
+	rec = func(idx int, used map[int]bool, size int) {
+		if size > best {
+			best = size
+		}
+		if idx >= len(edges) {
+			return
+		}
+		// prune: even taking all remaining can't beat best
+		if size+(len(edges)-idx) <= best {
+			return
+		}
+		rec(idx+1, used, size)
+		e := edges[idx]
+		if !used[e[0]] && !used[e[1]] {
+			used[e[0]], used[e[1]] = true, true
+			rec(idx+1, used, size+1)
+			used[e[0]], used[e[1]] = false, false
+		}
+	}
+	rec(0, map[int]bool{}, 0)
+	return best
+}
+
+func TestMatchingAgainstBruteForce(t *testing.T) {
+	r := rng(1)
+	for trial := 0; trial < 120; trial++ {
+		n := 4 + r.IntN(6) // up to 9 vertices
+		g := New(n)
+		verts := make([]int, n)
+		for i := range verts {
+			verts[i] = i + 1
+		}
+		p := 0.2 + 0.6*r.Float64()
+		for i := 1; i <= n; i++ {
+			for j := i + 1; j <= n; j++ {
+				if r.Float64() < p {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		m := g.MaximumMatching(verts)
+		checkMatching(t, g, verts, m)
+		want := bruteMaxMatching(g, verts)
+		if matchingSize(m) != want {
+			t.Fatalf("trial %d (n=%d): blossom found %d, brute force %d", trial, n, matchingSize(m), want)
+		}
+	}
+}
+
+func TestMatchingOnSubset(t *testing.T) {
+	g := New(6)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(5, 6)
+	m := g.MaximumMatching([]int{1, 2, 3}) // edge 3-4 outside subset
+	checkMatching(t, g, nil, m)
+	if matchingSize(m) != 1 {
+		t.Fatalf("subset matching size = %d, want 1", matchingSize(m))
+	}
+	if _, ok := m[4]; ok {
+		t.Fatal("vertex outside subset matched")
+	}
+}
+
+func TestStarValidate(t *testing.T) {
+	g := New(4)
+	for _, e := range [][2]int{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}} {
+		g.AddEdge(e[0], e[1])
+	}
+	s := Star{E: []int{1, 2}, F: []int{1, 2, 3, 4}}
+	if !s.Validate(g, 4, 1) {
+		t.Fatal("valid star rejected")
+	}
+	// E not subset of F.
+	if (Star{E: []int{1}, F: []int{2, 3, 4}}).Validate(g, 4, 1) {
+		t.Fatal("E ⊄ F accepted")
+	}
+	// Missing edge 3-4 between E and F members.
+	if (Star{E: []int{3, 4}, F: []int{1, 2, 3, 4}}).Validate(g, 4, 1) {
+		t.Fatal("star with missing edge accepted")
+	}
+	// Too small.
+	if (Star{E: []int{1, 2}, F: []int{1, 2}}).Validate(g, 4, 1) {
+		t.Fatal("undersized F accepted")
+	}
+}
+
+func TestFindStarCompleteGraph(t *testing.T) {
+	n, tt := 7, 2
+	g := New(n)
+	verts := make([]int, n)
+	for i := 1; i <= n; i++ {
+		verts[i-1] = i
+		for j := i + 1; j <= n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	s, ok := g.FindStar(verts, n, tt)
+	if !ok {
+		t.Fatal("no star in complete graph")
+	}
+	if !s.Validate(g, n, tt) {
+		t.Fatalf("invalid star %+v", s)
+	}
+	if len(s.E) != n || len(s.F) != n {
+		t.Fatalf("complete graph should give full star, got |E|=%d |F|=%d", len(s.E), len(s.F))
+	}
+}
+
+func TestFindStarFailsOnSparseGraph(t *testing.T) {
+	n, tt := 7, 2
+	g := New(n) // no edges at all
+	verts := []int{1, 2, 3, 4, 5, 6, 7}
+	if _, ok := g.FindStar(verts, n, tt); ok {
+		t.Fatal("found star in empty graph")
+	}
+}
+
+// TestFindStarPlantedClique is the paper's guarantee: whenever the graph
+// contains a clique of size ≥ n - t, AlgStar must output a valid star.
+func TestFindStarPlantedClique(t *testing.T) {
+	r := rng(2)
+	for trial := 0; trial < 300; trial++ {
+		n := 7 + r.IntN(7) // 7..13
+		tt := 1 + r.IntN(n/3)
+		if n-tt < 2 {
+			continue
+		}
+		g := New(n)
+		verts := make([]int, n)
+		for i := range verts {
+			verts[i] = i + 1
+		}
+		// Plant a clique on a random subset of size n-t.
+		perm := r.Perm(n)
+		clique := make([]int, n-tt)
+		for i := range clique {
+			clique[i] = perm[i] + 1
+		}
+		for i := 0; i < len(clique); i++ {
+			for j := i + 1; j < len(clique); j++ {
+				g.AddEdge(clique[i], clique[j])
+			}
+		}
+		// Random extra edges.
+		for i := 1; i <= n; i++ {
+			for j := i + 1; j <= n; j++ {
+				if r.Float64() < 0.3 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		s, ok := g.FindStar(verts, n, tt)
+		if !ok {
+			t.Fatalf("trial %d: clique of size %d planted (n=%d t=%d) but no star found", trial, n-tt, n, tt)
+		}
+		if !s.Validate(g, n, tt) {
+			t.Fatalf("trial %d: invalid star returned: %+v", trial, s)
+		}
+	}
+}
+
+// TestFindStarOnInducedSubgraph mirrors the WPS usage: AlgStar runs on
+// GD[W] where |W| ≥ n - t but sizes are measured against global n.
+func TestFindStarOnInducedSubgraph(t *testing.T) {
+	r := rng(3)
+	n, tt := 10, 3
+	for trial := 0; trial < 100; trial++ {
+		g := New(n)
+		// W = {1..n-tt} plus possibly some extras; honest clique inside W.
+		w := []int{1, 2, 3, 4, 5, 6, 7}
+		for i := 0; i < len(w); i++ {
+			for j := i + 1; j < len(w); j++ {
+				g.AddEdge(w[i], w[j])
+			}
+		}
+		for i := 1; i <= n; i++ {
+			for j := i + 1; j <= n; j++ {
+				if r.Float64() < 0.2 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		s, ok := g.FindStar(w, n, tt)
+		if !ok {
+			t.Fatalf("trial %d: no star found on induced subgraph with full clique", trial)
+		}
+		if !s.Validate(g, n, tt) {
+			t.Fatalf("trial %d: invalid star", trial)
+		}
+		// Star members must come from W.
+		inW := map[int]bool{}
+		for _, v := range w {
+			inW[v] = true
+		}
+		for _, v := range s.F {
+			if !inW[v] {
+				t.Fatalf("trial %d: star member %d outside W", trial, v)
+			}
+		}
+	}
+}
+
+func BenchmarkFindStar(b *testing.B) {
+	r := rng(4)
+	n, tt := 16, 5
+	g := New(n)
+	verts := make([]int, n)
+	for i := range verts {
+		verts[i] = i + 1
+	}
+	for i := 1; i <= n-tt; i++ {
+		for j := i + 1; j <= n-tt; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			if r.Float64() < 0.3 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.FindStar(verts, n, tt); !ok {
+			b.Fatal("no star")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config carries the resilience and timing parameters shared by every
+// protocol in the stack.
+type Config struct {
+	// N is the number of parties P_1..P_N.
+	N int
+	// Ts is the corruption threshold tolerated in a synchronous network.
+	Ts int
+	// Ta is the corruption threshold tolerated in an asynchronous
+	// network. The paper requires Ta ≤ Ts and 3·Ts + Ta < N.
+	Ta int
+	// Delta is the synchronous delivery bound Δ in virtual ticks.
+	Delta sim.Time
+	// CoinRounds is k, the round constant of the underlying ABA on
+	// unanimous inputs (Lemma 3.3); it feeds the T_ABA = k·Δ bound.
+	CoinRounds int
+	// SyncOnly disables every asynchronous fallback path (ΠBC fallback
+	// mode, late OK announcements, the (n,ta)-star branch), modelling a
+	// purely synchronous protocol in the style of existing SMPC. It
+	// exists for the baseline/ablation experiments (E12, A1 in
+	// DESIGN.md): a SyncOnly stack matches the best-of-both-worlds one
+	// in a synchronous network but loses liveness under asynchrony.
+	SyncOnly bool
+}
+
+// Validate checks the paper's resilience conditions.
+func (c Config) Validate() error {
+	if c.N < 4 {
+		return fmt.Errorf("proto: need at least 4 parties, have %d", c.N)
+	}
+	if c.Ts < 1 {
+		return fmt.Errorf("proto: ts must be at least 1, have %d", c.Ts)
+	}
+	if c.Ta < 0 || c.Ta > c.Ts {
+		return fmt.Errorf("proto: need 0 <= ta <= ts, have ta=%d ts=%d", c.Ta, c.Ts)
+	}
+	if 3*c.Ts+c.Ta >= c.N {
+		return fmt.Errorf("proto: need 3*ts + ta < n, have 3*%d + %d >= %d", c.Ts, c.Ta, c.N)
+	}
+	if c.Delta < 2 {
+		return fmt.Errorf("proto: delta must be at least 2, have %d", c.Delta)
+	}
+	return nil
+}
+
+// withDefaults fills derived defaults.
+func (c Config) withDefaults() Config {
+	if c.Delta == 0 {
+		c.Delta = 10
+	}
+	if c.CoinRounds == 0 {
+		c.CoinRounds = 12
+	}
+	return c
+}
+
+// NetKind selects the simulated network model.
+type NetKind int
+
+// Network kinds. Values start at 1 so the zero value is invalid and must
+// be set explicitly.
+const (
+	// Sync delivers every message within Δ.
+	Sync NetKind = iota + 1
+	// Async delivers with unbounded-but-finite, heavy-tailed delays.
+	Async
+)
+
+// String implements fmt.Stringer.
+func (k NetKind) String() string {
+	switch k {
+	case Sync:
+		return "sync"
+	case Async:
+		return "async"
+	default:
+		return fmt.Sprintf("NetKind(%d)", int(k))
+	}
+}

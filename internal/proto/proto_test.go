@@ -1,0 +1,235 @@
+package proto
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+func testCfg() Config {
+	return Config{N: 8, Ts: 2, Ta: 1, Delta: 10}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"paper example n=8", Config{N: 8, Ts: 2, Ta: 1, Delta: 10}, true},
+		{"n=13 ts=3 ta=2", Config{N: 13, Ts: 3, Ta: 2, Delta: 10}, true},
+		{"ta may be zero", Config{N: 7, Ts: 2, Ta: 0, Delta: 10}, true},
+		{"violates 3ts+ta<n", Config{N: 7, Ts: 2, Ta: 1, Delta: 10}, false},
+		{"ta > ts", Config{N: 12, Ts: 1, Ta: 2, Delta: 10}, false},
+		{"too few parties", Config{N: 3, Ts: 0, Ta: 0, Delta: 10}, false},
+		{"ts zero", Config{N: 8, Ts: 0, Ta: 0, Delta: 10}, false},
+		{"zero delta", Config{N: 8, Ts: 2, Ta: 1}, false},
+	}
+	for _, tt := range tests {
+		err := tt.cfg.Validate()
+		if (err == nil) != tt.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tt.name, err, tt.ok)
+		}
+	}
+}
+
+func TestWorldAssembly(t *testing.T) {
+	w := NewWorld(WorldOpts{Cfg: testCfg(), Network: Sync, Seed: 1, Corrupt: []int{2, 5}})
+	if got := w.Honest(); len(got) != 6 {
+		t.Fatalf("honest count = %d, want 6", len(got))
+	}
+	if !w.IsCorrupt(2) || w.IsCorrupt(3) {
+		t.Fatal("corruption flags wrong")
+	}
+	if w.Runtimes[0] != nil {
+		t.Fatal("index 0 should be nil")
+	}
+	for i := 1; i <= 8; i++ {
+		if w.Runtimes[i].ID() != i || w.Runtimes[i].N() != 8 {
+			t.Fatalf("runtime %d misconfigured", i)
+		}
+	}
+}
+
+func TestSendAndRegister(t *testing.T) {
+	w := NewWorld(WorldOpts{Cfg: testCfg(), Network: Sync, Seed: 2})
+	var got []string
+	w.Runtimes[2].Register("test/1", HandlerFunc(func(from int, mt uint8, body []byte) {
+		got = append(got, string(body))
+		if from != 1 || mt != 9 {
+			t.Errorf("from=%d mt=%d", from, mt)
+		}
+	}))
+	w.Runtimes[1].Send("test/1", 2, 9, []byte("hi"))
+	w.RunToQuiescence()
+	if len(got) != 1 || got[0] != "hi" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBufferingBeforeRegistration(t *testing.T) {
+	w := NewWorld(WorldOpts{Cfg: testCfg(), Network: Sync, Seed: 3})
+	w.Runtimes[1].Send("late/1", 2, 0, []byte("a"))
+	w.Runtimes[1].Send("late/1", 2, 0, []byte("b"))
+	w.RunToQuiescence()
+	var got []string
+	w.Runtimes[2].Register("late/1", HandlerFunc(func(_ int, _ uint8, body []byte) {
+		got = append(got, string(body))
+	}))
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("buffered replay = %v, want [a b]", got)
+	}
+}
+
+func TestSendAllIncludesSelf(t *testing.T) {
+	w := NewWorld(WorldOpts{Cfg: testCfg(), Network: Sync, Seed: 4})
+	counts := make([]int, 9)
+	for i := 1; i <= 8; i++ {
+		i := i
+		w.Runtimes[i].Register("bcast", HandlerFunc(func(int, uint8, []byte) { counts[i]++ }))
+	}
+	w.Runtimes[3].SendAll("bcast", 0, nil)
+	w.RunToQuiescence()
+	for i := 1; i <= 8; i++ {
+		if counts[i] != 1 {
+			t.Fatalf("party %d received %d, want 1", i, counts[i])
+		}
+	}
+}
+
+func TestRegisterPrefixFactory(t *testing.T) {
+	w := NewWorld(WorldOpts{Cfg: testCfg(), Network: Sync, Seed: 5})
+	created := map[string]int{}
+	// Message arrives before prefix registration: buffered, then replayed.
+	w.Runtimes[2].Send("dyn/0/x", 1, 0, []byte("early"))
+	w.RunToQuiescence()
+	var delivered []string
+	w.Runtimes[1].RegisterPrefix("dyn/", func(inst string) Handler {
+		created[inst]++
+		return HandlerFunc(func(_ int, _ uint8, body []byte) {
+			delivered = append(delivered, inst+":"+string(body))
+		})
+	})
+	if len(delivered) != 1 || delivered[0] != "dyn/0/x:early" {
+		t.Fatalf("prefix replay = %v", delivered)
+	}
+	// New instance created on demand.
+	w.Runtimes[2].Send("dyn/1/y", 1, 0, []byte("live"))
+	w.RunToQuiescence()
+	if len(delivered) != 2 || delivered[1] != "dyn/1/y:live" {
+		t.Fatalf("prefix live delivery = %v", delivered)
+	}
+	if created["dyn/0/x"] != 1 || created["dyn/1/y"] != 1 {
+		t.Fatalf("factory invocations = %v", created)
+	}
+	// Second message to the existing instance reuses the handler.
+	w.Runtimes[2].Send("dyn/1/y", 1, 0, []byte("again"))
+	w.RunToQuiescence()
+	if created["dyn/1/y"] != 1 {
+		t.Fatal("factory called twice for same instance")
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	w := NewWorld(WorldOpts{Cfg: testCfg(), Network: Sync, Seed: 6})
+	w.Runtimes[1].Register("x", HandlerFunc(func(int, uint8, []byte) {}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register should panic")
+		}
+	}()
+	w.Runtimes[1].Register("x", HandlerFunc(func(int, uint8, []byte) {}))
+}
+
+func TestAtClampsPast(t *testing.T) {
+	w := NewWorld(WorldOpts{Cfg: testCfg(), Network: Sync, Seed: 7})
+	w.Sched.At(100, func() {})
+	w.RunToQuiescence() // now = 100
+	fired := false
+	w.Runtimes[1].At(50, func() { fired = true }) // in the past: runs now
+	w.RunToQuiescence()
+	if !fired {
+		t.Fatal("past-deadline At never fired")
+	}
+}
+
+func TestCorruptTrafficIntercepted(t *testing.T) {
+	ctrl := adversary.NewController().Set(2, adversary.Silent())
+	w := NewWorld(WorldOpts{
+		Cfg: testCfg(), Network: Sync, Seed: 8,
+		Corrupt: []int{2}, Interceptor: ctrl,
+	})
+	got := 0
+	w.Runtimes[1].Register("x", HandlerFunc(func(int, uint8, []byte) { got++ }))
+	w.Runtimes[2].Send("x", 1, 0, nil) // silenced
+	w.Runtimes[3].Send("x", 1, 0, nil) // honest, delivered
+	w.RunToQuiescence()
+	if got != 1 {
+		t.Fatalf("delivered %d, want 1 (corrupt sender silenced)", got)
+	}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		w := NewWorld(WorldOpts{Cfg: testCfg(), Network: Async, Seed: 99})
+		var last sim.Time
+		for i := 1; i <= 8; i++ {
+			w.Runtimes[i].Register("d", HandlerFunc(func(int, uint8, []byte) {
+				last = w.Sched.Now()
+			}))
+		}
+		for i := 1; i <= 8; i++ {
+			w.Runtimes[i].SendAll("d", 0, []byte{byte(i)})
+		}
+		w.RunToQuiescence()
+		return last
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic world: %d vs %d", a, b)
+	}
+}
+
+func TestBufferFloodProtection(t *testing.T) {
+	// Messages to a never-registered instance are buffered up to a cap
+	// and then dropped, so Byzantine floods cannot exhaust memory.
+	w := NewWorld(WorldOpts{Cfg: testCfg(), Network: Sync, Seed: 12})
+	for k := 0; k < bufferCap+100; k++ {
+		w.Runtimes[1].Send("never", 2, 0, []byte{byte(k)})
+	}
+	w.RunToQuiescence()
+	got := 0
+	w.Runtimes[2].Register("never", HandlerFunc(func(int, uint8, []byte) { got++ }))
+	if got != bufferCap {
+		t.Fatalf("replayed %d buffered messages, want exactly the cap %d", got, bufferCap)
+	}
+}
+
+func TestAtProcessingRunsAfterSameTickDeliveries(t *testing.T) {
+	// A PrioProcess event scheduled long before a same-tick delivery
+	// must still run after it — the mechanism behind "at time T, based
+	// on everything received by time T".
+	w := NewWorld(WorldOpts{Cfg: testCfg(), Network: Sync, Seed: 11})
+	var order []string
+	// Schedule the processing step first (low sequence number).
+	w.Runtimes[2].AtProcessing(100, func() { order = append(order, "process") })
+	// A timer at the same tick, created later.
+	w.Runtimes[2].At(100, func() { order = append(order, "timer") })
+	// And a chain of deferred timers landing exactly at 100.
+	w.Runtimes[2].At(60, func() {
+		w.Runtimes[2].After(40, func() { order = append(order, "chained") })
+	})
+	w.RunToQuiescence()
+	if len(order) != 3 || order[2] != "process" {
+		t.Fatalf("order = %v, want processing last", order)
+	}
+}
+
+func TestNetKindString(t *testing.T) {
+	if Sync.String() != "sync" || Async.String() != "async" {
+		t.Fatal("NetKind strings wrong")
+	}
+	if NetKind(0).String() == "" {
+		t.Fatal("invalid kind should still render")
+	}
+}

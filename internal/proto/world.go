@@ -1,0 +1,113 @@
+package proto
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/sim"
+)
+
+// WorldOpts configures a simulated n-party system.
+type WorldOpts struct {
+	Cfg     Config
+	Network NetKind
+	// Policy overrides the delivery policy derived from Network when
+	// non-nil (e.g. a StarvePolicy for targeted scheduling attacks).
+	Policy sim.Policy
+	// Seed makes the entire run deterministic.
+	Seed uint64
+	// Corrupt lists the adversary's (static) corruptions, 1-based.
+	Corrupt []int
+	// Interceptor rewrites corrupt parties' traffic; nil means corrupt
+	// parties follow the protocol (harness may still give them bad
+	// inputs).
+	Interceptor sim.Interceptor
+	// EventLimit optionally caps scheduler events (runaway guard).
+	EventLimit uint64
+}
+
+// World is an assembled n-party simulation.
+type World struct {
+	Cfg     Config
+	Network NetKind
+	Sched   *sim.Scheduler
+	Net     *sim.Network
+	// Runtimes is 1-based: Runtimes[i] is party i; index 0 is nil.
+	Runtimes []*Runtime
+
+	corrupt map[int]bool
+}
+
+// NewWorld builds a world. It panics on invalid configuration: worlds
+// are constructed by tests and harnesses where a bad config is a
+// programming error.
+func NewWorld(opts WorldOpts) *World {
+	cfg := opts.Cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sched := sim.NewScheduler()
+	sched.Limit = opts.EventLimit
+	policy := opts.Policy
+	if policy == nil {
+		switch opts.Network {
+		case Sync:
+			policy = sim.SyncPolicy{Delta: cfg.Delta}
+		case Async:
+			policy = sim.AsyncPolicy{Delta: cfg.Delta}
+		default:
+			panic(fmt.Sprintf("proto: invalid network kind %v", opts.Network))
+		}
+	}
+	netRng := rand.New(rand.NewPCG(opts.Seed, 0x6e657477_6f726b00)) // "network"
+	net := sim.NewNetwork(cfg.N, sched, policy, netRng)
+
+	w := &World{
+		Cfg:      cfg,
+		Network:  opts.Network,
+		Sched:    sched,
+		Net:      net,
+		Runtimes: make([]*Runtime, cfg.N+1),
+		corrupt:  make(map[int]bool),
+	}
+	for i := 1; i <= cfg.N; i++ {
+		prng := rand.New(rand.NewPCG(opts.Seed^uint64(i)*0x9e3779b97f4a7c15, uint64(i)))
+		w.Runtimes[i] = NewRuntime(i, cfg.N, sched, net, prng)
+	}
+	for _, c := range opts.Corrupt {
+		if c < 1 || c > cfg.N {
+			panic(fmt.Sprintf("proto: corrupt party %d out of range", c))
+		}
+		w.corrupt[c] = true
+	}
+	if len(opts.Corrupt) > 0 {
+		net.SetCorrupt(opts.Corrupt, opts.Interceptor)
+	}
+	return w
+}
+
+// IsCorrupt reports whether party i is corrupt.
+func (w *World) IsCorrupt(i int) bool { return w.corrupt[i] }
+
+// Honest returns the sorted honest party indices.
+func (w *World) Honest() []int {
+	var out []int
+	for i := 1; i <= w.Cfg.N; i++ {
+		if !w.corrupt[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CorruptCount returns the number of corrupt parties.
+func (w *World) CorruptCount() int { return len(w.corrupt) }
+
+// RunUntil advances the simulation to the horizon.
+func (w *World) RunUntil(horizon sim.Time) { w.Sched.RunUntil(horizon) }
+
+// RunToQuiescence processes all pending events.
+func (w *World) RunToQuiescence() { w.Sched.RunToQuiescence() }
+
+// Metrics returns the network's communication metrics.
+func (w *World) Metrics() *sim.Metrics { return w.Net.Metrics() }

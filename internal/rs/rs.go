@@ -1,0 +1,234 @@
+// Package rs implements Reed–Solomon decoding over GF(2^61 - 1) via the
+// Berlekamp–Welch algorithm, and the Online Error-Correction (OEC)
+// procedure of Ben-Or, Canetti and Goldreich used by the paper
+// (Section 2.1, Appendix A).
+//
+// OEC(d, t, P') reconstructs a d-degree polynomial q(·) for a receiver
+// that obtains points q(α_i) from the parties in P', of which at most t
+// are corrupt. The receiver repeatedly attempts Reed–Solomon decoding as
+// points trickle in; once some candidate polynomial of degree d agrees
+// with at least d + t + 1 received points, at least d + 1 of those points
+// come from honest parties, so the candidate equals q(·).
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/field"
+	"repro/poly"
+)
+
+// ErrDecodeFailed indicates that no degree-d polynomial explains the
+// received points within the allowed error budget.
+var ErrDecodeFailed = errors.New("rs: decoding failed")
+
+// Decode runs Berlekamp–Welch on the given points: it finds a polynomial
+// q of degree ≤ d such that q disagrees with at most e of the points.
+// It requires len(points) ≥ d + 2e + 1 and distinct X coordinates.
+func Decode(points []poly.Point, d, e int) (poly.Poly, error) {
+	m := len(points)
+	if d < 0 || e < 0 {
+		return poly.Poly{}, fmt.Errorf("rs: invalid parameters d=%d e=%d", d, e)
+	}
+	if m < d+2*e+1 {
+		return poly.Poly{}, fmt.Errorf("rs: need %d points for d=%d e=%d, have %d", d+2*e+1, d, e, m)
+	}
+	if e == 0 {
+		q, err := poly.Interpolate(points[:d+1])
+		if err != nil {
+			return poly.Poly{}, err
+		}
+		if q.Degree() > d {
+			return poly.Poly{}, ErrDecodeFailed
+		}
+		if countAgreements(q, points) != m {
+			return poly.Poly{}, ErrDecodeFailed
+		}
+		return q, nil
+	}
+
+	// Unknowns: E(x) monic of degree e (e unknown coefficients e_0..e_{e-1})
+	// and Q(x) of degree ≤ d+e (d+e+1 unknowns), satisfying for every
+	// received point (x_i, y_i):  Q(x_i) = y_i · E(x_i).
+	// With E monic: Q(x_i) - y_i·(e_0 + e_1 x_i + … + e_{e-1} x_i^{e-1})
+	//             = y_i · x_i^e.
+	nq := d + e + 1
+	ne := e
+	cols := nq + ne
+	// Build the augmented matrix.
+	mat := make([][]field.Element, m)
+	for i, p := range points {
+		row := make([]field.Element, cols+1)
+		xp := field.One
+		for k := 0; k < nq; k++ { // Q coefficients
+			row[k] = xp
+			xp = xp.Mul(p.X)
+		}
+		xp = field.One
+		for k := 0; k < ne; k++ { // E coefficients (negated, times y_i)
+			row[nq+k] = p.Y.Mul(xp).Neg()
+			xp = xp.Mul(p.X)
+		}
+		row[cols] = p.Y.Mul(p.X.Pow(uint64(e))) // RHS
+		mat[i] = row
+	}
+	sol, ok := solve(mat, cols)
+	if !ok {
+		return poly.Poly{}, ErrDecodeFailed
+	}
+	qBig := poly.NewPoly(sol[:nq]...)
+	eCoeffs := make([]field.Element, ne+1)
+	copy(eCoeffs, sol[nq:])
+	eCoeffs[ne] = field.One // monic
+	ePoly := poly.NewPoly(eCoeffs...)
+	q, exact := qBig.Div(ePoly)
+	if !exact || q.Degree() > d {
+		return poly.Poly{}, ErrDecodeFailed
+	}
+	return q, nil
+}
+
+// countAgreements returns the number of points lying on q.
+func countAgreements(q poly.Poly, points []poly.Point) int {
+	c := 0
+	for _, p := range points {
+		if q.Eval(p.X) == p.Y {
+			c++
+		}
+	}
+	return c
+}
+
+// solve performs Gaussian elimination on the m×(cols+1) augmented matrix
+// and returns one solution (free variables set to zero). It reports false
+// if the system is inconsistent.
+func solve(mat [][]field.Element, cols int) ([]field.Element, bool) {
+	m := len(mat)
+	pivotRow := 0
+	pivotCols := make([]int, 0, cols)
+	for col := 0; col < cols && pivotRow < m; col++ {
+		sel := -1
+		for r := pivotRow; r < m; r++ {
+			if !mat[r][col].IsZero() {
+				sel = r
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		mat[pivotRow], mat[sel] = mat[sel], mat[pivotRow]
+		inv := mat[pivotRow][col].MustInv()
+		for k := col; k <= cols; k++ {
+			mat[pivotRow][k] = mat[pivotRow][k].Mul(inv)
+		}
+		for r := 0; r < m; r++ {
+			if r == pivotRow || mat[r][col].IsZero() {
+				continue
+			}
+			f := mat[r][col]
+			for k := col; k <= cols; k++ {
+				mat[r][k] = mat[r][k].Sub(f.Mul(mat[pivotRow][k]))
+			}
+		}
+		pivotCols = append(pivotCols, col)
+		pivotRow++
+	}
+	// Inconsistency check: zero row with non-zero RHS.
+	for r := pivotRow; r < m; r++ {
+		if !mat[r][cols].IsZero() {
+			return nil, false
+		}
+	}
+	sol := make([]field.Element, cols)
+	for i, col := range pivotCols {
+		sol[col] = mat[i][cols]
+	}
+	return sol, true
+}
+
+// OEC is an incremental online error-correcting decoder for a single
+// d-degree polynomial with at most t corrupted contributors.
+//
+// Points are added as they arrive (duplicates from the same X are
+// ignored); Poll attempts reconstruction and returns the polynomial once
+// some degree-d candidate agrees with at least d + t + 1 received points.
+type OEC struct {
+	d, t   int
+	points []poly.Point
+	seen   map[field.Element]bool
+	done   bool
+	result poly.Poly
+}
+
+// NewOEC returns an OEC decoder for a d-degree polynomial where at most
+// t of the contributing parties are corrupt.
+func NewOEC(d, t int) *OEC {
+	if d < 0 || t < 0 {
+		panic(fmt.Sprintf("rs: invalid OEC parameters d=%d t=%d", d, t))
+	}
+	return &OEC{d: d, t: t, seen: make(map[field.Element]bool)}
+}
+
+// Add records the point (x, y). Later duplicates for the same x are
+// ignored (the first value received wins, matching a network receiver
+// that processes one message per sender).
+func (o *OEC) Add(x, y field.Element) {
+	if o.seen[x] {
+		return
+	}
+	o.seen[x] = true
+	o.points = append(o.points, poly.Point{X: x, Y: y})
+}
+
+// Count returns the number of distinct points received.
+func (o *OEC) Count() int { return len(o.points) }
+
+// Poll attempts reconstruction. It returns (q, true) once a degree-d
+// polynomial agreeing with at least d + t + 1 received points exists.
+// Subsequent calls keep returning the same result.
+func (o *OEC) Poll() (poly.Poly, bool) {
+	if o.done {
+		return o.result, true
+	}
+	need := o.d + o.t + 1
+	m := len(o.points)
+	if m < need {
+		return poly.Poly{}, false
+	}
+	// With m = d + t + 1 + r points received, up to r of them may be
+	// erroneous while still leaving d + t + 1 honest agreements
+	// impossible... precisely: if the actual number of errors among the
+	// received points is ≤ r, Berlekamp–Welch with budget r finds q.
+	// Try every budget up to min(r, t): earlier arrivals may already
+	// decode with a smaller budget.
+	rMax := min(m-need, o.t)
+	for r := 0; r <= rMax; r++ {
+		q, err := Decode(o.points, o.d, r)
+		if err != nil {
+			continue
+		}
+		if countAgreements(q, o.points) >= need {
+			o.done = true
+			o.result = q
+			return q, true
+		}
+	}
+	return poly.Poly{}, false
+}
+
+// ReconstructSecret is a convenience wrapper: given shares (α_i, s_i)
+// indexed by 1-based party index, with at most t corrupt, it decodes the
+// d-degree sharing polynomial and returns its constant term.
+func ReconstructSecret(d, t int, shares map[int]field.Element) (field.Element, error) {
+	o := NewOEC(d, t)
+	for i, s := range shares {
+		o.Add(poly.Alpha(i), s)
+	}
+	q, ok := o.Poll()
+	if !ok {
+		return 0, fmt.Errorf("rs: reconstruct secret: %w", ErrDecodeFailed)
+	}
+	return q.Eval(field.Zero), nil
+}

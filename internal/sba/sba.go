@@ -1,0 +1,250 @@
+// Package sba implements a t-perfectly-secure synchronous Byzantine
+// agreement protocol filling the ΠBGP role of the paper (Lemma 3.2): the
+// classic phase-king algorithm of Berman, Garay and Perry for t < n/3,
+// in its multi-valued form over arbitrary ℓ-bit values plus ⊥.
+//
+// The protocol runs t+1 phases of three clock-paced rounds each:
+//
+//	round V (value):   everybody sends its current value x.
+//	round P (propose): if some value y was received ≥ n-t times in
+//	                   round V, send propose(y).
+//	round K (king):    the phase's king sends its current x; a party
+//	                   that saw < n-t propose messages for its adopted
+//	                   value takes the king's value. A party that saw
+//	                   > t propose(z) adopts z first.
+//
+// In a synchronous network this is a t-perfectly-secure SBA with every
+// honest party holding the output at exactly T0 + 3(t+1)Δ. In an
+// asynchronous network it still produces *some* output at that local
+// deadline (guaranteed liveness with possible ⊥/garbage), which is all
+// ΠBC needs from it (the paper's footnote 4). Communication is O(n²ℓ)
+// per round.
+//
+// The paper uses the recursive Berman–Garay–Perry protocol with
+// TBGP = (12n-6)Δ; this non-recursive variant has identical security
+// properties with TSBA = 3(t+1)Δ and O(n²ℓt) total bits — the changed
+// constants are tracked in internal/timing (see DESIGN.md §2).
+package sba
+
+import (
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Message types.
+const (
+	msgValue uint8 = iota + 1
+	msgPropose
+	msgKing
+)
+
+// Value is an agreement value: an arbitrary byte string or ⊥.
+type Value struct {
+	Bot  bool
+	Data []byte
+}
+
+// Bot is the distinguished ⊥ value.
+func Bot() Value { return Value{Bot: true} }
+
+// Val wraps a byte string as a non-⊥ value.
+func Val(data []byte) Value { return Value{Data: data} }
+
+// Equal reports value equality.
+func (v Value) Equal(o Value) bool {
+	if v.Bot != o.Bot {
+		return false
+	}
+	return v.Bot || string(v.Data) == string(o.Data)
+}
+
+// key returns a map key for tallying.
+func (v Value) key() string {
+	if v.Bot {
+		return "\x00"
+	}
+	return "\x01" + string(v.Data)
+}
+
+func (v Value) encode() []byte {
+	return wire.NewWriter().Bool(v.Bot).Blob(v.Data).Bytes()
+}
+
+func decodeValue(body []byte) (Value, bool) {
+	r := wire.NewReader(body)
+	bot := r.Bool()
+	data := r.Blob()
+	if r.Done() != nil {
+		return Value{}, false
+	}
+	if bot {
+		return Bot(), true
+	}
+	return Val(data), true
+}
+
+// SBA is one party's state in a phase-king run.
+type SBA struct {
+	rt    *proto.Runtime
+	inst  string
+	n, t  int
+	delta sim.Time
+	start sim.Time
+
+	x            Value
+	maxProposals int
+	// per-round first-message-per-sender buffers
+	values    map[int]map[int]Value // round index -> sender -> value
+	kingVal   map[int]*Value        // phase -> king's value
+	outputSet bool
+	output    Value
+	onOutput  func(Value)
+}
+
+// Deadline returns the protocol duration 3(t+1)Δ for threshold t.
+func Deadline(t int, delta sim.Time) sim.Time { return sim.Time(3*(t+1)) * delta }
+
+// New registers a phase-king instance starting at absolute local time
+// start with the given input. Every honest party must create the
+// instance with the same start time (in our compositions start times
+// are structural constants). onOutput fires exactly once, at
+// start + Deadline.
+func New(rt *proto.Runtime, inst string, t int, delta sim.Time, start sim.Time, input Value, onOutput func(Value)) *SBA {
+	s := &SBA{
+		rt:       rt,
+		inst:     inst,
+		n:        rt.N(),
+		t:        t,
+		delta:    delta,
+		start:    start,
+		x:        input,
+		values:   make(map[int]map[int]Value),
+		kingVal:  make(map[int]*Value),
+		onOutput: onOutput,
+	}
+	rt.Register(inst, s)
+	// Rounds chain dynamically so that, within a single boundary tick,
+	// king processing of phase p strictly precedes the value send of
+	// phase p+1.
+	rt.At(start, func() { s.beginPhase(1) })
+	return s
+}
+
+// Output returns the decided value; valid only after the deadline.
+func (s *SBA) Output() (Value, bool) { return s.output, s.outputSet }
+
+// roundIndex maps (phase, kind) to a global round number for buffering.
+func roundIndex(phase int, kind uint8) int { return 3*(phase-1) + int(kind-msgValue) }
+
+func (s *SBA) beginPhase(phase int) {
+	s.rt.SendAll(s.inst, msgValue, wire.NewWriter().Int(phase).Blob(s.x.encode()).Bytes())
+	s.rt.After(s.delta, func() { s.endValueRound(phase) })
+}
+
+func (s *SBA) endValueRound(phase int) {
+	recv := s.values[roundIndex(phase, msgValue)]
+	tally := make(map[string]int)
+	rep := make(map[string]Value)
+	for _, v := range recv {
+		tally[v.key()]++
+		rep[v.key()] = v
+	}
+	for k, c := range tally {
+		if c >= s.n-s.t {
+			// Propose this value (at most one can reach n-t among ≤ n
+			// messages when n > 3t... two values could in principle both
+			// reach n-t only if 2(n-t) ≤ n, impossible; so unique).
+			v := rep[k]
+			s.rt.SendAll(s.inst, msgPropose, wire.NewWriter().Int(phase).Blob(v.encode()).Bytes())
+			break
+		}
+	}
+	s.rt.After(s.delta, func() { s.endProposeRound(phase) })
+}
+
+func (s *SBA) endProposeRound(phase int) {
+	recv := s.values[roundIndex(phase, msgPropose)]
+	tally := make(map[string]int)
+	rep := make(map[string]Value)
+	for _, v := range recv {
+		tally[v.key()]++
+		rep[v.key()] = v
+	}
+	best, bestCount := "", 0
+	for k, c := range tally {
+		if c > bestCount || (c == bestCount && k < best) {
+			best, bestCount = k, c
+		}
+	}
+	if bestCount > s.t {
+		s.x = rep[best]
+	}
+	s.maxProposals = bestCount
+	// King round: the phase's king sends its (possibly updated) value.
+	if s.rt.ID() == s.king(phase) {
+		s.rt.SendAll(s.inst, msgKing, wire.NewWriter().Int(phase).Blob(s.x.encode()).Bytes())
+	}
+	s.rt.After(s.delta, func() { s.endKingRound(phase) })
+}
+
+func (s *SBA) endKingRound(phase int) {
+	if s.maxProposals < s.n-s.t {
+		if kv := s.kingVal[phase]; kv != nil {
+			s.x = *kv
+		}
+	}
+	if phase < s.t+1 {
+		s.beginPhase(phase + 1)
+	} else {
+		s.finish()
+	}
+}
+
+// king returns the king of the given phase. Phases are 1-based and
+// phase ≤ t+1 ≤ n, so the assignment is injective.
+func (s *SBA) king(phase int) int { return phase }
+
+func (s *SBA) finish() {
+	if s.outputSet {
+		return
+	}
+	s.outputSet = true
+	s.output = s.x
+	if s.onOutput != nil {
+		s.onOutput(s.x)
+	}
+}
+
+// Deliver implements proto.Handler.
+func (s *SBA) Deliver(from int, msgType uint8, body []byte) {
+	r := wire.NewReader(body)
+	phase := r.Int()
+	enc := r.Blob()
+	if r.Done() != nil || phase < 1 || phase > s.t+1 {
+		return
+	}
+	v, ok := decodeValue(enc)
+	if !ok {
+		return
+	}
+	switch msgType {
+	case msgValue, msgPropose:
+		idx := roundIndex(phase, msgType)
+		recv := s.values[idx]
+		if recv == nil {
+			recv = make(map[int]Value)
+			s.values[idx] = recv
+		}
+		if _, dup := recv[from]; !dup {
+			recv[from] = v
+		}
+	case msgKing:
+		if from != s.king(phase) {
+			return
+		}
+		if s.kingVal[phase] == nil {
+			s.kingVal[phase] = &v
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package sba
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+func cfg() proto.Config { return proto.Config{N: 8, Ts: 2, Ta: 1, Delta: 10} }
+
+type harness struct {
+	w     *proto.World
+	outs  []*Value
+	outAt []sim.Time
+}
+
+// newHarness starts one SBA instance per party at time 0 with the given
+// inputs (1-based).
+func newHarness(w *proto.World, t int, inputs []Value) *harness {
+	h := &harness{
+		w:     w,
+		outs:  make([]*Value, w.Cfg.N+1),
+		outAt: make([]sim.Time, w.Cfg.N+1),
+	}
+	for i := 1; i <= w.Cfg.N; i++ {
+		i := i
+		New(w.Runtimes[i], "sba", t, w.Cfg.Delta, 0, inputs[i], func(v Value) {
+			h.outs[i] = &v
+			h.outAt[i] = w.Sched.Now()
+		})
+	}
+	return h
+}
+
+func mkInputs(n int, f func(i int) Value) []Value {
+	in := make([]Value, n+1)
+	for i := 1; i <= n; i++ {
+		in[i] = f(i)
+	}
+	return in
+}
+
+func TestValueEqualAndKey(t *testing.T) {
+	if !Bot().Equal(Bot()) {
+		t.Fatal("⊥ != ⊥")
+	}
+	if Bot().Equal(Val(nil)) {
+		t.Fatal("⊥ == empty value")
+	}
+	if !Val([]byte("a")).Equal(Val([]byte("a"))) || Val([]byte("a")).Equal(Val([]byte("b"))) {
+		t.Fatal("value equality broken")
+	}
+	if Bot().key() == Val(nil).key() {
+		t.Fatal("⊥ and empty value share a key")
+	}
+}
+
+func TestValidityAllHonest(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Sync, Seed: seed})
+		msg := Val([]byte("agreed"))
+		h := newHarness(w, w.Cfg.Ts, mkInputs(8, func(int) Value { return msg }))
+		w.RunToQuiescence()
+		deadline := Deadline(w.Cfg.Ts, w.Cfg.Delta)
+		for i := 1; i <= 8; i++ {
+			if h.outs[i] == nil || !h.outs[i].Equal(msg) {
+				t.Fatalf("seed %d: party %d output %v, want %q", seed, i, h.outs[i], "agreed")
+			}
+			if h.outAt[i] != deadline {
+				t.Fatalf("seed %d: party %d output at %d, want exactly %d", seed, i, h.outAt[i], deadline)
+			}
+		}
+	}
+}
+
+func TestValidityWithByzantine(t *testing.T) {
+	// All honest share input v; t corrupt parties equivocate wildly.
+	// Validity: every honest output must be v.
+	for seed := uint64(0); seed < 4; seed++ {
+		ctrl := adversary.NewController().
+			Set(2, adversary.GarbleMatching(func(string) bool { return true })).
+			Set(7, adversary.Mutate(adversary.MutateSpec{
+				Rewrite: func(env sim.Envelope) []byte {
+					// Send different junk to each recipient.
+					return []byte{byte(env.To), 0xff, 0x00}
+				},
+			}))
+		w := proto.NewWorld(proto.WorldOpts{
+			Cfg: cfg(), Network: proto.Sync, Seed: seed, Corrupt: []int{2, 7}, Interceptor: ctrl,
+		})
+		msg := Val([]byte{42})
+		h := newHarness(w, w.Cfg.Ts, mkInputs(8, func(int) Value { return msg }))
+		w.RunToQuiescence()
+		for i := 1; i <= 8; i++ {
+			if w.IsCorrupt(i) {
+				continue
+			}
+			if h.outs[i] == nil || !h.outs[i].Equal(msg) {
+				t.Fatalf("seed %d: honest party %d output %v, want 42", seed, i, h.outs[i])
+			}
+		}
+	}
+}
+
+func TestConsistencyMixedInputs(t *testing.T) {
+	// Honest parties disagree initially; corrupt parties try to split
+	// them. All honest outputs must match (t-consistency).
+	for seed := uint64(0); seed < 6; seed++ {
+		ctrl := adversary.NewController().
+			Set(1, adversary.Mutate(adversary.MutateSpec{
+				Rewrite: func(env sim.Envelope) []byte {
+					if env.To%2 == 0 {
+						return Val([]byte("zero")).encode()
+					}
+					return Val([]byte("one")).encode()
+				},
+			}))
+		w := proto.NewWorld(proto.WorldOpts{
+			Cfg: cfg(), Network: proto.Sync, Seed: seed, Corrupt: []int{1}, Interceptor: ctrl,
+		})
+		h := newHarness(w, w.Cfg.Ts, mkInputs(8, func(i int) Value {
+			if i%2 == 0 {
+				return Val([]byte("zero"))
+			}
+			return Val([]byte("one"))
+		}))
+		w.RunToQuiescence()
+		var ref *Value
+		for i := 1; i <= 8; i++ {
+			if w.IsCorrupt(i) {
+				continue
+			}
+			if h.outs[i] == nil {
+				t.Fatalf("seed %d: party %d no output", seed, i)
+			}
+			if ref == nil {
+				ref = h.outs[i]
+			} else if !h.outs[i].Equal(*ref) {
+				t.Fatalf("seed %d: consistency violated: %v vs %v", seed, *ref, *h.outs[i])
+			}
+		}
+	}
+}
+
+func TestBotInputsSupported(t *testing.T) {
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Sync, Seed: 1})
+	h := newHarness(w, w.Cfg.Ts, mkInputs(8, func(int) Value { return Bot() }))
+	w.RunToQuiescence()
+	for i := 1; i <= 8; i++ {
+		if h.outs[i] == nil || !h.outs[i].Bot {
+			t.Fatalf("party %d output %v, want ⊥", i, h.outs[i])
+		}
+	}
+}
+
+func TestAsyncGuaranteedLiveness(t *testing.T) {
+	// Lemma 3.2 third bullet: in an asynchronous network all honest
+	// parties still have *some* output at the local deadline.
+	for seed := uint64(0); seed < 4; seed++ {
+		w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Async, Seed: seed})
+		h := newHarness(w, w.Cfg.Ts, mkInputs(8, func(i int) Value {
+			return Val([]byte{byte(i % 2)})
+		}))
+		w.RunToQuiescence()
+		deadline := Deadline(w.Cfg.Ts, w.Cfg.Delta)
+		for i := 1; i <= 8; i++ {
+			if h.outs[i] == nil {
+				t.Fatalf("seed %d: party %d has no output in async run", seed, i)
+			}
+			if h.outAt[i] != deadline {
+				t.Fatalf("seed %d: output at %d, want %d", seed, h.outAt[i], deadline)
+			}
+		}
+	}
+}
+
+func TestAsyncUnanimousStillValid(t *testing.T) {
+	// Even asynchronously, if every party is honest and unanimous the
+	// value round already fixes x for everyone... but messages may be
+	// late, so the only guarantee we check is: outputs are v or ⊥-free
+	// consistent... The paper requires only liveness in async; we
+	// additionally document validity holds when all deliveries beat the
+	// round pacing. Here we only assert liveness + no wrong non-⊥
+	// value... skip strictness: outputs may be arbitrary under async.
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Async, Seed: 11})
+	h := newHarness(w, w.Cfg.Ts, mkInputs(8, func(int) Value { return Val([]byte("v")) }))
+	w.RunToQuiescence()
+	for i := 1; i <= 8; i++ {
+		if h.outs[i] == nil {
+			t.Fatalf("party %d missing output", i)
+		}
+	}
+}
+
+func TestLargerNetworkN13(t *testing.T) {
+	c := proto.Config{N: 13, Ts: 3, Ta: 2, Delta: 10}
+	ctrl := adversary.NewController()
+	for _, p := range []int{4, 9, 13} {
+		ctrl.Set(p, adversary.GarbleMatching(func(string) bool { return true }))
+	}
+	w := proto.NewWorld(proto.WorldOpts{
+		Cfg: c, Network: proto.Sync, Seed: 5, Corrupt: []int{4, 9, 13}, Interceptor: ctrl,
+	})
+	msg := Val([]byte("n13"))
+	h := newHarness(w, c.Ts, mkInputs(13, func(int) Value { return msg }))
+	w.RunToQuiescence()
+	for i := 1; i <= 13; i++ {
+		if w.IsCorrupt(i) {
+			continue
+		}
+		if h.outs[i] == nil || !h.outs[i].Equal(msg) {
+			t.Fatalf("party %d output %v", i, h.outs[i])
+		}
+	}
+}
+
+func TestCommunicationScaling(t *testing.T) {
+	run := func(n, ts int) uint64 {
+		c := proto.Config{N: n, Ts: ts, Ta: 0, Delta: 10}
+		w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 5})
+		h := newHarness(w, ts, mkInputs(n, func(i int) Value { return Val([]byte{1}) }))
+		w.RunToQuiescence()
+		_ = h
+		return w.Metrics().HonestMessages()
+	}
+	m8 := run(8, 2)
+	m16 := run(16, 5)
+	// O(n²·t): 8→16 with t 2→5 should grow ≈ (16/8)²·(6/3) = 10×; allow wide band.
+	ratio := float64(m16) / float64(m8)
+	if ratio < 4 || ratio > 20 {
+		t.Fatalf("unexpected scaling %f (m8=%d, m16=%d)", ratio, m8, m16)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		w := proto.NewWorld(proto.WorldOpts{Cfg: cfg(), Network: proto.Async, Seed: 77})
+		h := newHarness(w, w.Cfg.Ts, mkInputs(8, func(i int) Value { return Val([]byte{byte(i & 1)}) }))
+		w.RunToQuiescence()
+		out := ""
+		for i := 1; i <= 8; i++ {
+			out += fmt.Sprintf("%v;", h.outs[i])
+		}
+		return out
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %s vs %s", a, b)
+	}
+}

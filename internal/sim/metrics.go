@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counts aggregates message and byte counters.
+type Counts struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+func (c *Counts) add(e Envelope) {
+	c.Messages++
+	c.Bytes += uint64(e.WireSize())
+}
+
+// Metrics records communication, separated into honest-origin and
+// corrupt-origin traffic (the paper's complexity statements count bits
+// communicated by honest parties) and broken down by protocol family
+// (first instance-path component).
+type Metrics struct {
+	n        int
+	Honest   Counts
+	Corrupt  Counts
+	ByFamily map[string]*Counts // honest-origin only
+}
+
+// NewMetrics returns empty metrics for n parties.
+func NewMetrics(n int) *Metrics {
+	return &Metrics{n: n, ByFamily: make(map[string]*Counts)}
+}
+
+// Record accounts one sent envelope.
+func (m *Metrics) Record(e Envelope, fromCorrupt bool) {
+	if fromCorrupt {
+		m.Corrupt.add(e)
+		return
+	}
+	m.Honest.add(e)
+	label := TopLabel(e.Inst)
+	c := m.ByFamily[label]
+	if c == nil {
+		c = &Counts{}
+		m.ByFamily[label] = c
+	}
+	c.add(e)
+}
+
+// HonestBytes returns the total bytes sent by honest parties.
+func (m *Metrics) HonestBytes() uint64 { return m.Honest.Bytes }
+
+// HonestMessages returns the total messages sent by honest parties.
+func (m *Metrics) HonestMessages() uint64 { return m.Honest.Messages }
+
+// String renders a sorted per-family breakdown.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "honest: %d msgs, %d bytes; corrupt: %d msgs, %d bytes\n",
+		m.Honest.Messages, m.Honest.Bytes, m.Corrupt.Messages, m.Corrupt.Bytes)
+	keys := make([]string, 0, len(m.ByFamily))
+	for k := range m.ByFamily {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := m.ByFamily[k]
+		fmt.Fprintf(&b, "  %-12s %8d msgs %12d bytes\n", k, c.Messages, c.Bytes)
+	}
+	return b.String()
+}

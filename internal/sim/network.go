@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// Envelope is a point-to-point protocol message. Inst identifies the
+// protocol instance (hierarchical path, e.g. "vss/3/wps/5/bc/ok"), Type
+// is the instance-local message type, and Body is the marshaled payload.
+type Envelope struct {
+	From int
+	To   int
+	Inst string
+	Type uint8
+	Body []byte
+}
+
+// WireSize returns the accounted size of the envelope in bytes:
+// body + instance path + 6 bytes of framing (from, to, type, length).
+func (e Envelope) WireSize() int { return len(e.Body) + len(e.Inst) + 6 }
+
+// Policy decides per-message delivery delay. Implementations must return
+// a strictly positive, finite delay: the asynchronous model guarantees
+// eventual delivery.
+type Policy interface {
+	// Delay returns the delivery latency for a message from -> to sent at
+	// time now.
+	Delay(rng *rand.Rand, from, to int, now Time) Time
+}
+
+// SyncPolicy models the synchronous network: every message sent at time
+// τ is delivered strictly before τ + Δ (uniform jitter in [1, Δ-1]), so
+// an event scheduled at a round boundary τ + Δ observes every message
+// sent at or after τ. Delta must be at least 2.
+type SyncPolicy struct {
+	Delta Time
+}
+
+// Delay implements Policy.
+func (p SyncPolicy) Delay(rng *rand.Rand, from, to int, _ Time) Time {
+	if from == to {
+		return 1 // local loopback
+	}
+	if p.Delta <= 2 {
+		return 1
+	}
+	return 1 + Time(rng.Int64N(int64(p.Delta-1)))
+}
+
+// AsyncPolicy models the asynchronous network: delays are finite but
+// unbounded relative to Δ, with a heavy tail. With probability Tail a
+// message is delayed uniformly in [4Δ, 40Δ]; otherwise in [1, 4Δ].
+type AsyncPolicy struct {
+	Delta Time
+	Tail  float64 // default 0.15 when zero
+}
+
+// Delay implements Policy.
+func (p AsyncPolicy) Delay(rng *rand.Rand, from, to int, _ Time) Time {
+	if from == to {
+		return 1
+	}
+	tail := p.Tail
+	if tail == 0 {
+		tail = 0.15
+	}
+	if rng.Float64() < tail {
+		return 4*p.Delta + Time(rng.Int64N(int64(36*p.Delta)))
+	}
+	return 1 + Time(rng.Int64N(int64(4*p.Delta)))
+}
+
+// StarvePolicy wraps a base policy and additionally withholds messages on
+// selected links until a fixed horizon, modelling an adversarial
+// scheduler that starves specific honest links for as long as it likes
+// (but must eventually deliver).
+type StarvePolicy struct {
+	Base  Policy
+	Until Time
+	// Starve reports whether the link from -> to is starved.
+	Starve func(from, to int) bool
+}
+
+// Delay implements Policy.
+func (p StarvePolicy) Delay(rng *rand.Rand, from, to int, now Time) Time {
+	d := p.Base.Delay(rng, from, to, now)
+	if p.Starve != nil && p.Starve(from, to) && now+d < p.Until {
+		return p.Until - now + 1 + Time(rng.Int64N(8))
+	}
+	return d
+}
+
+// Delivery is an adversarially controlled message delivery decision.
+type Delivery struct {
+	Env        Envelope
+	Drop       bool
+	DelayExtra Time // additional delay on top of the policy's
+}
+
+// Interceptor lets a Byzantine adversary rewrite, duplicate, drop or
+// further delay the traffic of corrupt senders. It is only consulted for
+// messages originating from corrupt parties: honest parties' messages
+// are delivered faithfully (the network schedule is controlled
+// separately, via Policy).
+type Interceptor interface {
+	// Intercept returns the deliveries to perform in place of env.
+	Intercept(now Time, env Envelope) []Delivery
+}
+
+// Dispatcher receives delivered envelopes; implemented by the party
+// runtime.
+type Dispatcher interface {
+	Dispatch(env Envelope)
+}
+
+// Network connects n parties through a delivery policy, applying the
+// adversary's interceptor to corrupt senders' traffic and recording
+// metrics.
+type Network struct {
+	n           int
+	sched       *Scheduler
+	policy      Policy
+	rng         *rand.Rand
+	parties     []Dispatcher // 1-based
+	corrupt     map[int]bool
+	interceptor Interceptor
+	metrics     *Metrics
+}
+
+// NewNetwork creates a network over n parties. Dispatchers are attached
+// later via Attach (parties need the network to exist first).
+func NewNetwork(n int, sched *Scheduler, policy Policy, rng *rand.Rand) *Network {
+	return &Network{
+		n:       n,
+		sched:   sched,
+		policy:  policy,
+		rng:     rng,
+		parties: make([]Dispatcher, n+1),
+		corrupt: make(map[int]bool),
+		metrics: NewMetrics(n),
+	}
+}
+
+// Attach registers the dispatcher for party i.
+func (nw *Network) Attach(i int, d Dispatcher) {
+	if i < 1 || i > nw.n {
+		panic(fmt.Sprintf("sim: attach party %d out of range", i))
+	}
+	nw.parties[i] = d
+}
+
+// SetCorrupt marks the given parties as corrupt and installs the
+// adversary's interceptor for their traffic.
+func (nw *Network) SetCorrupt(parties []int, ic Interceptor) {
+	for _, p := range parties {
+		if p < 1 || p > nw.n {
+			panic(fmt.Sprintf("sim: corrupt party %d out of range", p))
+		}
+		nw.corrupt[p] = true
+	}
+	nw.interceptor = ic
+}
+
+// IsCorrupt reports whether party i is corrupt.
+func (nw *Network) IsCorrupt(i int) bool { return nw.corrupt[i] }
+
+// Corrupt returns the sorted list of corrupt parties.
+func (nw *Network) CorruptSet() []int {
+	var out []int
+	for i := 1; i <= nw.n; i++ {
+		if nw.corrupt[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Metrics returns the network's communication metrics.
+func (nw *Network) Metrics() *Metrics { return nw.metrics }
+
+// N returns the number of parties.
+func (nw *Network) N() int { return nw.n }
+
+// Send transmits env according to the delivery policy. Messages from
+// corrupt senders pass through the adversary's interceptor first.
+func (nw *Network) Send(env Envelope) {
+	if env.To < 1 || env.To > nw.n {
+		panic(fmt.Sprintf("sim: send to party %d out of range", env.To))
+	}
+	if nw.corrupt[env.From] && nw.interceptor != nil {
+		for _, d := range nw.interceptor.Intercept(nw.sched.Now(), env) {
+			if d.Drop {
+				continue
+			}
+			nw.deliver(d.Env, d.DelayExtra)
+		}
+		return
+	}
+	nw.deliver(env, 0)
+}
+
+func (nw *Network) deliver(env Envelope, extra Time) {
+	nw.metrics.Record(env, nw.corrupt[env.From])
+	delay := nw.policy.Delay(nw.rng, env.From, env.To, nw.sched.Now()) + extra
+	if delay < 1 {
+		delay = 1
+	}
+	to := env.To
+	nw.sched.After(delay, func() {
+		if d := nw.parties[to]; d != nil {
+			d.Dispatch(env)
+		}
+	})
+}
+
+// TopLabel extracts the first path component of an instance ID, used to
+// aggregate metrics by protocol family.
+func TopLabel(inst string) string {
+	if i := strings.IndexByte(inst, '/'); i >= 0 {
+		return inst[:i]
+	}
+	return inst
+}

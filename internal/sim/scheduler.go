@@ -1,0 +1,146 @@
+// Package sim provides the deterministic discrete-event simulation
+// substrate on which every protocol in this repository runs: a
+// virtual-time scheduler, message-delivery policies modelling the
+// paper's synchronous and asynchronous networks, an adversarial
+// message-interception layer, and communication metrics.
+//
+// Virtual time is measured in abstract ticks; the synchronous network
+// bound Δ is a configurable number of ticks. Using virtual time makes
+// the paper's exact termination bounds (e.g. T_BC = 3Δ + T_SBA)
+// machine-checkable, which a wall-clock implementation could only
+// approximate.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in ticks.
+type Time int64
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	prio uint8  // same-tick ordering class: lower runs first
+	seq  uint64 // FIFO tie-break within a class; keeps runs deterministic
+	fn   func()
+}
+
+// Priority classes for same-tick ordering.
+const (
+	// PrioDeliver is the default class: message deliveries and ordinary
+	// protocol timers.
+	PrioDeliver uint8 = 0
+	// PrioProcess runs after every same-tick delivery/timer: protocol
+	// steps that must observe all outputs landing at exactly this tick
+	// (e.g. "at time T, based on the broadcasts received by time T...").
+	PrioProcess uint8 = 1
+)
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Scheduler is a single-threaded discrete-event loop. All protocol code
+// runs inside scheduler callbacks; there is no concurrency, so runs are
+// fully deterministic given the seeds.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// processed counts executed events, as a runaway-loop guard.
+	processed uint64
+	// Limit aborts Run after this many events (0 = unlimited).
+	Limit uint64
+}
+
+// NewScheduler returns an empty scheduler at time 0.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// At schedules fn at absolute time t, which must not be in the past.
+func (s *Scheduler) At(t Time, fn func()) { s.AtPrio(t, PrioDeliver, fn) }
+
+// AtPrio schedules fn at absolute time t in the given priority class.
+func (s *Scheduler) AtPrio(t Time, prio uint8, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %d < %d", t, s.now))
+	}
+	s.seq++
+	s.events.pushEvent(event{at: t, prio: prio, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d ticks from now; d must be non-negative.
+func (s *Scheduler) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// Step executes the next event. It reports whether an event was run.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := s.events.popEvent()
+	s.now = e.at
+	s.processed++
+	e.fn()
+	return true
+}
+
+// RunUntil processes events until the queue is empty or the next event
+// is strictly after the horizon. It returns the number of events run.
+func (s *Scheduler) RunUntil(horizon Time) uint64 {
+	var n uint64
+	for len(s.events) > 0 && s.events.peek().at <= horizon {
+		if s.Limit > 0 && s.processed >= s.Limit {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return n
+}
+
+// RunToQuiescence processes events until none remain (or Limit hits).
+// It returns the number of events run.
+func (s *Scheduler) RunToQuiescence() uint64 {
+	var n uint64
+	for len(s.events) > 0 {
+		if s.Limit > 0 && s.processed >= s.Limit {
+			break
+		}
+		s.Step()
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.events) }

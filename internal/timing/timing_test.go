@@ -1,0 +1,90 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDerivedBoundsComposeSymbolically(t *testing.T) {
+	const (
+		n     = 8
+		ts    = 2
+		delta = sim.Time(10)
+		k     = 8
+	)
+	b := New(n, ts, delta, k)
+	if b.Acast != 3*delta {
+		t.Errorf("Acast = %d", b.Acast)
+	}
+	if b.SBA != sim.Time(3*(ts+1))*delta {
+		t.Errorf("SBA = %d", b.SBA)
+	}
+	if b.BC != b.Acast+b.SBA {
+		t.Errorf("BC = %d, want Acast+SBA", b.BC)
+	}
+	if b.ABA != sim.Time(k)*delta {
+		t.Errorf("ABA = %d", b.ABA)
+	}
+	if b.BA != b.BC+b.ABA {
+		t.Errorf("BA = %d", b.BA)
+	}
+	if b.WPS != 2*delta+2*b.BC+b.BA {
+		t.Errorf("WPS = %d", b.WPS)
+	}
+	if b.VSS != delta+b.WPS+2*b.BC+b.BA {
+		t.Errorf("VSS = %d", b.VSS)
+	}
+	if b.ACS != b.VSS+2*b.BA {
+		t.Errorf("ACS = %d", b.ACS)
+	}
+	if b.TripSh != b.ACS+4*delta {
+		t.Errorf("TripSh = %d", b.TripSh)
+	}
+	if b.TripGen != b.TripSh+2*b.BA+delta {
+		t.Errorf("TripGen = %d", b.TripGen)
+	}
+	if b.CirEval(5) != b.TripGen+7*delta {
+		t.Errorf("CirEval(5) = %d", b.CirEval(5))
+	}
+}
+
+func TestBoundsMonotoneInParameters(t *testing.T) {
+	small := New(5, 1, 10, 8)
+	big := New(13, 4, 10, 8)
+	if big.VSS <= small.VSS || big.ACS <= small.ACS || big.TripGen <= small.TripGen {
+		t.Fatal("bounds not monotone in (n, t)")
+	}
+	slow := New(8, 2, 100, 8)
+	fast := New(8, 2, 10, 8)
+	if slow.CirEval(3) != 10*fast.CirEval(3) {
+		t.Fatal("bounds not linear in Δ")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	if PaperBGP(8, 10) != (12*8-6)*10 {
+		t.Errorf("PaperBGP = %d", PaperBGP(8, 10))
+	}
+	if PaperBC(8, 10) != (12*8-3)*10 {
+		t.Errorf("PaperBC = %d", PaperBC(8, 10))
+	}
+	if PaperCirEval(8, 3, 8, 10) != (120*8+3+6*8-20)*10 {
+		t.Errorf("PaperCirEval = %d", PaperCirEval(8, 3, 8, 10))
+	}
+}
+
+func TestOursBelowPaperForModerateN(t *testing.T) {
+	// The phase-king substitution tightens the constants for every
+	// realistic n (3(t+1)+3 < 12n-3 whenever t < n/3).
+	for _, n := range []int{4, 5, 8, 13, 16, 25} {
+		ts := (n - 2) / 3
+		if ts < 1 {
+			ts = 1
+		}
+		b := New(n, ts, 10, 8)
+		if b.BC >= PaperBC(n, 10) {
+			t.Errorf("n=%d: our TBC %d not below paper %d", n, b.BC, PaperBC(n, 10))
+		}
+	}
+}

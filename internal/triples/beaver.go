@@ -1,0 +1,76 @@
+package triples
+
+import (
+	"repro/field"
+	"repro/internal/proto"
+)
+
+// Beaver implements ΠBeaver (Fig 6, Lemma 6.1): given ts-sharings of x
+// and y and a ts-shared triple (a, b, c), it outputs a ts-sharing of
+// z = d·e + e·[b] + d·[a] + [c] where e = x - a and d = y - b are
+// publicly reconstructed. z = x·y iff c = a·b. The protocol takes Δ in
+// a synchronous network and completes eventually in an asynchronous
+// one, at O(n² log|F|) bits.
+type Beaver struct {
+	rt    *proto.Runtime
+	inst  string
+	cfg   proto.Config
+	recon *Recon
+
+	xs, ys, as, bs, cs field.Element
+	started            bool
+	pendingED          *[2]field.Element // reconstruction finished before Start
+
+	done   bool
+	zShare field.Element
+	onDone func(z field.Element)
+}
+
+// NewBeaver registers a Beaver-multiplication instance. Start must be
+// called with this party's five input shares.
+func NewBeaver(rt *proto.Runtime, inst string, cfg proto.Config, onDone func(field.Element)) *Beaver {
+	b := &Beaver{rt: rt, inst: inst, cfg: cfg, onDone: onDone}
+	b.recon = NewRecon(rt, proto.Join(inst, "rec"), cfg, 2, func(values []field.Element) {
+		// The reconstruction can complete from other parties' shares
+		// before this party has its own inputs; defer until Start.
+		if !b.started {
+			b.pendingED = &[2]field.Element{values[0], values[1]}
+			return
+		}
+		b.finish(values[0], values[1])
+	})
+	return b
+}
+
+// Start contributes this party's shares of x, y and of the helper
+// triple (a, b, c).
+func (b *Beaver) Start(x, y, a, bb, c field.Element) {
+	if b.started {
+		return
+	}
+	b.started = true
+	b.xs, b.ys, b.as, b.bs, b.cs = x, y, a, bb, c
+	// [e] = [x] - [a], [d] = [y] - [b]; both publicly reconstructed.
+	b.recon.Start([]field.Element{x.Sub(a), y.Sub(bb)})
+	if b.pendingED != nil {
+		b.finish(b.pendingED[0], b.pendingED[1])
+	}
+}
+
+// Done reports completion.
+func (b *Beaver) Done() bool { return b.done }
+
+// Share returns this party's share of z; valid only after Done.
+func (b *Beaver) Share() field.Element { return b.zShare }
+
+func (b *Beaver) finish(e, d field.Element) {
+	if b.done {
+		return
+	}
+	b.done = true
+	// [z] = d·e + e·[b] + d·[a] + [c].
+	b.zShare = d.Mul(e).Add(e.Mul(b.bs)).Add(d.Mul(b.as)).Add(b.cs)
+	if b.onDone != nil {
+		b.onDone(b.zShare)
+	}
+}

@@ -1,0 +1,274 @@
+package triples
+
+import (
+	"fmt"
+
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/acs"
+	"repro/internal/ba"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/poly"
+)
+
+// ExtractParams returns the extraction geometry of Fig 10: the
+// transformation degree d = ⌊(n-ts-1)/2⌋ (so that 2d+1 ≤ n-ts triple
+// providers are used), the per-extraction yield d+1-ts, and the batch
+// count L needed to produce cM triples.
+func ExtractParams(cfg proto.Config, cM int) (d, yield, l int) {
+	d = (cfg.N - cfg.Ts - 1) / 2
+	yield = d + 1 - cfg.Ts
+	if yield < 1 {
+		panic(fmt.Sprintf("triples: no extraction yield for n=%d ts=%d", cfg.N, cfg.Ts))
+	}
+	l = (cM + yield - 1) / yield
+	return d, yield, l
+}
+
+// PreprocessingDeadline returns TTripGen - T0 = TTripSh + 2·TBA + Δ.
+func PreprocessingDeadline(cfg proto.Config) sim.Time {
+	tb := timing.New(cfg.N, cfg.Ts, cfg.Delta, cfg.CoinRounds)
+	return TripShDeadline(cfg) + 2*tb.BA + cfg.Delta
+}
+
+// Preprocessing implements ΠPreProcessing (Fig 10, Theorem 6.5): it
+// outputs cM ts-shared multiplication triples that are uniformly random
+// from the adversary's point of view.
+//
+// Every party runs ΠTripSh as a dealer for L triples. One *shared*
+// verification ΠACS serves all n ΠTripSh instances: each party inputs
+// L verification triples per dealer slot (3·L·n polynomials), and the
+// agreed provider set W is reused across dealers — a faithful
+// constant-factor optimisation over Fig 8's per-dealer ΠACS (each
+// supervised verification still consumes its own fresh verification
+// triple; see DESIGN.md). A ΠBA per dealer then fixes the set CS of
+// the first n-ts dealers with completed sharings, and L runs of
+// ΠTripExt (Fig 9) extract d+1-ts fresh random triples each from the
+// first 2d+1 members of CS.
+type Preprocessing struct {
+	rt    *proto.Runtime
+	inst  string
+	cfg   proto.Config
+	cM    int
+	d     int
+	yield int
+	L     int
+	start sim.Time
+
+	verifACS *acs.ACS
+	dealers  []*TripSh
+	bas      []*ba.BA
+	baGiven  map[int]bool
+	baOut    map[int]*uint8
+	phase2   bool
+	zeroWave bool
+	ones     int
+	cs       []int
+
+	dealerOut map[int][]Triple
+	exts      []*TripTrans
+	extDone   []bool
+
+	done   bool
+	out    []Triple
+	onDone func([]Triple)
+}
+
+// NewPreprocessing registers a preprocessing instance anchored at
+// start; every party must call Start there.
+func NewPreprocessing(rt *proto.Runtime, inst string, cM int, cfg proto.Config, coin aba.CoinSource, start sim.Time, onDone func([]Triple)) *Preprocessing {
+	d, yield, l := ExtractParams(cfg, cM)
+	p := &Preprocessing{
+		rt:        rt,
+		inst:      inst,
+		cfg:       cfg,
+		cM:        cM,
+		d:         d,
+		yield:     yield,
+		L:         l,
+		start:     start,
+		dealers:   make([]*TripSh, cfg.N+1),
+		bas:       make([]*ba.BA, cfg.N+1),
+		baGiven:   make(map[int]bool),
+		baOut:     make(map[int]*uint8),
+		dealerOut: make(map[int][]Triple),
+		exts:      make([]*TripTrans, l),
+		extDone:   make([]bool, l),
+		onDone:    onDone,
+	}
+	n := cfg.N
+	// Shared verification ACS: 3·L·n polynomials per provider.
+	p.verifACS = acs.New(rt, proto.Join(inst, "vacs"), 3*l*n, cfg, coin, start,
+		func(cs []int, shares map[int][]field.Element) { p.onVerifACS(cs, shares) })
+	for j := 1; j <= n; j++ {
+		j := j
+		p.dealers[j] = NewTripSh(rt, proto.Join(inst, "ts", fmt.Sprint(j)), j, l, cfg, coin, start,
+			func(ts []Triple) { p.onDealer(j, ts) })
+		p.bas[j] = ba.New(rt, proto.Join(inst, "ba", fmt.Sprint(j)), cfg.Ts, cfg.Delta,
+			start+TripShDeadline(cfg), coin,
+			func(v uint8) { p.onBA(j, v) })
+	}
+	for m := 0; m < l; m++ {
+		m := m
+		p.exts[m] = NewTripTrans(rt, proto.Join(inst, "ext", fmt.Sprint(m)), cfg, d, func(res *TransResult) {
+			p.extDone[m] = true
+			p.maybeFinish()
+		})
+	}
+	rt.AtProcessing(start+TripShDeadline(cfg), func() { p.enterPhase2() })
+	return p
+}
+
+// Start draws this party's dealer triples and verification triples and
+// launches its dealer ΠTripSh plus its verification-ACS contribution.
+func (p *Preprocessing) Start() {
+	rng := p.rt.Rand()
+	p.dealers[p.rt.ID()].Start(rng)
+	// Verification triples: L per dealer slot, each a fresh random
+	// multiplication triple shared through degree-ts polynomials.
+	polys := make([]poly.Poly, 0, 3*p.L*p.cfg.N)
+	for jd := 1; jd <= p.cfg.N; jd++ {
+		for m := 0; m < p.L; m++ {
+			u := field.Random(rng)
+			v := field.Random(rng)
+			w := u.Mul(v)
+			polys = append(polys,
+				poly.Random(rng, p.cfg.Ts, u),
+				poly.Random(rng, p.cfg.Ts, v),
+				poly.Random(rng, p.cfg.Ts, w))
+		}
+	}
+	p.verifACS.Start(polys)
+}
+
+// Done reports completion.
+func (p *Preprocessing) Done() bool { return p.done }
+
+// Triples returns the cM output triple shares; valid after Done.
+func (p *Preprocessing) Triples() []Triple { return p.out }
+
+// CS returns the agreed dealer subset; valid once decided.
+func (p *Preprocessing) CS() []int { return p.cs }
+
+func (p *Preprocessing) onVerifACS(cs []int, shares map[int][]field.Element) {
+	// Slice each provider's flattened polynomials per dealer slot:
+	// provider's layout is [dealer jd][slot m][u,v,w].
+	for jd := 1; jd <= p.cfg.N; jd++ {
+		ver := Verification{W: cs, Shares: make(map[int][]field.Element, len(cs))}
+		for _, prov := range cs {
+			all := shares[prov]
+			base := (jd - 1) * 3 * p.L
+			ver.Shares[prov] = all[base : base+3*p.L]
+		}
+		p.dealers[jd].SetVerification(ver)
+	}
+}
+
+func (p *Preprocessing) onDealer(j int, ts []Triple) {
+	if _, dup := p.dealerOut[j]; dup {
+		return
+	}
+	p.dealerOut[j] = ts
+	if p.phase2 && !p.baGiven[j] {
+		p.baGiven[j] = true
+		p.bas[j].Start(1)
+	}
+	p.tryExtract()
+}
+
+func (p *Preprocessing) enterPhase2() {
+	p.phase2 = true
+	for j := 1; j <= p.cfg.N; j++ {
+		if _, ok := p.dealerOut[j]; ok && !p.baGiven[j] {
+			p.baGiven[j] = true
+			p.bas[j].Start(1)
+		}
+	}
+}
+
+func (p *Preprocessing) onBA(j int, v uint8) {
+	vv := v
+	p.baOut[j] = &vv
+	if v == 1 {
+		p.ones++
+		if p.ones >= p.cfg.N-p.cfg.Ts && !p.zeroWave {
+			p.zeroWave = true
+			for k := 1; k <= p.cfg.N; k++ {
+				if !p.baGiven[k] {
+					p.baGiven[k] = true
+					p.bas[k].Start(0)
+				}
+			}
+		}
+	}
+	if p.cs == nil {
+		for k := 1; k <= p.cfg.N; k++ {
+			if p.baOut[k] == nil {
+				return
+			}
+		}
+		// CS = first n-ts parties whose ΠBA output 1 (Fig 10).
+		var cs []int
+		for k := 1; k <= p.cfg.N && len(cs) < p.cfg.N-p.cfg.Ts; k++ {
+			if *p.baOut[k] == 1 {
+				cs = append(cs, k)
+			}
+		}
+		p.cs = cs
+	}
+	p.tryExtract()
+}
+
+// tryExtract starts the L ΠTripExt transformations once CS is decided
+// and the first 2d+1 CS dealers' outputs are held.
+func (p *Preprocessing) tryExtract() {
+	if p.cs == nil {
+		return
+	}
+	if len(p.cs) < 2*p.d+1 {
+		// Cannot happen: |CS| = n-ts ≥ 2d+1 by construction.
+		panic("triples: CS smaller than extraction width")
+	}
+	providers := p.cs[:2*p.d+1]
+	for _, j := range providers {
+		if _, ok := p.dealerOut[j]; !ok {
+			return
+		}
+	}
+	for m := 0; m < p.L; m++ {
+		batch := make([]Triple, 0, 2*p.d+1)
+		for _, j := range providers {
+			batch = append(batch, p.dealerOut[j][m])
+		}
+		p.exts[m].Start(batch)
+	}
+}
+
+func (p *Preprocessing) maybeFinish() {
+	if p.done {
+		return
+	}
+	for m := 0; m < p.L; m++ {
+		if !p.extDone[m] {
+			return
+		}
+	}
+	out := make([]Triple, 0, p.L*p.yield)
+	for m := 0; m < p.L; m++ {
+		res := p.exts[m].Result()
+		for k := 1; k <= p.yield; k++ {
+			pt, err := res.ShareAt(poly.Beta(p.cfg.N, k))
+			if err != nil {
+				panic(err)
+			}
+			out = append(out, pt)
+		}
+	}
+	p.done = true
+	p.out = out[:p.cM]
+	if p.onDone != nil {
+		p.onDone(p.out)
+	}
+}

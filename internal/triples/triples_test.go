@@ -1,0 +1,500 @@
+package triples
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/adversary"
+	"repro/internal/proto"
+	"repro/internal/rs"
+	"repro/internal/sim"
+	"repro/poly"
+)
+
+func cfg8() proto.Config { return proto.Config{N: 8, Ts: 2, Ta: 1, Delta: 10, CoinRounds: 8} }
+func cfg5() proto.Config { return proto.Config{N: 5, Ts: 1, Ta: 1, Delta: 10, CoinRounds: 8} }
+
+// share returns n shares of value under a fresh random ts-polynomial.
+func share(r *rand.Rand, cfg proto.Config, v field.Element) []field.Element {
+	return poly.Random(r, cfg.Ts, v).Shares(cfg.N)
+}
+
+// reconstruct interpolates honest shares (1-based map) at 0.
+func reconstruct(t *testing.T, cfg proto.Config, shares map[int]field.Element) field.Element {
+	t.Helper()
+	v, err := rs.ReconstructSecret(cfg.Ts, cfg.Ts, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestReconBasic(t *testing.T) {
+	for _, nk := range []proto.NetKind{proto.Sync, proto.Async} {
+		c := cfg8()
+		w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: nk, Seed: 1})
+		r := rand.New(rand.NewPCG(1, 1))
+		v1, v2 := field.Random(r), field.Random(r)
+		s1, s2 := share(r, c, v1), share(r, c, v2)
+		outs := make([][]field.Element, c.N+1)
+		recs := make([]*Recon, c.N+1)
+		for i := 1; i <= c.N; i++ {
+			i := i
+			recs[i] = NewRecon(w.Runtimes[i], "rec", c, 2, func(vals []field.Element) { outs[i] = vals })
+		}
+		for i := 1; i <= c.N; i++ {
+			recs[i].Start([]field.Element{s1[i-1], s2[i-1]})
+		}
+		w.RunToQuiescence()
+		for i := 1; i <= c.N; i++ {
+			if outs[i] == nil || outs[i][0] != v1 || outs[i][1] != v2 {
+				t.Fatalf("%v: party %d reconstructed %v, want [%v %v]", nk, i, outs[i], v1, v2)
+			}
+		}
+	}
+}
+
+func TestReconWithWrongShares(t *testing.T) {
+	// ts corrupt parties submit wrong shares; OEC must still decode.
+	c := cfg8()
+	ctrl := adversary.NewController().
+		Set(2, adversary.GarbleMatching(func(string) bool { return true })).
+		Set(7, adversary.GarbleMatching(func(string) bool { return true }))
+	w := proto.NewWorld(proto.WorldOpts{
+		Cfg: c, Network: proto.Sync, Seed: 2, Corrupt: []int{2, 7}, Interceptor: ctrl,
+	})
+	r := rand.New(rand.NewPCG(2, 2))
+	v := field.Random(r)
+	s := share(r, c, v)
+	outs := make([][]field.Element, c.N+1)
+	recs := make([]*Recon, c.N+1)
+	for i := 1; i <= c.N; i++ {
+		i := i
+		recs[i] = NewRecon(w.Runtimes[i], "rec", c, 1, func(vals []field.Element) { outs[i] = vals })
+	}
+	for i := 1; i <= c.N; i++ {
+		recs[i].Start([]field.Element{s[i-1]})
+	}
+	w.RunToQuiescence()
+	for i := 1; i <= c.N; i++ {
+		if w.IsCorrupt(i) {
+			continue
+		}
+		if outs[i] == nil || outs[i][0] != v {
+			t.Fatalf("party %d got %v, want %v", i, outs[i], v)
+		}
+	}
+}
+
+func TestBeaverCorrectness(t *testing.T) {
+	for _, nk := range []proto.NetKind{proto.Sync, proto.Async} {
+		c := cfg8()
+		w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: nk, Seed: 3})
+		r := rand.New(rand.NewPCG(3, 3))
+		x, y := field.Random(r), field.Random(r)
+		a := field.Random(r)
+		bv := field.Random(r)
+		cv := a.Mul(bv)
+		xs, ys, as, bs, cs := share(r, c, x), share(r, c, y), share(r, c, a), share(r, c, bv), share(r, c, cv)
+		zs := make(map[int]field.Element)
+		beavers := make([]*Beaver, c.N+1)
+		doneAt := make([]sim.Time, c.N+1)
+		for i := 1; i <= c.N; i++ {
+			i := i
+			beavers[i] = NewBeaver(w.Runtimes[i], "bv", c, func(z field.Element) {
+				zs[i] = z
+				doneAt[i] = w.Sched.Now()
+			})
+		}
+		for i := 1; i <= c.N; i++ {
+			beavers[i].Start(xs[i-1], ys[i-1], as[i-1], bs[i-1], cs[i-1])
+		}
+		w.RunToQuiescence()
+		if got := reconstruct(t, c, zs); got != x.Mul(y) {
+			t.Fatalf("%v: z = %v, want x*y = %v", nk, got, x.Mul(y))
+		}
+		if nk == proto.Sync {
+			for i := 1; i <= c.N; i++ {
+				if doneAt[i] > c.Delta {
+					t.Fatalf("party %d finished Beaver at %d > Δ", i, doneAt[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBeaverBadTripleGivesWrongProduct(t *testing.T) {
+	// Lemma 6.1: z = x·y iff (a,b,c) is a multiplication triple.
+	c := cfg5()
+	w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 4})
+	r := rand.New(rand.NewPCG(4, 4))
+	x, y := field.Random(r), field.Random(r)
+	a, bv := field.Random(r), field.Random(r)
+	cv := a.Mul(bv).Add(field.One) // broken triple
+	xs, ys, as, bs, cs := share(r, c, x), share(r, c, y), share(r, c, a), share(r, c, bv), share(r, c, cv)
+	zs := make(map[int]field.Element)
+	beavers := make([]*Beaver, c.N+1)
+	for i := 1; i <= c.N; i++ {
+		i := i
+		beavers[i] = NewBeaver(w.Runtimes[i], "bv", c, func(z field.Element) { zs[i] = z })
+	}
+	for i := 1; i <= c.N; i++ {
+		beavers[i].Start(xs[i-1], ys[i-1], as[i-1], bs[i-1], cs[i-1])
+	}
+	w.RunToQuiescence()
+	got := reconstruct(t, c, zs)
+	if got == x.Mul(y) {
+		t.Fatal("broken helper triple still produced x*y")
+	}
+	if got != x.Mul(y).Add(field.One) {
+		t.Fatalf("z = %v, want x*y + 1", got)
+	}
+}
+
+func TestTripTrans(t *testing.T) {
+	// 2d+1 multiplication triples in, correlated triples out; verify
+	// the X, Y, Z polynomial structure by reconstructing all outputs.
+	c := cfg8()
+	d := 3
+	w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 5})
+	r := rand.New(rand.NewPCG(5, 5))
+	k := 2*d + 1
+	vals := make([][3]field.Element, k)
+	shs := make([][][]field.Element, k) // triple -> component -> party shares
+	for i := 0; i < k; i++ {
+		x, y := field.Random(r), field.Random(r)
+		vals[i] = [3]field.Element{x, y, x.Mul(y)}
+		shs[i] = [][]field.Element{share(r, c, x), share(r, c, y), share(r, c, x.Mul(y))}
+	}
+	results := make([]*TransResult, c.N+1)
+	insts := make([]*TripTrans, c.N+1)
+	for i := 1; i <= c.N; i++ {
+		i := i
+		insts[i] = NewTripTrans(w.Runtimes[i], "tt", c, d, func(res *TransResult) { results[i] = res })
+	}
+	for i := 1; i <= c.N; i++ {
+		batch := make([]Triple, k)
+		for j := 0; j < k; j++ {
+			batch[j] = Triple{X: shs[j][0][i-1], Y: shs[j][1][i-1], Z: shs[j][2][i-1]}
+		}
+		insts[i].Start(batch)
+	}
+	w.RunToQuiescence()
+	// Reconstruct X(α_j), Y(α_j), Z(α_j) for all j and check the
+	// polynomial degrees and Z = X·Y.
+	var xPts, yPts, zPts []poly.Point
+	for j := 1; j <= k; j++ {
+		xm := map[int]field.Element{}
+		ym := map[int]field.Element{}
+		zm := map[int]field.Element{}
+		for i := 1; i <= c.N; i++ {
+			if results[i] == nil {
+				t.Fatalf("party %d incomplete", i)
+			}
+			xm[i] = results[i].Triples[j-1].X
+			ym[i] = results[i].Triples[j-1].Y
+			zm[i] = results[i].Triples[j-1].Z
+		}
+		x := reconstruct(t, c, xm)
+		y := reconstruct(t, c, ym)
+		z := reconstruct(t, c, zm)
+		if z != x.Mul(y) {
+			t.Fatalf("transformed triple %d not multiplicative", j)
+		}
+		xPts = append(xPts, poly.Point{X: poly.Alpha(j), Y: x})
+		yPts = append(yPts, poly.Point{X: poly.Alpha(j), Y: y})
+		zPts = append(zPts, poly.Point{X: poly.Alpha(j), Y: z})
+	}
+	// First d+1 triples preserved.
+	for j := 0; j <= d; j++ {
+		if xPts[j].Y != vals[j][0] || yPts[j].Y != vals[j][1] || zPts[j].Y != vals[j][2] {
+			t.Fatalf("triple %d not preserved", j)
+		}
+	}
+	xPoly, err := poly.Interpolate(xPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xPoly.Degree() > d {
+		t.Fatalf("X degree %d > d=%d", xPoly.Degree(), d)
+	}
+	zPoly, err := poly.Interpolate(zPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zPoly.Degree() > 2*d {
+		t.Fatalf("Z degree %d > 2d", zPoly.Degree())
+	}
+	// ShareAt consistency: reconstruct at a fresh point.
+	beta := poly.Beta(c.N, 3)
+	bm := map[int]field.Element{}
+	for i := 1; i <= c.N; i++ {
+		pt, err := results[i].ShareAt(beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm[i] = pt.Z
+	}
+	if got := reconstruct(t, c, bm); got != zPoly.Eval(beta) {
+		t.Fatalf("ShareAt(β) = %v, want Z(β) = %v", got, zPoly.Eval(beta))
+	}
+}
+
+func TestTripTransNonMultiplicativePropagates(t *testing.T) {
+	// Lemma 6.2: transformed triple i is multiplicative iff input i is.
+	c := cfg5()
+	d := 1
+	w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 6})
+	r := rand.New(rand.NewPCG(6, 6))
+	k := 2*d + 1
+	shs := make([][][]field.Element, k)
+	for i := 0; i < k; i++ {
+		x, y := field.Random(r), field.Random(r)
+		z := x.Mul(y)
+		if i == 1 {
+			z = z.Add(field.One) // break triple 2 (the Beaver helper)
+		}
+		shs[i] = [][]field.Element{share(r, c, x), share(r, c, y), share(r, c, z)}
+	}
+	results := make([]*TransResult, c.N+1)
+	insts := make([]*TripTrans, c.N+1)
+	for i := 1; i <= c.N; i++ {
+		i := i
+		insts[i] = NewTripTrans(w.Runtimes[i], "tt", c, d, func(res *TransResult) { results[i] = res })
+	}
+	for i := 1; i <= c.N; i++ {
+		batch := make([]Triple, k)
+		for j := 0; j < k; j++ {
+			batch[j] = Triple{X: shs[j][0][i-1], Y: shs[j][1][i-1], Z: shs[j][2][i-1]}
+		}
+		insts[i].Start(batch)
+	}
+	w.RunToQuiescence()
+	// Triple index 2 (0-based 1) was the broken one... with d=1, the
+	// helper for the single new point is input triple index d+1=2
+	// (0-based 1)? No: helpers are inputs d+2..2d+1 (0-based d+1..2d),
+	// i.e. 0-based index 2 here. 0-based 1 is adopted unchanged, so the
+	// transformed triple 2 must be non-multiplicative exactly like its
+	// input.
+	for j := 1; j <= k; j++ {
+		xm := map[int]field.Element{}
+		ym := map[int]field.Element{}
+		zm := map[int]field.Element{}
+		for i := 1; i <= c.N; i++ {
+			xm[i] = results[i].Triples[j-1].X
+			ym[i] = results[i].Triples[j-1].Y
+			zm[i] = results[i].Triples[j-1].Z
+		}
+		x, y, z := reconstruct(t, c, xm), reconstruct(t, c, ym), reconstruct(t, c, zm)
+		isMult := z == x.Mul(y)
+		wantMult := j != 2
+		if isMult != wantMult {
+			t.Fatalf("triple %d multiplicativity = %v, want %v", j, isMult, wantMult)
+		}
+	}
+}
+
+// tripShHarness runs a full TripSh with a real shared verification ACS.
+type tripShHarness struct {
+	w      *proto.World
+	pre    []*Preprocessing
+	outs   [][]Triple
+	doneAt []sim.Time
+}
+
+func TestPreprocessingSync(t *testing.T) {
+	c := cfg5()
+	const cM = 2
+	w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 7})
+	coin := aba.DefaultCoin(7)
+	outs := make([][]Triple, c.N+1)
+	doneAt := make([]sim.Time, c.N+1)
+	pre := make([]*Preprocessing, c.N+1)
+	for i := 1; i <= c.N; i++ {
+		i := i
+		pre[i] = NewPreprocessing(w.Runtimes[i], "pp", cM, c, coin, 0, func(ts []Triple) {
+			outs[i] = ts
+			doneAt[i] = w.Sched.Now()
+		})
+	}
+	for i := 1; i <= c.N; i++ {
+		pre[i].Start()
+	}
+	w.RunToQuiescence()
+	for i := 1; i <= c.N; i++ {
+		if outs[i] == nil {
+			t.Fatalf("party %d preprocessing incomplete", i)
+		}
+		if len(outs[i]) != cM {
+			t.Fatalf("party %d got %d triples, want %d", i, len(outs[i]), cM)
+		}
+	}
+	// Each output triple reconstructs to a multiplication triple.
+	for m := 0; m < cM; m++ {
+		xm := map[int]field.Element{}
+		ym := map[int]field.Element{}
+		zm := map[int]field.Element{}
+		for i := 1; i <= c.N; i++ {
+			xm[i] = outs[i][m].X
+			ym[i] = outs[i][m].Y
+			zm[i] = outs[i][m].Z
+		}
+		x, y, z := reconstruct(t, c, xm), reconstruct(t, c, ym), reconstruct(t, c, zm)
+		if z != x.Mul(y) {
+			t.Fatalf("output triple %d not multiplicative: %v*%v != %v", m, x, y, z)
+		}
+		if x.IsZero() && y.IsZero() && z.IsZero() {
+			t.Fatalf("output triple %d degenerate (all honest run)", m)
+		}
+	}
+	deadline := PreprocessingDeadline(c)
+	for i := 1; i <= c.N; i++ {
+		if doneAt[i] > deadline {
+			t.Fatalf("party %d finished at %d > TTripGen=%d", i, doneAt[i], deadline)
+		}
+	}
+}
+
+func TestPreprocessingWithBadDealer(t *testing.T) {
+	// Dealer 2 (corrupt) shares non-multiplicative triples: the
+	// supervised verification must flag it, its output becomes the
+	// default (0,0,0), and the extracted triples are still
+	// multiplicative.
+	c := cfg5()
+	const cM = 1
+	w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 8, Corrupt: []int{2}})
+	coin := aba.DefaultCoin(8)
+	outs := make([][]Triple, c.N+1)
+	pre := make([]*Preprocessing, c.N+1)
+	for i := 1; i <= c.N; i++ {
+		i := i
+		pre[i] = NewPreprocessing(w.Runtimes[i], "pp", cM, c, coin, 0, func(ts []Triple) {
+			outs[i] = ts
+		})
+	}
+	r := rand.New(rand.NewPCG(8, 8))
+	for i := 1; i <= c.N; i++ {
+		if i == 2 {
+			// Corrupt dealer: bad triples through the honest machinery.
+			_, _, l := ExtractParams(c, cM)
+			k := 2*c.Ts + 1
+			bad := make([][3]field.Element, l*k)
+			for m := range bad {
+				x, y := field.Random(r), field.Random(r)
+				bad[m] = [3]field.Element{x, y, x.Mul(y).Add(field.One)}
+			}
+			pre[2].dealers[2].StartTriples(w.Runtimes[2].Rand(), bad)
+			// Still contribute verification triples honestly.
+			polys := make([]poly.Poly, 0, 3*l*c.N)
+			rng := w.Runtimes[2].Rand()
+			for jd := 1; jd <= c.N; jd++ {
+				for m := 0; m < l; m++ {
+					u, v := field.Random(rng), field.Random(rng)
+					polys = append(polys,
+						poly.Random(rng, c.Ts, u),
+						poly.Random(rng, c.Ts, v),
+						poly.Random(rng, c.Ts, u.Mul(v)))
+				}
+			}
+			pre[2].verifACS.Start(polys)
+			continue
+		}
+		pre[i].Start()
+	}
+	w.RunToQuiescence()
+	for i := 1; i <= c.N; i++ {
+		if w.IsCorrupt(i) {
+			continue
+		}
+		if outs[i] == nil {
+			t.Fatalf("party %d incomplete", i)
+		}
+	}
+	// Dealer 2's TripSh output must be the default (0,0,0) at every
+	// honest party (flag raised).
+	for i := 1; i <= c.N; i++ {
+		if w.IsCorrupt(i) {
+			continue
+		}
+		d2 := pre[i].dealers[2]
+		if d2.Done() {
+			for _, tr := range d2.Triples() {
+				if tr.X != 0 || tr.Y != 0 || tr.Z != 0 {
+					t.Fatalf("party %d: bad dealer's triple not defaulted", i)
+				}
+			}
+		}
+	}
+	// Final triples still multiplicative.
+	xm := map[int]field.Element{}
+	ym := map[int]field.Element{}
+	zm := map[int]field.Element{}
+	for i := 1; i <= c.N; i++ {
+		if w.IsCorrupt(i) || outs[i] == nil {
+			continue
+		}
+		xm[i] = outs[i][0].X
+		ym[i] = outs[i][0].Y
+		zm[i] = outs[i][0].Z
+	}
+	x, y, z := reconstruct(t, c, xm), reconstruct(t, c, ym), reconstruct(t, c, zm)
+	if z != x.Mul(y) {
+		t.Fatal("extracted triple not multiplicative despite flagged dealer")
+	}
+}
+
+func TestPreprocessingAsync(t *testing.T) {
+	c := cfg5()
+	const cM = 1
+	w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Async, Seed: 9})
+	coin := aba.DefaultCoin(9)
+	outs := make([][]Triple, c.N+1)
+	pre := make([]*Preprocessing, c.N+1)
+	for i := 1; i <= c.N; i++ {
+		i := i
+		pre[i] = NewPreprocessing(w.Runtimes[i], "pp", cM, c, coin, 0, func(ts []Triple) {
+			outs[i] = ts
+		})
+	}
+	for i := 1; i <= c.N; i++ {
+		pre[i].Start()
+	}
+	w.RunToQuiescence()
+	xm := map[int]field.Element{}
+	ym := map[int]field.Element{}
+	zm := map[int]field.Element{}
+	for i := 1; i <= c.N; i++ {
+		if outs[i] == nil {
+			t.Fatalf("party %d incomplete in async run", i)
+		}
+		xm[i] = outs[i][0].X
+		ym[i] = outs[i][0].Y
+		zm[i] = outs[i][0].Z
+	}
+	x, y, z := reconstruct(t, c, xm), reconstruct(t, c, ym), reconstruct(t, c, zm)
+	if z != x.Mul(y) {
+		t.Fatal("async extracted triple not multiplicative")
+	}
+}
+
+func TestExtractParams(t *testing.T) {
+	tests := []struct {
+		n, ts, cM   int
+		d, yield, l int
+	}{
+		{8, 2, 4, 2, 1, 4},
+		{5, 1, 3, 1, 1, 3},
+		{13, 3, 10, 4, 2, 5},
+		{16, 4, 7, 5, 2, 4},
+	}
+	for _, tt := range tests {
+		c := proto.Config{N: tt.n, Ts: tt.ts, Ta: 0, Delta: 10}
+		d, yield, l := ExtractParams(c, tt.cM)
+		if d != tt.d || yield != tt.yield || l != tt.l {
+			t.Errorf("ExtractParams(n=%d ts=%d cM=%d) = (%d,%d,%d), want (%d,%d,%d)",
+				tt.n, tt.ts, tt.cM, d, yield, l, tt.d, tt.yield, tt.l)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package triples
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/acs"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/vss"
+	"repro/poly"
+)
+
+// Verification carries the supervised-verification material of Fig 8:
+// the agreed provider set W (from a ΠACS run) and, per provider j ∈ W,
+// this party's shares of j's L verification triples, flattened as
+// (u_1, v_1, w_1, u_2, ...).
+type Verification struct {
+	W      []int
+	Shares map[int][]field.Element
+}
+
+// TripSh implements ΠTripSh (Fig 8, Lemma 6.3): a dealer D verifiably
+// ts-shares L multiplication triples.
+//
+// D shares L·(2ts+1) random multiplication triples through one ΠVSS.
+// Per output slot the 2ts+1 triples are transformed (ΠTripTrans) onto
+// polynomials X, Y (degree ts) and Z (degree 2ts); every provider
+// P_j ∈ W supervises the verification of the point α_j by having the
+// parties recompute X(α_j)·Y(α_j) with Beaver's trick on P_j's
+// verification triple and publicly reconstructing the difference
+// γ_j = z'_j - Z(α_j). A non-zero γ_j triggers public reconstruction
+// of the suspected point triple; if it is not multiplicative the slot
+// is flagged and the default (0,0,0) sharing is output, otherwise the
+// parties output shares of (X(β), Y(β), Z(β)) — a fresh random
+// multiplication triple the adversary has no information about.
+type TripSh struct {
+	rt     *proto.Runtime
+	inst   string
+	dealer int
+	L      int
+	cfg    proto.Config
+	start  sim.Time
+
+	vssInst *vss.VSS
+	trans   []*TripTrans
+	transR  []*TransResult
+
+	verif *Verification
+
+	// Per (slot, provider): verification machinery.
+	verBeaver [][]*Beaver
+	gamma     [][]*Recon
+	open      [][]*Recon
+	// resolved[m][j] = nil (pending) / true (fine) / false (flagged).
+	resolved    [][]*bool
+	verStart    [][]bool
+	pendingOpen [][]bool
+	openStart   [][]bool
+	zAt         [][]field.Element // share of Z(α_j) per slot (cached at verify start)
+
+	done   bool
+	out    []Triple
+	onDone func([]Triple)
+}
+
+// TripShDeadline returns TTripSh - T0 = TACS + 4Δ.
+func TripShDeadline(cfg proto.Config) sim.Time {
+	return acs.Deadline(cfg) + 4*cfg.Delta
+}
+
+// NewTripSh registers a ΠTripSh instance anchored at start. The dealer
+// calls Start; the owner feeds SetVerification when the verification
+// ΠACS completes. onDone fires once with this party's shares of the L
+// output triples.
+func NewTripSh(rt *proto.Runtime, inst string, dealer, l int, cfg proto.Config, coin aba.CoinSource, start sim.Time, onDone func([]Triple)) *TripSh {
+	t := &TripSh{
+		rt:     rt,
+		inst:   inst,
+		dealer: dealer,
+		L:      l,
+		cfg:    cfg,
+		start:  start,
+		trans:  make([]*TripTrans, l),
+		transR: make([]*TransResult, l),
+		onDone: onDone,
+	}
+	nPolys := 3 * l * (2*cfg.Ts + 1)
+	t.vssInst = vss.New(rt, proto.Join(inst, "vss"), dealer, nPolys, cfg, coin, start,
+		func(shares []field.Element) { t.onVSS(shares) })
+	n := cfg.N
+	t.verBeaver = make([][]*Beaver, l)
+	t.gamma = make([][]*Recon, l)
+	t.open = make([][]*Recon, l)
+	t.resolved = make([][]*bool, l)
+	t.verStart = make([][]bool, l)
+	t.pendingOpen = make([][]bool, l)
+	t.openStart = make([][]bool, l)
+	t.zAt = make([][]field.Element, l)
+	for m := 0; m < l; m++ {
+		m := m
+		t.trans[m] = NewTripTrans(rt, proto.Join(inst, "tt", fmt.Sprint(m)), cfg, cfg.Ts, func(res *TransResult) {
+			t.transR[m] = res
+			t.tryVerifySlot(m)
+			for j := 1; j <= cfg.N; j++ {
+				t.tryOpen(m, j)
+			}
+			t.maybeFinish()
+		})
+		t.verBeaver[m] = make([]*Beaver, n+1)
+		t.gamma[m] = make([]*Recon, n+1)
+		t.open[m] = make([]*Recon, n+1)
+		t.resolved[m] = make([]*bool, n+1)
+		t.verStart[m] = make([]bool, n+1)
+		t.pendingOpen[m] = make([]bool, n+1)
+		t.openStart[m] = make([]bool, n+1)
+		t.zAt[m] = make([]field.Element, n+1)
+		for j := 1; j <= n; j++ {
+			j := j
+			t.verBeaver[m][j] = NewBeaver(rt, proto.Join(inst, "vb", fmt.Sprint(m), fmt.Sprint(j)), cfg, func(zp field.Element) {
+				// γ_j = z'_j - Z(α_j), publicly reconstructed.
+				t.gamma[m][j].Start([]field.Element{zp.Sub(t.zAt[m][j])})
+			})
+			t.gamma[m][j] = NewRecon(rt, proto.Join(inst, "g", fmt.Sprint(m), fmt.Sprint(j)), cfg, 1, func(vals []field.Element) {
+				t.onGamma(m, j, vals[0])
+			})
+			t.open[m][j] = NewRecon(rt, proto.Join(inst, "o", fmt.Sprint(m), fmt.Sprint(j)), cfg, 3, func(vals []field.Element) {
+				ok := vals[2] == vals[0].Mul(vals[1])
+				t.resolve(m, j, ok)
+			})
+		}
+	}
+	return t
+}
+
+// Start picks L·(2ts+1) random multiplication triples and VSS-shares
+// their component polynomials. Dealer only.
+func (t *TripSh) Start(rng *rand.Rand) {
+	if t.rt.ID() != t.dealer {
+		panic("triples: TripSh.Start called by non-dealer")
+	}
+	k := 2*t.cfg.Ts + 1
+	polys := make([]poly.Poly, 0, 3*t.L*k)
+	for m := 0; m < t.L; m++ {
+		for i := 0; i < k; i++ {
+			x := field.Random(rng)
+			y := field.Random(rng)
+			z := x.Mul(y)
+			polys = append(polys,
+				poly.Random(rng, t.cfg.Ts, x),
+				poly.Random(rng, t.cfg.Ts, y),
+				poly.Random(rng, t.cfg.Ts, z))
+		}
+	}
+	t.vssInst.Start(polys)
+}
+
+// StartTriples lets adversarial tests share explicit (possibly
+// non-multiplicative) triples.
+func (t *TripSh) StartTriples(rng *rand.Rand, vals [][3]field.Element) {
+	if t.rt.ID() != t.dealer {
+		panic("triples: TripSh.StartTriples called by non-dealer")
+	}
+	k := 2*t.cfg.Ts + 1
+	if len(vals) != t.L*k {
+		panic("triples: StartTriples needs L*(2ts+1) triples")
+	}
+	polys := make([]poly.Poly, 0, 3*len(vals))
+	for _, v := range vals {
+		polys = append(polys,
+			poly.Random(rng, t.cfg.Ts, v[0]),
+			poly.Random(rng, t.cfg.Ts, v[1]),
+			poly.Random(rng, t.cfg.Ts, v[2]))
+	}
+	t.vssInst.Start(polys)
+}
+
+// SetVerification supplies the agreed verification providers and this
+// party's shares of their verification triples.
+func (t *TripSh) SetVerification(v Verification) {
+	if t.verif != nil {
+		return
+	}
+	t.verif = &v
+	for m := 0; m < t.L; m++ {
+		t.tryVerifySlot(m)
+	}
+}
+
+// Done reports whether the L output triples have been computed.
+func (t *TripSh) Done() bool { return t.done }
+
+// Triples returns this party's output triple shares; valid after Done.
+func (t *TripSh) Triples() []Triple { return t.out }
+
+func (t *TripSh) onVSS(shares []field.Element) {
+	k := 2*t.cfg.Ts + 1
+	for m := 0; m < t.L; m++ {
+		batch := make([]Triple, k)
+		for i := 0; i < k; i++ {
+			base := (m*k + i) * 3
+			batch[i] = Triple{X: shares[base], Y: shares[base+1], Z: shares[base+2]}
+		}
+		t.trans[m].Start(batch)
+	}
+}
+
+// tryVerifySlot launches the supervised verification of slot m once
+// both the transformed triples and the verification material exist.
+func (t *TripSh) tryVerifySlot(m int) {
+	if t.transR[m] == nil || t.verif == nil {
+		return
+	}
+	res := t.transR[m]
+	for _, j := range t.verif.W {
+		if t.verStart[m][j] {
+			continue
+		}
+		t.verStart[m][j] = true
+		pt, err := res.ShareAt(poly.Alpha(j))
+		if err != nil {
+			panic(err)
+		}
+		t.zAt[m][j] = pt.Z
+		vs := t.verif.Shares[j]
+		u, v, w := vs[3*m], vs[3*m+1], vs[3*m+2]
+		t.verBeaver[m][j].Start(pt.X, pt.Y, u, v, w)
+	}
+}
+
+func (t *TripSh) onGamma(m, j int, gamma field.Element) {
+	if gamma.IsZero() {
+		t.resolve(m, j, true)
+		return
+	}
+	t.pendingOpen[m][j] = true
+	t.tryOpen(m, j)
+}
+
+// tryOpen starts the suspected-triple reconstruction once this party's
+// own transform exists (the γ value may arrive from other parties'
+// shares first).
+func (t *TripSh) tryOpen(m, j int) {
+	if !t.pendingOpen[m][j] || t.openStart[m][j] || t.transR[m] == nil {
+		return
+	}
+	t.openStart[m][j] = true
+	// Suspected slot: publicly reconstruct (X(α_j), Y(α_j), Z(α_j)).
+	pt, err := t.transR[m].ShareAt(poly.Alpha(j))
+	if err != nil {
+		panic(err)
+	}
+	t.open[m][j].Start([]field.Element{pt.X, pt.Y, pt.Z})
+}
+
+func (t *TripSh) resolve(m, j int, ok bool) {
+	if t.resolved[m][j] != nil {
+		return
+	}
+	t.resolved[m][j] = &ok
+	t.maybeFinish()
+}
+
+func (t *TripSh) maybeFinish() {
+	if t.done || t.verif == nil {
+		return
+	}
+	out := make([]Triple, t.L)
+	for m := 0; m < t.L; m++ {
+		if t.transR[m] == nil {
+			return
+		}
+		okAll := true
+		for _, j := range t.verif.W {
+			r := t.resolved[m][j]
+			if r == nil {
+				return
+			}
+			okAll = okAll && *r
+		}
+		if okAll {
+			pt, err := t.transR[m].ShareAt(poly.Beta(t.cfg.N, 1))
+			if err != nil {
+				panic(err)
+			}
+			out[m] = pt
+		} else {
+			out[m] = Triple{} // default (0,0,0) sharing on behalf of D
+		}
+	}
+	t.done = true
+	t.out = out
+	if t.onDone != nil {
+		t.onDone(out)
+	}
+}

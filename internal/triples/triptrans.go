@@ -1,0 +1,176 @@
+package triples
+
+import (
+	"fmt"
+
+	"repro/field"
+	"repro/internal/proto"
+	"repro/poly"
+)
+
+// Triple is one party's shares of a shared triple (x, y, z).
+type Triple struct {
+	X, Y, Z field.Element
+}
+
+// TransResult is the outcome of ΠTripTrans at one party: shares of the
+// correlated triples (X(α_i), Y(α_i), Z(α_i)) for i = 1..2d+1, where
+// X, Y have degree d and Z degree 2d, plus the Lagrange machinery to
+// evaluate shares of X, Y, Z at further points.
+type TransResult struct {
+	D       int
+	Triples []Triple // index i-1 holds shares of (X(α_i), Y(α_i), Z(α_i))
+}
+
+// ShareAt returns this party's shares of (X(p), Y(p), Z(p)) for an
+// arbitrary evaluation point p, by Lagrange combination of the
+// transformed shares (the paper's "Lagrange linear function").
+func (t *TransResult) ShareAt(p field.Element) (Triple, error) {
+	d := t.D
+	xsPts := make([]field.Element, d+1)
+	for i := 0; i <= d; i++ {
+		xsPts[i] = poly.Alpha(i + 1)
+	}
+	cs, err := poly.LagrangeCoeffsAt(xsPts, p)
+	if err != nil {
+		return Triple{}, err
+	}
+	var out Triple
+	for i := 0; i <= d; i++ {
+		out.X = out.X.Add(cs[i].Mul(t.Triples[i].X))
+		out.Y = out.Y.Add(cs[i].Mul(t.Triples[i].Y))
+	}
+	zsPts := make([]field.Element, 2*d+1)
+	for i := 0; i <= 2*d; i++ {
+		zsPts[i] = poly.Alpha(i + 1)
+	}
+	zs, err := poly.LagrangeCoeffsAt(zsPts, p)
+	if err != nil {
+		return Triple{}, err
+	}
+	for i := 0; i <= 2*d; i++ {
+		out.Z = out.Z.Add(zs[i].Mul(t.Triples[i].Z))
+	}
+	return out, nil
+}
+
+// TripTrans implements ΠTripTrans (Fig 7, Lemma 6.2): it transforms
+// 2d+1 independent ts-shared triples into correlated triples lying on
+// polynomials X (degree d), Y (degree d) and Z (degree 2d) with
+// X(α_i) = x̄_i, Y(α_i) = ȳ_i, Z(α_i) = z̄_i, preserving per-triple
+// multiplicativity. The first d+1 triples are adopted unchanged; the
+// remaining d supply the Beaver helpers for the new Z points. One
+// communication round (the d parallel Beaver reconstructions).
+type TripTrans struct {
+	rt   *proto.Runtime
+	inst string
+	cfg  proto.Config
+	d    int
+
+	beavers []*Beaver
+	outs    []*field.Element // z̄ shares for i = d+2..2d+1
+	started bool
+	input   []Triple
+
+	done   bool
+	result *TransResult
+	onDone func(*TransResult)
+}
+
+// NewTripTrans registers a transformation instance for 2d+1 triples.
+func NewTripTrans(rt *proto.Runtime, inst string, cfg proto.Config, d int, onDone func(*TransResult)) *TripTrans {
+	t := &TripTrans{
+		rt:      rt,
+		inst:    inst,
+		cfg:     cfg,
+		d:       d,
+		beavers: make([]*Beaver, d),
+		outs:    make([]*field.Element, d),
+		onDone:  onDone,
+	}
+	for k := 0; k < d; k++ {
+		k := k
+		t.beavers[k] = NewBeaver(rt, proto.Join(inst, "b", fmt.Sprint(k)), cfg, func(z field.Element) {
+			t.outs[k] = &z
+			t.maybeFinish()
+		})
+	}
+	return t
+}
+
+// Start contributes this party's shares of the 2d+1 input triples.
+func (t *TripTrans) Start(triples []Triple) {
+	if t.started {
+		return
+	}
+	if len(triples) != 2*t.d+1 {
+		panic(fmt.Sprintf("triples: TripTrans.Start with %d triples, want %d", len(triples), 2*t.d+1))
+	}
+	t.started = true
+	t.input = triples
+	if t.d == 0 {
+		t.maybeFinish()
+		return
+	}
+	// New X and Y points at α_{d+2}..α_{2d+1} by Lagrange combination of
+	// the first d+1 shares.
+	base := make([]field.Element, t.d+1)
+	for i := range base {
+		base[i] = poly.Alpha(i + 1)
+	}
+	for k := 0; k < t.d; k++ {
+		target := poly.Alpha(t.d + 2 + k)
+		cs, err := poly.LagrangeCoeffsAt(base, target)
+		if err != nil {
+			panic(err)
+		}
+		var xNew, yNew field.Element
+		for i := 0; i <= t.d; i++ {
+			xNew = xNew.Add(cs[i].Mul(triples[i].X))
+			yNew = yNew.Add(cs[i].Mul(triples[i].Y))
+		}
+		helper := triples[t.d+1+k]
+		t.beavers[k].Start(xNew, yNew, helper.X, helper.Y, helper.Z)
+	}
+}
+
+// Done reports completion.
+func (t *TripTrans) Done() bool { return t.done }
+
+// Result returns the transformed shares; valid only after Done.
+func (t *TripTrans) Result() *TransResult { return t.result }
+
+func (t *TripTrans) maybeFinish() {
+	if t.done || !t.started {
+		return
+	}
+	for _, o := range t.outs {
+		if o == nil {
+			return
+		}
+	}
+	out := make([]Triple, 2*t.d+1)
+	copy(out, t.input[:t.d+1])
+	base := make([]field.Element, t.d+1)
+	for i := range base {
+		base[i] = poly.Alpha(i + 1)
+	}
+	for k := 0; k < t.d; k++ {
+		target := poly.Alpha(t.d + 2 + k)
+		cs, err := poly.LagrangeCoeffsAt(base, target)
+		if err != nil {
+			panic(err)
+		}
+		var xNew, yNew field.Element
+		for i := 0; i <= t.d; i++ {
+			xNew = xNew.Add(cs[i].Mul(t.input[i].X))
+			yNew = yNew.Add(cs[i].Mul(t.input[i].Y))
+		}
+		out[t.d+1+k] = Triple{X: xNew, Y: yNew, Z: *t.outs[k]}
+	}
+	t.done = true
+	t.result = &TransResult{D: t.d, Triples: out}
+	if t.onDone != nil {
+		t.onDone(t.result)
+	}
+}

@@ -1,0 +1,269 @@
+// Package wire provides compact binary encoding helpers for protocol
+// message payloads. Every protocol message in this repository is
+// marshaled through these helpers, so the simulator's byte accounting
+// matches what a real deployment would put on the wire, and malformed
+// (Byzantine) payloads surface as decode errors that protocols drop.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/field"
+	"repro/poly"
+)
+
+// ErrMalformed indicates a payload that could not be decoded.
+var ErrMalformed = errors.New("wire: malformed payload")
+
+// maxLen bounds collection lengths to keep Byzantine payloads from
+// causing huge allocations.
+const maxLen = 1 << 20
+
+// Writer builds a payload.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty payload writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Uint writes an unsigned varint.
+func (w *Writer) Uint(v uint64) *Writer {
+	w.buf = binary.AppendUvarint(w.buf, v)
+	return w
+}
+
+// Int writes a non-negative int as a varint; negative values panic.
+func (w *Writer) Int(v int) *Writer {
+	if v < 0 {
+		panic(fmt.Sprintf("wire: negative int %d", v))
+	}
+	return w.Uint(uint64(v))
+}
+
+// Bool writes a boolean as one byte.
+func (w *Writer) Bool(v bool) *Writer {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+	return w
+}
+
+// Element writes a field element (8 bytes).
+func (w *Writer) Element(e field.Element) *Writer {
+	w.buf = e.AppendBytes(w.buf)
+	return w
+}
+
+// Elements writes a length-prefixed slice of field elements.
+func (w *Writer) Elements(es []field.Element) *Writer {
+	w.Int(len(es))
+	for _, e := range es {
+		w.Element(e)
+	}
+	return w
+}
+
+// Poly writes a polynomial as its coefficient slice.
+func (w *Writer) Poly(p poly.Poly) *Writer { return w.Elements(p.Coeffs) }
+
+// Polys writes a length-prefixed slice of polynomials.
+func (w *Writer) Polys(ps []poly.Poly) *Writer {
+	w.Int(len(ps))
+	for _, p := range ps {
+		w.Poly(p)
+	}
+	return w
+}
+
+// Ints writes a length-prefixed slice of non-negative ints.
+func (w *Writer) Ints(vs []int) *Writer {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.Int(v)
+	}
+	return w
+}
+
+// Blob writes length-prefixed raw bytes.
+func (w *Writer) Blob(b []byte) *Writer {
+	w.Int(len(b))
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// Reader decodes a payload. The first decoding error sticks; callers
+// check Err once after reading all fields.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+// NewReader returns a reader over the payload.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, also flagging trailing garbage.
+func (r *Reader) Err() error { return r.err }
+
+// Done returns nil only if decoding succeeded and the payload was fully
+// consumed.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.buf))
+	}
+	return nil
+}
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrMalformed
+	}
+}
+
+// Uint reads an unsigned varint.
+func (r *Reader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// Int reads a non-negative int.
+func (r *Reader) Int() int {
+	v := r.Uint()
+	if v > maxLen*64 {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads a boolean byte.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.buf) < 1 {
+		r.fail()
+		return false
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	if b > 1 {
+		r.fail()
+		return false
+	}
+	return b == 1
+}
+
+// Element reads a canonical field element.
+func (r *Reader) Element() field.Element {
+	if r.err != nil {
+		return 0
+	}
+	e, err := field.FromBytes(r.buf)
+	if err != nil {
+		r.fail()
+		return 0
+	}
+	r.buf = r.buf[field.ElementSize:]
+	return e
+}
+
+// Elements reads a length-prefixed slice of field elements.
+func (r *Reader) Elements() []field.Element {
+	n := r.Int()
+	if r.err != nil || n > maxLen {
+		r.fail()
+		return nil
+	}
+	out := make([]field.Element, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		out = append(out, r.Element())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Poly reads a polynomial.
+func (r *Reader) Poly() poly.Poly { return poly.Poly{Coeffs: r.Elements()} }
+
+// PolyDegreeAtMost reads a polynomial and fails unless its degree is at
+// most d (Byzantine dealers may send oversized polynomials).
+func (r *Reader) PolyDegreeAtMost(d int) poly.Poly {
+	p := r.Poly()
+	if r.err == nil && p.Degree() > d {
+		r.fail()
+		return poly.Poly{}
+	}
+	return p
+}
+
+// Polys reads a length-prefixed slice of polynomials.
+func (r *Reader) Polys() []poly.Poly {
+	n := r.Int()
+	if r.err != nil || n > maxLen {
+		r.fail()
+		return nil
+	}
+	out := make([]poly.Poly, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		out = append(out, r.Poly())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Ints reads a length-prefixed slice of non-negative ints.
+func (r *Reader) Ints() []int {
+	n := r.Int()
+	if r.err != nil || n > maxLen {
+		r.fail()
+		return nil
+	}
+	out := make([]int, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		out = append(out, r.Int())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Blob reads length-prefixed raw bytes.
+func (r *Reader) Blob() []byte {
+	n := r.Int()
+	if r.err != nil || n > maxLen {
+		r.fail()
+		return nil
+	}
+	if len(r.buf) < n {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[:n])
+	r.buf = r.buf[n:]
+	return out
+}

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/field"
+	"repro/poly"
+)
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	p1 := poly.Random(r, 4, field.Random(r))
+	p2 := poly.Random(r, 2, field.Random(r))
+	es := []field.Element{field.Random(r), field.Random(r), 0}
+
+	w := NewWriter()
+	w.Uint(12345).Int(7).Bool(true).Bool(false).
+		Element(field.New(99)).Elements(es).
+		Poly(p1).Polys([]poly.Poly{p1, p2}).
+		Ints([]int{3, 1, 4, 1, 5}).Blob([]byte("hello"))
+
+	rd := NewReader(w.Bytes())
+	if got := rd.Uint(); got != 12345 {
+		t.Fatalf("Uint = %d", got)
+	}
+	if got := rd.Int(); got != 7 {
+		t.Fatalf("Int = %d", got)
+	}
+	if !rd.Bool() || rd.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	if got := rd.Element(); got != field.New(99) {
+		t.Fatalf("Element = %v", got)
+	}
+	gotEs := rd.Elements()
+	if len(gotEs) != 3 || gotEs[0] != es[0] || gotEs[2] != 0 {
+		t.Fatalf("Elements = %v", gotEs)
+	}
+	if !rd.Poly().Equal(p1) {
+		t.Fatal("Poly mismatch")
+	}
+	ps := rd.Polys()
+	if len(ps) != 2 || !ps[0].Equal(p1) || !ps[1].Equal(p2) {
+		t.Fatal("Polys mismatch")
+	}
+	ints := rd.Ints()
+	if len(ints) != 5 || ints[4] != 5 {
+		t.Fatalf("Ints = %v", ints)
+	}
+	if string(rd.Blob()) != "hello" {
+		t.Fatal("Blob mismatch")
+	}
+	if err := rd.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestTrailingGarbageDetected(t *testing.T) {
+	w := NewWriter().Int(1)
+	buf := append(w.Bytes(), 0xff)
+	rd := NewReader(buf)
+	rd.Int()
+	if err := rd.Done(); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	// Truncated element.
+	rd := NewReader([]byte{1, 2, 3})
+	rd.Element()
+	if rd.Err() == nil {
+		t.Fatal("short element accepted")
+	}
+	// Non-canonical element.
+	raw := make([]byte, 8)
+	for i := range raw {
+		raw[i] = 0xff
+	}
+	rd = NewReader(raw)
+	rd.Element()
+	if rd.Err() == nil {
+		t.Fatal("non-canonical element accepted")
+	}
+	// Huge length prefix must not allocate/succeed.
+	w := NewWriter().Uint(1 << 40)
+	rd = NewReader(w.Bytes())
+	if out := rd.Elements(); out != nil || rd.Err() == nil {
+		t.Fatal("huge length accepted")
+	}
+	// Bad bool byte.
+	rd = NewReader([]byte{7})
+	rd.Bool()
+	if rd.Err() == nil {
+		t.Fatal("bad bool accepted")
+	}
+	// Blob longer than buffer.
+	w = NewWriter().Int(100)
+	rd = NewReader(w.Bytes())
+	if rd.Blob() != nil || rd.Err() == nil {
+		t.Fatal("oversized blob accepted")
+	}
+	// Empty buffer varint.
+	rd = NewReader(nil)
+	rd.Uint()
+	if rd.Err() == nil {
+		t.Fatal("empty varint accepted")
+	}
+}
+
+func TestErrorSticks(t *testing.T) {
+	rd := NewReader([]byte{})
+	rd.Int()
+	// Subsequent reads return zero values without panicking.
+	if rd.Element() != 0 || rd.Elements() != nil || rd.Bool() {
+		t.Fatal("reads after error should return zero values")
+	}
+	if rd.Err() == nil {
+		t.Fatal("error lost")
+	}
+}
+
+func TestPolyDegreeAtMost(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	p := poly.Random(r, 5, field.Random(r))
+	buf := NewWriter().Poly(p).Bytes()
+	rd := NewReader(buf)
+	if rd.PolyDegreeAtMost(4); rd.Err() == nil {
+		t.Fatal("degree-5 polynomial accepted with bound 4")
+	}
+	rd = NewReader(buf)
+	got := rd.PolyDegreeAtMost(5)
+	if rd.Err() != nil || !got.Equal(p) {
+		t.Fatal("degree-5 polynomial rejected with bound 5")
+	}
+}
+
+func TestNegativeIntPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative int should panic")
+		}
+	}()
+	NewWriter().Int(-1)
+}

@@ -1,0 +1,324 @@
+// Package mpc is the public entry point of this library: a
+// best-of-both-worlds perfectly-secure multi-party computation engine
+// reproducing Appan, Chandramouli and Choudhury (PODC 2022).
+//
+// A single protocol run evaluates an arithmetic circuit over
+// GF(2^61-1) among n simulated parties connected by a synchronous or
+// asynchronous network, tolerating up to Ts Byzantine corruptions in
+// the former and Ta in the latter, provided 3·Ts + Ta < n — without the
+// parties knowing which network they are on.
+//
+// Quickstart:
+//
+//	cfg := mpc.Config{N: 8, Ts: 2, Ta: 1, Network: mpc.Sync, Seed: 1}
+//	circ := circuit.Sum(8)
+//	inputs := []field.Element{1, 2, 3, 4, 5, 6, 7, 8}
+//	res, err := mpc.Run(cfg, circ, inputs, nil)
+//	// res.Outputs[0] == 36
+package mpc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/circuit"
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Network selects the simulated network model.
+type Network string
+
+// Network models.
+const (
+	// Sync delivers every message within Δ.
+	Sync Network = "sync"
+	// Async delivers messages with unbounded-but-finite adversarially
+	// scheduled delays.
+	Async Network = "async"
+)
+
+// Config parameterises a protocol run.
+type Config struct {
+	// N is the number of parties; Ts and Ta the corruption thresholds
+	// tolerated under synchrony resp. asynchrony (3·Ts + Ta < N,
+	// Ta ≤ Ts).
+	N, Ts, Ta int
+	// Network selects the network model.
+	Network Network
+	// Delta is the synchronous delivery bound Δ in virtual ticks
+	// (default 10).
+	Delta int64
+	// Seed makes the run fully deterministic.
+	Seed uint64
+	// CoinRounds is the ABA round constant k (default 8).
+	CoinRounds int
+	// SyncOnly disables every asynchronous fallback path, turning the
+	// engine into a purely synchronous protocol (the paper's SMPC
+	// baseline for the E12 comparison; see DESIGN.md).
+	SyncOnly bool
+	// EventLimit caps scheduler events as a runaway guard (default
+	// 200M).
+	EventLimit uint64
+}
+
+// Adversary describes the static corruption and misbehaviour of a run.
+// All listed parties count against the corruption budget.
+type Adversary struct {
+	// Passive parties follow the protocol; the adversary only reads
+	// their state (and the harness may hand them wrong inputs).
+	Passive []int
+	// Silent parties never send a message (crashed from the start;
+	// their Start is skipped).
+	Silent []int
+	// Garble parties send byte-flipped garbage everywhere.
+	Garble []int
+	// CrashAt stops a party's sends from the given virtual time.
+	CrashAt map[int]int64
+	// StarveFrom, with the Async network, starves every link out of
+	// the listed parties until StarveUntil (an adversarial schedule).
+	StarveFrom  []int
+	StarveUntil int64
+}
+
+func (a *Adversary) corrupt() []int {
+	if a == nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	add := func(ps ...int) {
+		for _, p := range ps {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	add(a.Passive...)
+	add(a.Silent...)
+	add(a.Garble...)
+	for p := range a.CrashAt {
+		add(p)
+	}
+	return out
+}
+
+// Result reports a protocol run.
+type Result struct {
+	// Outputs holds the agreed public circuit outputs (from the first
+	// honest party; all honest parties agree — verified).
+	Outputs []field.Element
+	// PerParty holds each party's terminated output (nil if the party
+	// did not terminate); 1-based, index 0 unused.
+	PerParty [][]field.Element
+	// TerminatedAt holds each party's virtual termination time
+	// (0 = did not terminate); 1-based.
+	TerminatedAt []int64
+	// CS is the agreed input-provider set (from the first honest
+	// party).
+	CS []int
+	// Deadline is the derived synchronous-run bound TCirEval in ticks.
+	Deadline int64
+	// PaperDeadline is the paper's (120n + DM + 6k - 20)·Δ bound.
+	PaperDeadline int64
+	// HonestMessages and HonestBytes count the traffic sent by honest
+	// parties.
+	HonestMessages, HonestBytes uint64
+	// ByFamily breaks honest traffic down by top-level protocol family
+	// (instance-path prefix, e.g. "mpc").
+	ByFamily map[string]FamilyCounts
+	// Events is the number of simulation events processed.
+	Events uint64
+}
+
+// FamilyCounts is the per-protocol-family traffic breakdown.
+type FamilyCounts struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+// AllHonestTerminated reports whether every honest party terminated.
+func (r *Result) AllHonestTerminated(adv *Adversary) bool {
+	corrupt := map[int]bool{}
+	for _, p := range adv.corrupt() {
+		corrupt[p] = true
+	}
+	for i := 1; i < len(r.PerParty); i++ {
+		if !corrupt[i] && r.PerParty[i] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrNoHonestOutput is returned when no honest party terminated (e.g.
+// a SyncOnly baseline run under an asynchronous network).
+var ErrNoHonestOutput = errors.New("mpc: no honest party terminated")
+
+// ErrDisagreement is returned if two honest parties terminated with
+// different outputs. It indicates a broken security property and
+// should never occur within the configured corruption budgets.
+var ErrDisagreement = errors.New("mpc: honest parties disagree on the output")
+
+// Run executes one MPC evaluation of circ where party i's private
+// input is inputs[i-1]. adv may be nil for an all-honest run.
+//
+// Inputs of corrupt parties are still fed to their (honest-code)
+// protocol instances unless the party is Silent; byzantine *protocol*
+// behaviour comes from the Adversary's traffic rewriting, and the
+// network schedule is adversarial under Async.
+func Run(cfg Config, circ *circuit.Circuit, inputs []field.Element, adv *Adversary) (*Result, error) {
+	pcfg := proto.Config{
+		N: cfg.N, Ts: cfg.Ts, Ta: cfg.Ta,
+		Delta:      sim.Time(cfg.Delta),
+		CoinRounds: cfg.CoinRounds,
+		SyncOnly:   cfg.SyncOnly,
+	}
+	if pcfg.Delta == 0 {
+		pcfg.Delta = 10
+	}
+	if pcfg.CoinRounds == 0 {
+		pcfg.CoinRounds = 8
+	}
+	if err := pcfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(inputs) != cfg.N {
+		return nil, fmt.Errorf("mpc: %d inputs for %d parties", len(inputs), cfg.N)
+	}
+	var kind proto.NetKind
+	switch cfg.Network {
+	case Sync:
+		kind = proto.Sync
+	case Async:
+		kind = proto.Async
+	default:
+		return nil, fmt.Errorf("mpc: unknown network %q", cfg.Network)
+	}
+
+	corrupt := adv.corrupt()
+	if len(corrupt) > max(cfg.Ts, cfg.Ta) {
+		return nil, fmt.Errorf("mpc: %d corruptions exceed max(ts, ta) = %d", len(corrupt), max(cfg.Ts, cfg.Ta))
+	}
+	ctrl := adversary.NewController()
+	silent := map[int]bool{}
+	if adv != nil {
+		for _, p := range adv.Silent {
+			ctrl.Set(p, adversary.Silent())
+			silent[p] = true
+		}
+		for _, p := range adv.Garble {
+			ctrl.Set(p, adversary.GarbleMatching(func(string) bool { return true }))
+		}
+		for p, t := range adv.CrashAt {
+			ctrl.Set(p, adversary.CrashAt(sim.Time(t)))
+		}
+	}
+	var policy sim.Policy
+	if adv != nil && len(adv.StarveFrom) > 0 {
+		starved := map[int]bool{}
+		for _, p := range adv.StarveFrom {
+			starved[p] = true
+		}
+		until := sim.Time(adv.StarveUntil)
+		if until == 0 {
+			until = 500 * pcfg.Delta
+		}
+		var base sim.Policy = sim.AsyncPolicy{Delta: pcfg.Delta}
+		if kind == proto.Sync {
+			base = sim.SyncPolicy{Delta: pcfg.Delta}
+		}
+		policy = sim.StarvePolicy{Base: base, Until: until,
+			Starve: func(from, to int) bool { return starved[from] }}
+	}
+
+	limit := cfg.EventLimit
+	if limit == 0 {
+		limit = 200_000_000
+	}
+	w := proto.NewWorld(proto.WorldOpts{
+		Cfg:         pcfg,
+		Network:     kind,
+		Policy:      policy,
+		Seed:        cfg.Seed,
+		Corrupt:     corrupt,
+		Interceptor: ctrl,
+		EventLimit:  limit,
+	})
+
+	res := &Result{
+		PerParty:      make([][]field.Element, cfg.N+1),
+		TerminatedAt:  make([]int64, cfg.N+1),
+		Deadline:      int64(core.Deadline(pcfg, circ.MulDepth)),
+		PaperDeadline: int64(core.PaperDeadline(pcfg, circ.MulDepth)),
+	}
+	coin := aba.DefaultCoin(cfg.Seed ^ 0xc01c01)
+	engines := make([]*core.CirEval, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		i := i
+		engines[i] = core.New(w.Runtimes[i], "mpc", circ, pcfg, coin, 0, func(out []field.Element) {
+			res.PerParty[i] = out
+			res.TerminatedAt[i] = int64(w.Sched.Now())
+		})
+	}
+	for i := 1; i <= cfg.N; i++ {
+		if silent[i] {
+			continue
+		}
+		engines[i].Start(inputs[i-1])
+	}
+	w.RunToQuiescence()
+
+	res.HonestMessages = w.Metrics().HonestMessages()
+	res.HonestBytes = w.Metrics().HonestBytes()
+	res.ByFamily = make(map[string]FamilyCounts, len(w.Metrics().ByFamily))
+	for fam, c := range w.Metrics().ByFamily {
+		res.ByFamily[fam] = FamilyCounts{Messages: c.Messages, Bytes: c.Bytes}
+	}
+	res.Events = w.Sched.Processed()
+	corruptSet := map[int]bool{}
+	for _, p := range corrupt {
+		corruptSet[p] = true
+	}
+	for i := 1; i <= cfg.N; i++ {
+		if corruptSet[i] || res.PerParty[i] == nil {
+			continue
+		}
+		if res.Outputs == nil {
+			res.Outputs = res.PerParty[i]
+			res.CS = engines[i].CS()
+			continue
+		}
+		for k := range res.Outputs {
+			if res.Outputs[k] != res.PerParty[i][k] {
+				return res, ErrDisagreement
+			}
+		}
+	}
+	if res.Outputs == nil {
+		return res, ErrNoHonestOutput
+	}
+	return res, nil
+}
+
+// ExpectedOutputs evaluates circ in the clear with the inputs of
+// parties outside cs replaced by 0 — the reference output of a run
+// that agreed on input-provider set cs.
+func ExpectedOutputs(circ *circuit.Circuit, inputs []field.Element, cs []int) ([]field.Element, error) {
+	adjusted := make([]field.Element, len(inputs))
+	in := map[int]bool{}
+	for _, j := range cs {
+		in[j] = true
+	}
+	for i := range inputs {
+		if in[i+1] {
+			adjusted[i] = inputs[i]
+		}
+	}
+	return circ.Eval(adjusted)
+}

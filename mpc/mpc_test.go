@@ -1,0 +1,251 @@
+package mpc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/circuit"
+	"repro/field"
+)
+
+func cfg5(net Network, seed uint64) Config {
+	return Config{N: 5, Ts: 1, Ta: 1, Network: net, Seed: seed}
+}
+
+func cfg8(net Network, seed uint64) Config {
+	return Config{N: 8, Ts: 2, Ta: 1, Network: net, Seed: seed}
+}
+
+func elems(vs ...uint64) []field.Element {
+	out := make([]field.Element, len(vs))
+	for i, v := range vs {
+		out[i] = field.New(v)
+	}
+	return out
+}
+
+func TestSumSyncAllHonest(t *testing.T) {
+	res, err := Run(cfg5(Sync, 1), circuit.Sum(5), elems(1, 2, 3, 4, 5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != field.New(15) {
+		t.Fatalf("sum = %v, want 15", res.Outputs[0])
+	}
+	if len(res.CS) != 5 {
+		t.Fatalf("CS = %v, want all parties in sync", res.CS)
+	}
+	if !res.AllHonestTerminated(nil) {
+		t.Fatal("not all parties terminated")
+	}
+	for i := 1; i <= 5; i++ {
+		if res.TerminatedAt[i] > res.Deadline {
+			t.Fatalf("party %d terminated at %d > TCirEval = %d", i, res.TerminatedAt[i], res.Deadline)
+		}
+	}
+	if res.HonestMessages == 0 || res.HonestBytes == 0 {
+		t.Fatal("metrics empty")
+	}
+}
+
+func TestProductSyncAllHonest(t *testing.T) {
+	res, err := Run(cfg5(Sync, 2), circuit.Product(5), elems(2, 3, 4, 5, 6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != field.New(720) {
+		t.Fatalf("product = %v, want 720", res.Outputs[0])
+	}
+}
+
+func TestProductAsyncAllHonest(t *testing.T) {
+	res, err := Run(cfg5(Async, 3), circuit.Product(5), elems(2, 2, 2, 2, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In async some inputs may be replaced by 0 (|CS| ≥ n-ts); output
+	// must match the clear evaluation on the agreed CS.
+	want, err := ExpectedOutputs(circuit.Product(5), elems(2, 2, 2, 2, 2), res.CS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != want[0] {
+		t.Fatalf("product = %v, want %v (CS=%v)", res.Outputs[0], want[0], res.CS)
+	}
+	if len(res.CS) < 4 {
+		t.Fatalf("|CS| = %d < n-ts", len(res.CS))
+	}
+}
+
+func TestSyncWithGarblingAdversary(t *testing.T) {
+	adv := &Adversary{Garble: []int{3}}
+	inputs := elems(1, 2, 3, 4, 5)
+	res, err := Run(cfg5(Sync, 4), circuit.Sum(5), inputs, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All honest must be in CS in sync; the garbler's input may or may
+	// not be included.
+	want, err := ExpectedOutputs(circuit.Sum(5), inputs, res.CS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != want[0] {
+		t.Fatalf("output %v, want %v (CS = %v)", res.Outputs[0], want[0], res.CS)
+	}
+	inCS := map[int]bool{}
+	for _, j := range res.CS {
+		inCS[j] = true
+	}
+	for i := 1; i <= 5; i++ {
+		if i != 3 && !inCS[i] {
+			t.Fatalf("honest party %d not in CS (sync)", i)
+		}
+	}
+}
+
+func TestSyncWithSilentParty(t *testing.T) {
+	adv := &Adversary{Silent: []int{2}}
+	inputs := elems(10, 99, 30, 40, 50)
+	res, err := Run(cfg5(Sync, 5), circuit.Sum(5), inputs, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Silent party's input is excluded: sum = 130.
+	if res.Outputs[0] != field.New(130) {
+		t.Fatalf("sum = %v, want 130 (CS = %v)", res.Outputs[0], res.CS)
+	}
+}
+
+func TestN8TwoFaultsSync(t *testing.T) {
+	// The paper's headline: n = 8 tolerates ts = 2 faults in sync.
+	adv := &Adversary{Garble: []int{2}, Silent: []int{7}}
+	inputs := elems(1, 2, 3, 4, 5, 6, 7, 8)
+	res, err := Run(cfg8(Sync, 6), circuit.Sum(8), inputs, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExpectedOutputs(circuit.Sum(8), inputs, res.CS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != want[0] {
+		t.Fatalf("output %v, want %v", res.Outputs[0], want[0])
+	}
+}
+
+func TestN8OneFaultAsync(t *testing.T) {
+	// ... and ta = 1 fault under asynchrony, same protocol.
+	adv := &Adversary{Garble: []int{4}}
+	inputs := elems(1, 2, 3, 4, 5, 6, 7, 8)
+	res, err := Run(cfg8(Async, 7), circuit.Sum(8), inputs, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExpectedOutputs(circuit.Sum(8), inputs, res.CS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != want[0] {
+		t.Fatalf("output %v, want %v", res.Outputs[0], want[0])
+	}
+}
+
+func TestSyncOnlyBaselineBreaksUnderAsync(t *testing.T) {
+	// E12/A1: the purely synchronous baseline (fallbacks disabled) with
+	// a starved link schedule under an asynchronous network should fail
+	// to terminate for at least one honest party, while the BoBW engine
+	// succeeds under the same schedule.
+	adv := &Adversary{Garble: []int{5}, StarveFrom: []int{1}, StarveUntil: 4000}
+	inputs := elems(1, 2, 3, 4, 5)
+	cfg := cfg5(Async, 8)
+	cfg.SyncOnly = true
+	cfg.EventLimit = 20_000_000
+	_, errBaseline := Run(cfg, circuit.Sum(5), inputs, adv)
+
+	cfgB := cfg5(Async, 8)
+	resB, errB := Run(cfgB, circuit.Sum(5), inputs, adv)
+	if errB != nil {
+		t.Fatalf("BoBW engine failed under async: %v", errB)
+	}
+	want, err := ExpectedOutputs(circuit.Sum(5), inputs, resB.CS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Outputs[0] != want[0] {
+		t.Fatal("BoBW output wrong")
+	}
+	if errBaseline == nil {
+		t.Log("note: baseline survived this schedule (regular path met its deadlines); shape check is statistical across seeds")
+	} else if !errors.Is(errBaseline, ErrNoHonestOutput) {
+		t.Fatalf("baseline failed differently than expected: %v", errBaseline)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Run(Config{N: 7, Ts: 2, Ta: 1, Network: Sync}, circuit.Sum(7), elems(1, 2, 3, 4, 5, 6, 7), nil); err == nil {
+		t.Fatal("invalid thresholds accepted")
+	}
+	if _, err := Run(cfg5(Sync, 1), circuit.Sum(5), elems(1, 2), nil); err == nil {
+		t.Fatal("wrong input count accepted")
+	}
+	if _, err := Run(Config{N: 5, Ts: 1, Ta: 1, Network: "carrier-pigeon"}, circuit.Sum(5), elems(1, 2, 3, 4, 5), nil); err == nil {
+		t.Fatal("bad network accepted")
+	}
+	adv := &Adversary{Garble: []int{1, 2, 3}}
+	if _, err := Run(cfg5(Sync, 1), circuit.Sum(5), elems(1, 2, 3, 4, 5), adv); err == nil {
+		t.Fatal("over-budget corruption accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(cfg5(Async, 42), circuit.Sum(5), elems(5, 4, 3, 2, 1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Outputs[0] != b.Outputs[0] || a.HonestMessages != b.HonestMessages || a.Events != b.Events {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMatrixProductN8(t *testing.T) {
+	// 2×2 matrix product among 8 parties (cM = 8) with one Byzantine
+	// entry holder, synchronous network.
+	inputs := elems(1, 2, 3, 4, 5, 6, 7, 8)
+	adv := &Adversary{Garble: []int{6}}
+	res, err := Run(cfg8(Sync, 10), circuit.MatMul2x2(), inputs, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExpectedOutputs(circuit.MatMul2x2(), inputs, res.CS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Outputs[i] != want[i] {
+			t.Fatalf("C[%d] = %v, want %v (CS=%v)", i, res.Outputs[i], want[i], res.CS)
+		}
+	}
+	// All honest parties in CS under synchrony; if the corrupt holder
+	// also made it, the outputs are the true matrix product.
+	if len(res.CS) == 8 {
+		if res.Outputs[0] != field.New(19) || res.Outputs[3] != field.New(50) {
+			t.Fatalf("full-CS product wrong: %v", res.Outputs)
+		}
+	}
+}
+
+func TestMultiOutputCircuit(t *testing.T) {
+	inputs := elems(1, 2, 3, 4, 5)
+	res, err := Run(cfg5(Sync, 9), circuit.SumAndVariancePieces(5), inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != field.New(15) || res.Outputs[1] != field.New(1+4+9+16+25) {
+		t.Fatalf("outputs = %v", res.Outputs)
+	}
+}

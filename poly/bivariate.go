@@ -1,0 +1,163 @@
+package poly
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/field"
+)
+
+// Symmetric is an (ℓ, ℓ)-degree symmetric bivariate polynomial
+// F(x, y) = Σ_{i,j} r_ij x^i y^j with r_ij = r_ji.
+//
+// In the VSS protocols a dealer with a ts-degree univariate input q(·)
+// embeds it as F(0, y) = q(y) in a random symmetric bivariate polynomial
+// and hands party P_i the univariate row polynomial f_i(x) = F(x, α_i).
+// Symmetry yields the pair-wise consistency relation
+// f_i(α_j) = F(α_j, α_i) = F(α_i, α_j) = f_j(α_i).
+type Symmetric struct {
+	deg int
+	// coeff[i][j] for i ≤ j; the full matrix is implied by symmetry.
+	coeff [][]field.Element
+}
+
+// NewSymmetricRandom returns a random (d, d)-degree symmetric bivariate
+// polynomial F with F(0, y) = q(y). The degree of q must be at most d.
+func NewSymmetricRandom(rng *rand.Rand, d int, q Poly) (*Symmetric, error) {
+	if q.Degree() > d {
+		return nil, fmt.Errorf("poly: embedded polynomial degree %d exceeds bivariate degree %d", q.Degree(), d)
+	}
+	s := &Symmetric{deg: d, coeff: make([][]field.Element, d+1)}
+	for i := 0; i <= d; i++ {
+		s.coeff[i] = make([]field.Element, d+1)
+	}
+	// F(0, y) = Σ_j r_0j y^j must equal q: fix row 0 (and column 0 by
+	// symmetry) to q's coefficients.
+	for j := 0; j <= d; j++ {
+		var c field.Element
+		if j < len(q.Coeffs) {
+			c = q.Coeffs[j]
+		}
+		s.coeff[0][j] = c
+		s.coeff[j][0] = c
+	}
+	// Remaining upper-triangular coefficients are uniform.
+	for i := 1; i <= d; i++ {
+		for j := i; j <= d; j++ {
+			c := field.Random(rng)
+			s.coeff[i][j] = c
+			s.coeff[j][i] = c
+		}
+	}
+	return s, nil
+}
+
+// Degree returns d for the (d, d)-degree polynomial.
+func (s *Symmetric) Degree() int { return s.deg }
+
+// Eval returns F(x, y).
+func (s *Symmetric) Eval(x, y field.Element) field.Element {
+	// Horner in y of Horner-in-x rows.
+	var acc field.Element
+	for j := s.deg; j >= 0; j-- {
+		var row field.Element
+		for i := s.deg; i >= 0; i-- {
+			row = row.Mul(x).Add(s.coeff[i][j])
+		}
+		acc = acc.Mul(y).Add(row)
+	}
+	return acc
+}
+
+// Row returns the univariate polynomial f(x) = F(x, y0).
+func (s *Symmetric) Row(y0 field.Element) Poly {
+	coeffs := make([]field.Element, s.deg+1)
+	for i := 0; i <= s.deg; i++ {
+		var acc field.Element
+		for j := s.deg; j >= 0; j-- {
+			acc = acc.Mul(y0).Add(s.coeff[i][j])
+		}
+		coeffs[i] = acc
+	}
+	return Poly{Coeffs: coeffs}
+}
+
+// RowForParty returns f_i(x) = F(x, α_i), the polynomial the dealer sends
+// to party i.
+func (s *Symmetric) RowForParty(i int) Poly { return s.Row(Alpha(i)) }
+
+// ZeroRow returns q(y) = F(0, y), the dealer's embedded input polynomial.
+func (s *Symmetric) ZeroRow() Poly {
+	// By symmetry F(0, y) = F(y, 0) = row at y0 = 0.
+	return s.Row(field.Zero)
+}
+
+// InterpolateSymmetric reconstructs the unique (d, d)-degree symmetric
+// bivariate polynomial from d+1 rows f_{i}(x) = F(x, α_{idx}) given as
+// (index, polynomial) pairs with pair-wise consistent rows (Lemma 2.1).
+// It returns an error if the rows are inconsistent or insufficient.
+func InterpolateSymmetric(d int, rows map[int]Poly) (*Symmetric, error) {
+	if len(rows) < d+1 {
+		return nil, fmt.Errorf("poly: need %d rows to reconstruct, have %d", d+1, len(rows))
+	}
+	// Pick d+1 rows deterministically (ascending party index).
+	idxs := make([]int, 0, len(rows))
+	for i := range rows {
+		idxs = append(idxs, i)
+	}
+	// Simple insertion sort keeps this dependency-free.
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && idxs[j] < idxs[j-1]; j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+	idxs = idxs[:d+1]
+
+	// For each coefficient power k of x, interpolate in y through the
+	// k-th coefficients of the selected rows.
+	coeff := make([][]field.Element, d+1)
+	for i := range coeff {
+		coeff[i] = make([]field.Element, d+1)
+	}
+	for k := 0; k <= d; k++ {
+		pts := make([]Point, 0, d+1)
+		for _, i := range idxs {
+			row := rows[i]
+			var c field.Element
+			if k < len(row.Coeffs) {
+				c = row.Coeffs[k]
+			}
+			pts = append(pts, Point{X: Alpha(i), Y: c})
+		}
+		g, err := Interpolate(pts)
+		if err != nil {
+			return nil, fmt.Errorf("poly: bivariate reconstruction: %w", err)
+		}
+		if g.Degree() > d {
+			return nil, fmt.Errorf("poly: rows do not lie on a (%d,%d)-degree polynomial", d, d)
+		}
+		for j := 0; j <= d; j++ {
+			var c field.Element
+			if j < len(g.Coeffs) {
+				c = g.Coeffs[j]
+			}
+			coeff[k][j] = c
+		}
+	}
+	s := &Symmetric{deg: d, coeff: coeff}
+	// Verify symmetry; inconsistent rows surface here.
+	for i := 0; i <= d; i++ {
+		for j := i + 1; j <= d; j++ {
+			if s.coeff[i][j] != s.coeff[j][i] {
+				return nil, fmt.Errorf("poly: reconstructed polynomial is not symmetric")
+			}
+		}
+	}
+	// Verify all provided rows (not just the d+1 used) lie on s.
+	for i, row := range rows {
+		if !s.Row(Alpha(i)).Equal(row.Trim()) {
+			return nil, fmt.Errorf("poly: row %d inconsistent with reconstruction", i)
+		}
+	}
+	return s, nil
+}

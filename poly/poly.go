@@ -1,0 +1,325 @@
+// Package poly implements univariate and symmetric bivariate polynomials
+// over GF(2^61 - 1), together with the Lagrange-interpolation machinery
+// used throughout the MPC protocols (d-sharing, OEC, triple
+// transformation).
+//
+// The publicly known, distinct, non-zero evaluation points of the paper
+// are fixed as α_i = i for party indices i ∈ {1..n} and β_j = n + j for
+// the "fresh" extraction points (Sections 6.3, 6.4).
+package poly
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+
+	"repro/field"
+)
+
+// Alpha returns the public evaluation point α_i associated with party i.
+// Party indices are 1-based, matching the paper.
+func Alpha(i int) field.Element {
+	if i <= 0 {
+		panic(fmt.Sprintf("poly: Alpha index must be positive, got %d", i))
+	}
+	return field.New(uint64(i))
+}
+
+// Beta returns the j-th public "fresh" evaluation point β_j, distinct from
+// all α_i for i ≤ n. Indices are 1-based.
+func Beta(n, j int) field.Element {
+	if j <= 0 {
+		panic(fmt.Sprintf("poly: Beta index must be positive, got %d", j))
+	}
+	return field.New(uint64(n + j))
+}
+
+// Poly is a univariate polynomial stored as coefficients in ascending
+// order: Coeffs[k] is the coefficient of x^k. The zero polynomial may be
+// represented by an empty (or all-zero) coefficient slice.
+type Poly struct {
+	Coeffs []field.Element
+}
+
+// NewPoly returns a polynomial with the given ascending coefficients.
+// The slice is copied.
+func NewPoly(coeffs ...field.Element) Poly {
+	return Poly{Coeffs: slices.Clone(coeffs)}
+}
+
+// Constant returns the degree-0 polynomial with value c.
+func Constant(c field.Element) Poly {
+	return Poly{Coeffs: []field.Element{c}}
+}
+
+// Random returns a uniformly random polynomial of degree at most d with
+// the given constant term.
+func Random(rng *rand.Rand, d int, constant field.Element) Poly {
+	if d < 0 {
+		panic("poly: negative degree")
+	}
+	coeffs := make([]field.Element, d+1)
+	coeffs[0] = constant
+	for k := 1; k <= d; k++ {
+		coeffs[k] = field.Random(rng)
+	}
+	return Poly{Coeffs: coeffs}
+}
+
+// Degree returns the degree of p, with -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	for k := len(p.Coeffs) - 1; k >= 0; k-- {
+		if !p.Coeffs[k].IsZero() {
+			return k
+		}
+	}
+	return -1
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return p.Degree() == -1 }
+
+// Eval evaluates p at x using Horner's rule.
+func (p Poly) Eval(x field.Element) field.Element {
+	var acc field.Element
+	for k := len(p.Coeffs) - 1; k >= 0; k-- {
+		acc = acc.Mul(x).Add(p.Coeffs[k])
+	}
+	return acc
+}
+
+// EvalMany evaluates p at every point in xs.
+func (p Poly) EvalMany(xs []field.Element) []field.Element {
+	out := make([]field.Element, len(xs))
+	for i, x := range xs {
+		out[i] = p.Eval(x)
+	}
+	return out
+}
+
+// Shares evaluates p at α_1..α_n, producing the n Shamir shares of the
+// secret p(0).
+func (p Poly) Shares(n int) []field.Element {
+	out := make([]field.Element, n)
+	for i := 1; i <= n; i++ {
+		out[i-1] = p.Eval(Alpha(i))
+	}
+	return out
+}
+
+// Clone returns a deep copy of p.
+func (p Poly) Clone() Poly { return Poly{Coeffs: slices.Clone(p.Coeffs)} }
+
+// Trim returns p with trailing zero coefficients removed.
+func (p Poly) Trim() Poly {
+	d := p.Degree()
+	return Poly{Coeffs: slices.Clone(p.Coeffs[:d+1])}
+}
+
+// Equal reports whether p and q are the same polynomial (ignoring
+// trailing zeros).
+func (p Poly) Equal(q Poly) bool {
+	d := p.Degree()
+	if d != q.Degree() {
+		return false
+	}
+	for k := 0; k <= d; k++ {
+		if p.Coeffs[k] != q.Coeffs[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := max(len(p.Coeffs), len(q.Coeffs))
+	out := make([]field.Element, n)
+	for k := range out {
+		var a, b field.Element
+		if k < len(p.Coeffs) {
+			a = p.Coeffs[k]
+		}
+		if k < len(q.Coeffs) {
+			b = q.Coeffs[k]
+		}
+		out[k] = a.Add(b)
+	}
+	return Poly{Coeffs: out}
+}
+
+// Sub returns p - q.
+func (p Poly) Sub(q Poly) Poly {
+	return p.Add(q.ScalarMul(field.One.Neg()))
+}
+
+// ScalarMul returns c·p.
+func (p Poly) ScalarMul(c field.Element) Poly {
+	out := make([]field.Element, len(p.Coeffs))
+	for k, a := range p.Coeffs {
+		out[k] = a.Mul(c)
+	}
+	return Poly{Coeffs: out}
+}
+
+// Mul returns the product polynomial p·q.
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return Poly{}
+	}
+	out := make([]field.Element, len(p.Coeffs)+len(q.Coeffs)-1)
+	for i, a := range p.Coeffs {
+		if a.IsZero() {
+			continue
+		}
+		for j, b := range q.Coeffs {
+			out[i+j] = out[i+j].Add(a.Mul(b))
+		}
+	}
+	return Poly{Coeffs: out}
+}
+
+// Div returns the quotient p / q and reports whether the division is
+// exact (zero remainder). q must be non-zero.
+func (p Poly) Div(q Poly) (Poly, bool) {
+	dq := q.Degree()
+	if dq < 0 {
+		panic("poly: division by zero polynomial")
+	}
+	rem := slices.Clone(p.Trim().Coeffs)
+	dr := len(rem) - 1
+	if dr < dq {
+		return Poly{}, p.IsZero()
+	}
+	quot := make([]field.Element, dr-dq+1)
+	lcInv := q.Coeffs[dq].MustInv()
+	for dr >= dq {
+		c := rem[dr].Mul(lcInv)
+		quot[dr-dq] = c
+		for k := 0; k <= dq; k++ {
+			rem[dr-dq+k] = rem[dr-dq+k].Sub(c.Mul(q.Coeffs[k]))
+		}
+		dr--
+		for dr >= 0 && rem[dr].IsZero() {
+			dr--
+		}
+	}
+	exact := dr < 0
+	return Poly{Coeffs: quot}, exact
+}
+
+// Point is an evaluation point/value pair.
+type Point struct {
+	X field.Element
+	Y field.Element
+}
+
+// Interpolate returns the unique polynomial of degree < len(points)
+// passing through the given points. The X coordinates must be distinct.
+func Interpolate(points []Point) (Poly, error) {
+	n := len(points)
+	if n == 0 {
+		return Poly{}, nil
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if points[i].X == points[j].X {
+				return Poly{}, fmt.Errorf("poly: duplicate interpolation point %v", points[i].X)
+			}
+		}
+	}
+	// Lagrange interpolation in coefficient form.
+	result := make([]field.Element, n)
+	// denom_i = Π_{j≠i} (x_i - x_j)
+	denoms := make([]field.Element, n)
+	for i := range points {
+		d := field.One
+		for j := range points {
+			if j != i {
+				d = d.Mul(points[i].X.Sub(points[j].X))
+			}
+		}
+		denoms[i] = d
+	}
+	invDenoms, err := field.BatchInv(denoms)
+	if err != nil {
+		return Poly{}, fmt.Errorf("poly: interpolate: %w", err)
+	}
+	basis := make([]field.Element, 0, n)
+	for i := range points {
+		// Build numerator Π_{j≠i} (x - x_j) incrementally.
+		basis = basis[:1]
+		basis[0] = field.One
+		for j := range points {
+			if j == i {
+				continue
+			}
+			basis = append(basis, 0)
+			xj := points[j].X
+			for k := len(basis) - 1; k >= 1; k-- {
+				basis[k] = basis[k-1].Sub(basis[k].Mul(xj))
+			}
+			basis[0] = basis[0].Mul(xj).Neg()
+		}
+		scale := points[i].Y.Mul(invDenoms[i])
+		for k := range basis {
+			result[k] = result[k].Add(basis[k].Mul(scale))
+		}
+	}
+	return Poly{Coeffs: result}, nil
+}
+
+// LagrangeCoeffsAt returns the coefficients c_1..c_m such that for any
+// polynomial f of degree < m, f(x) = Σ c_i · f(xs[i]). This is the
+// "Lagrange linear function" of the paper: evaluating a new point on a
+// shared polynomial is the corresponding linear combination of shares.
+func LagrangeCoeffsAt(xs []field.Element, x field.Element) ([]field.Element, error) {
+	m := len(xs)
+	coeffs := make([]field.Element, m)
+	denoms := make([]field.Element, m)
+	for i := range xs {
+		d := field.One
+		for j := range xs {
+			if j != i {
+				if xs[i] == xs[j] {
+					return nil, fmt.Errorf("poly: duplicate basis point %v", xs[i])
+				}
+				d = d.Mul(xs[i].Sub(xs[j]))
+			}
+		}
+		denoms[i] = d
+	}
+	invDenoms, err := field.BatchInv(denoms)
+	if err != nil {
+		return nil, fmt.Errorf("poly: lagrange coefficients: %w", err)
+	}
+	for i := range xs {
+		num := field.One
+		for j := range xs {
+			if j != i {
+				num = num.Mul(x.Sub(xs[j]))
+			}
+		}
+		coeffs[i] = num.Mul(invDenoms[i])
+	}
+	return coeffs, nil
+}
+
+// InterpolateAt evaluates, at point x, the unique polynomial of degree
+// < len(points) through the given points, without materialising its
+// coefficients.
+func InterpolateAt(points []Point, x field.Element) (field.Element, error) {
+	xs := make([]field.Element, len(points))
+	for i, p := range points {
+		xs[i] = p.X
+	}
+	cs, err := LagrangeCoeffsAt(xs, x)
+	if err != nil {
+		return 0, err
+	}
+	var acc field.Element
+	for i, c := range cs {
+		acc = acc.Add(c.Mul(points[i].Y))
+	}
+	return acc, nil
+}
