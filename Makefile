@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test test-short scenarios ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# scenarios runs the full built-in scenario corpus on a 4-worker pool.
+scenarios:
+	$(GO) run ./cmd/scenario run --all -parallel 4
+
+ci: build vet test-short

@@ -1,6 +1,8 @@
 // Command bobw runs one best-of-both-worlds MPC evaluation from the
 // command line and reports outputs, agreement set, timing and
-// communication metrics.
+// communication metrics. The flags assemble a scenario manifest (see
+// docs/scenarios.md); use -manifest to print it instead of running,
+// e.g. to seed a file for cmd/scenario.
 //
 // Examples:
 //
@@ -16,9 +18,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/circuit"
-	"repro/field"
 	"repro/mpc"
+	"repro/scenario"
 )
 
 func main() {
@@ -27,8 +28,9 @@ func main() {
 		ts       = flag.Int("ts", 2, "synchronous corruption threshold")
 		ta       = flag.Int("ta", 1, "asynchronous corruption threshold")
 		network  = flag.String("network", "sync", "network model: sync|async")
-		circName = flag.String("circuit", "sum", "circuit: sum|product|dot|stats|membership|depth")
+		circName = flag.String("circuit", "sum", "circuit: "+strings.Join(scenario.Families(), "|"))
 		dm       = flag.Int("dm", 3, "multiplicative depth for -circuit depth")
+		coeffs   = flag.String("coeffs", "7,3,2", "comma-separated ascending coefficients for -circuit polyeval")
 		seed     = flag.Uint64("seed", 1, "deterministic run seed")
 		delta    = flag.Int64("delta", 10, "synchronous bound Δ in ticks")
 		garble   = flag.String("garble", "", "comma-separated Byzantine parties sending garbage")
@@ -36,63 +38,52 @@ func main() {
 		starve   = flag.String("starve", "", "async: comma-separated parties whose links are starved")
 		syncOnly = flag.Bool("synconly", false, "disable fallback paths (pure-SMPC baseline)")
 		inputCSV = flag.String("inputs", "", "comma-separated party inputs (default 1..n)")
+		manifest = flag.Bool("manifest", false, "print the run as a scenario manifest and exit")
 	)
 	flag.Parse()
 
-	var circ *circuit.Circuit
-	switch *circName {
-	case "sum":
-		circ = circuit.Sum(*n)
-	case "product":
-		circ = circuit.Product(*n)
-	case "dot":
-		if *n%2 != 0 {
-			fatal("dot circuit needs an even party count")
-		}
-		circ = circuit.DotProduct(*n / 2)
-	case "stats":
-		circ = circuit.SumAndVariancePieces(*n)
-	case "membership":
-		circ = circuit.SetMembership(*n)
-	case "depth":
-		circ = circuit.DepthChain(*n, *dm)
-	default:
-		fatal("unknown circuit %q", *circName)
-	}
-
-	inputs := make([]field.Element, *n)
-	for i := range inputs {
-		inputs[i] = field.New(uint64(i + 1))
-	}
-	if *inputCSV != "" {
-		vals := parseInts(*inputCSV)
-		if len(vals) != *n {
-			fatal("-inputs needs exactly %d values", *n)
-		}
-		for i, v := range vals {
-			inputs[i] = field.New(uint64(v))
-		}
-	}
-
-	adv := &mpc.Adversary{
-		Garble:     parseInts(*garble),
-		Silent:     parseInts(*silent),
-		StarveFrom: parseInts(*starve),
-	}
-
-	cfg := mpc.Config{
-		N: *n, Ts: *ts, Ta: *ta,
-		Network:  mpc.Network(*network),
-		Delta:    *delta,
+	m := &scenario.Manifest{
+		Name:    "bobw-cli",
+		Parties: scenario.Parties{N: *n, Ts: *ts, Ta: *ta},
+		Network: scenario.NetworkSpec{Kind: *network, Delta: *delta},
+		Adversary: scenario.AdversarySpec{
+			Garble:     parseInts(*garble),
+			Silent:     parseInts(*silent),
+			StarveFrom: parseInts(*starve),
+		},
+		Circuit:  scenario.CircuitSpec{Family: *circName},
 		Seed:     *seed,
 		SyncOnly: *syncOnly,
 	}
-	res, err := mpc.Run(cfg, circ, inputs, adv)
+	if *circName == "depth" {
+		m.Circuit.Depth = *dm
+	}
+	if *circName == "polyeval" {
+		for _, v := range parseInts(*coeffs) {
+			m.Circuit.Coeffs = append(m.Circuit.Coeffs, uint64(v))
+		}
+	}
+	if *inputCSV != "" {
+		for _, v := range parseInts(*inputCSV) {
+			m.Inputs = append(m.Inputs, uint64(v))
+		}
+	}
+	if *manifest {
+		fmt.Printf("%s\n", m.JSON())
+		return
+	}
+
+	art, err := scenario.Build(m)
+	if err != nil {
+		fatal("%v", err)
+	}
+	res, err := mpc.Run(art.Cfg, art.Circuit, art.Inputs, art.Adversary)
 	if err != nil {
 		fatal("run failed: %v", err)
 	}
 
-	fmt.Printf("circuit            %s (cM=%d, DM=%d)\n", *circName, circ.MulCount, circ.MulDepth)
+	circ := art.Circuit
+	fmt.Printf("circuit            %s (cM=%d, DM=%d)\n", m.Circuit, circ.MulCount, circ.MulDepth)
 	fmt.Printf("network            %s (Δ=%d)\n", *network, *delta)
 	fmt.Printf("outputs            %v\n", res.Outputs)
 	fmt.Printf("input providers    %v\n", res.CS)

@@ -1,0 +1,251 @@
+// Command scenario names, validates and batch-runs declarative MPC
+// scenarios: JSON manifests describing parties, network, adversary,
+// circuit, seed and expected outcome (see docs/scenarios.md).
+//
+// Subcommands:
+//
+//	scenario list     [-json]
+//	scenario validate [-f file.json] [name ...]
+//	scenario run      [-f file.json] [-parallel N] [-json] [--all | name ...]
+//	scenario sweep    [-seeds A..B] [-parallel N] [-json] [--all | name ...]
+//
+// Examples:
+//
+//	scenario run --all -parallel 4
+//	scenario run sync-garble-ts async-starved-links
+//	scenario validate -f examples/scenarios/async-starvation.json
+//	scenario sweep -seeds 1..16 sync-sum-honest
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		cmdList(os.Args[2:])
+	case "validate":
+		cmdValidate(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	case "sweep":
+		cmdSweep(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fatal("unknown subcommand %q (want list, validate, run or sweep)", os.Args[1])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep> [flags] [--all | name ...]")
+	fmt.Fprintln(os.Stderr, "run 'scenario <subcommand> -h' for subcommand flags")
+	os.Exit(2)
+}
+
+// select resolves the manifests a subcommand operates on: an explicit
+// manifest file, the full builtin corpus, or named builtins.
+func selectManifests(fs *flag.FlagSet, file string, all bool, args []string) []*scenario.Manifest {
+	if file != "" {
+		if all || len(args) > 0 {
+			fatal("-f cannot be combined with --all or scenario names")
+		}
+		ms, err := scenario.LoadFile(file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		return ms
+	}
+	if all {
+		if len(args) > 0 {
+			fatal("--all cannot be combined with scenario names")
+		}
+		return scenario.Builtin()
+	}
+	if len(args) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	var ms []*scenario.Manifest
+	for _, name := range args {
+		m, err := scenario.Lookup(name)
+		if err != nil {
+			fatal("%v", err)
+		}
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+func cmdList(args []string) {
+	fs := flag.NewFlagSet("scenario list", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the manifests as JSON")
+	fs.Parse(args)
+	ms := scenario.Builtin()
+	if *jsonOut {
+		emitJSON(ms)
+		return
+	}
+	fmt.Printf("%-32s %-10s %-7s %-12s %-24s %s\n", "NAME", "PARTIES", "NET", "CIRCUIT", "ADVERSARY", "DESCRIPTION")
+	for _, m := range ms {
+		parties := fmt.Sprintf("n=%d,%d/%d", m.Parties.N, m.Parties.Ts, m.Parties.Ta)
+		if m.Parties.AtBoundary() {
+			parties += "*"
+		}
+		net := m.Network.Kind
+		if m.SyncOnly {
+			net += "!"
+		}
+		fmt.Printf("%-32s %-10s %-7s %-12s %-24s %s\n",
+			m.Name, parties, net, m.Circuit, m.Adversary.Summary(), m.Description)
+	}
+	fmt.Printf("\n%d scenarios; * marks threshold-boundary configs (3ts+ta=n-1), ! marks the SyncOnly ablation\n", len(ms))
+}
+
+func cmdValidate(args []string) {
+	fs := flag.NewFlagSet("scenario validate", flag.ExitOnError)
+	file := fs.String("f", "", "validate manifests from a JSON `file` instead of builtins")
+	all := fs.Bool("all", true, "validate the whole builtin corpus when no names are given")
+	fs.Parse(args)
+	useAll := *file == "" && len(fs.Args()) == 0 && *all
+	ms := selectManifests(fs, *file, useAll, fs.Args())
+	bad := 0
+	for _, m := range ms {
+		// LoadFile and Lookup already validate; re-validate so the
+		// subcommand reports every manifest, not just the first error.
+		if err := m.Validate(); err != nil {
+			fmt.Printf("FAIL %s\n     %v\n", m.Name, err)
+			bad++
+			continue
+		}
+		fmt.Printf("ok   %s\n", m.Name)
+	}
+	if bad > 0 {
+		fatal("%d of %d manifests invalid", bad, len(ms))
+	}
+	fmt.Printf("%d manifests valid\n", len(ms))
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
+	file := fs.String("f", "", "run manifests from a JSON `file` instead of builtins")
+	all := fs.Bool("all", false, "run the whole builtin corpus")
+	parallel := fs.Int("parallel", 1, "worker-pool size (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit reports as JSON")
+	fs.Parse(args)
+	ms := selectManifests(fs, *file, *all, fs.Args())
+	results := scenario.Sweep(ms, *parallel)
+	report(results, *jsonOut)
+}
+
+func cmdSweep(args []string) {
+	fs := flag.NewFlagSet("scenario sweep", flag.ExitOnError)
+	file := fs.String("f", "", "sweep manifests from a JSON `file` instead of builtins")
+	all := fs.Bool("all", false, "sweep the whole builtin corpus")
+	seeds := fs.String("seeds", "1..8", "seed `range` A..B (inclusive) each scenario is re-run over")
+	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit reports as JSON")
+	fs.Parse(args)
+	lo, hi, err := parseSeedRange(*seeds)
+	if err != nil {
+		fatal("%v", err)
+	}
+	seedList := make([]uint64, 0, hi-lo+1)
+	for s := lo; ; s++ {
+		seedList = append(seedList, s)
+		if s == hi {
+			break
+		}
+	}
+	var ms []*scenario.Manifest
+	for _, m := range selectManifests(fs, *file, *all, fs.Args()) {
+		ms = append(ms, scenario.ExpandSeeds(m, seedList)...)
+	}
+	results := scenario.Sweep(ms, *parallel)
+	report(results, *jsonOut)
+}
+
+func parseSeedRange(s string) (lo, hi uint64, err error) {
+	a, b, ok := strings.Cut(s, "..")
+	if !ok {
+		a, b = s, s
+	}
+	if lo, err = strconv.ParseUint(a, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad seed range %q: %v", s, err)
+	}
+	if hi, err = strconv.ParseUint(b, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad seed range %q: %v", s, err)
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("bad seed range %q: %d > %d", s, lo, hi)
+	}
+	const maxSeeds = 1 << 20
+	if hi-lo+1 > maxSeeds || hi-lo+1 == 0 {
+		return 0, 0, fmt.Errorf("seed range %q spans more than %d seeds", s, maxSeeds)
+	}
+	return lo, hi, nil
+}
+
+func report(results []scenario.SweepResult, jsonOut bool) {
+	if jsonOut {
+		reps := make([]*scenario.Report, 0, len(results))
+		for _, r := range results {
+			if r.Err != nil {
+				fatal("%s: %v", r.Manifest.Name, r.Err)
+			}
+			reps = append(reps, r.Report)
+		}
+		emitJSON(reps)
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			fatal("%s: %v", r.Manifest.Name, r.Err)
+		}
+		rep := r.Report
+		if !jsonOut {
+			status := "PASS"
+			if !rep.Pass {
+				status = "FAIL"
+			}
+			fmt.Printf("%-4s %-32s t=%-7d |CS|=%-2d %9d msgs %12d bytes\n",
+				status, rep.Name, rep.LastTick, len(rep.CS), rep.HonestMessages, rep.HonestBytes)
+			for _, f := range rep.Failures {
+				fmt.Printf("     assertion failed: %s\n", f)
+			}
+		}
+		if !rep.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fatal("%d of %d scenarios failed", failed, len(results))
+	}
+	if !jsonOut {
+		fmt.Printf("%d scenarios passed\n", len(results))
+	}
+}
+
+func emitJSON(v any) {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/mpc"
+	"repro/scenario"
+)
+
+// E11Manifest expresses an E11CirEval experiment row — one whole-engine
+// evaluation of a named circuit family — as a declarative scenario
+// manifest, so experiment tables can be stored, validated and batch-run
+// by cmd/scenario alongside the built-in corpus.
+func E11Manifest(cfg proto.Config, family string, network mpc.Network, seed uint64) *scenario.Manifest {
+	m := &scenario.Manifest{
+		Name:        fmt.Sprintf("e11-%s-%s-n%d-seed%d", family, network, cfg.N, seed),
+		Description: fmt.Sprintf("E11 whole-engine row: %s circuit, %s network, n=%d", family, network, cfg.N),
+		Parties:     scenario.Parties{N: cfg.N, Ts: cfg.Ts, Ta: cfg.Ta},
+		Network:     scenario.NetworkSpec{Kind: string(network), Delta: int64(cfg.Delta)},
+		Circuit:     scenario.CircuitSpec{Family: family},
+		Seed:        seed,
+		Expect: scenario.Expect{
+			Consistent:   true,
+			MinAgreement: cfg.N - cfg.Ts,
+		},
+	}
+	if network == mpc.Sync {
+		m.Expect.WithinDeadline = true
+	}
+	return m
+}
+
+// FromManifest runs a declarative scenario and reports it in the bench
+// Measure shape: OK is the manifest's assertion verdict.
+func FromManifest(m *scenario.Manifest) (Measure, error) {
+	rep, err := scenario.Run(m)
+	if err != nil {
+		return Measure{}, err
+	}
+	return Measure{
+		HonestMsgs:  rep.HonestMessages,
+		HonestBytes: rep.HonestBytes,
+		LastOutput:  sim.Time(rep.LastTick),
+		Bound:       sim.Time(rep.Deadline),
+		Events:      rep.Events,
+		OK:          rep.Pass,
+	}, nil
+}

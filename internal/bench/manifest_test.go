@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/circuit"
+	"repro/mpc"
+	"repro/scenario"
+)
+
+func mustCircuit(t *testing.T, m *scenario.Manifest) *circuit.Circuit {
+	t.Helper()
+	c, err := m.Circuit.Build(m.Parties.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestManifestRowMatchesDirectRow checks the manifest path reproduces
+// E11CirEval exactly: same engine, same seed, same figures.
+func TestManifestRowMatchesDirectRow(t *testing.T) {
+	cfg := Config5()
+	m := E11Manifest(cfg, "sum", mpc.Sync, 11)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := E11CirEval(cfg, mustCircuit(t, m), mpc.Sync, 11)
+	if got != want {
+		t.Fatalf("manifest row differs from direct row:\n%+v\nvs\n%+v", got, want)
+	}
+	if !got.OK {
+		t.Fatal("manifest row failed its assertions")
+	}
+}

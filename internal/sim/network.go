@@ -166,7 +166,7 @@ func (nw *Network) SetCorrupt(parties []int, ic Interceptor) {
 // IsCorrupt reports whether party i is corrupt.
 func (nw *Network) IsCorrupt(i int) bool { return nw.corrupt[i] }
 
-// Corrupt returns the sorted list of corrupt parties.
+// CorruptSet returns the sorted list of corrupt parties.
 func (nw *Network) CorruptSet() []int {
 	var out []int
 	for i := 1; i <= nw.n; i++ {

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestStarvePolicyHorizonSweep complements TestStarvePolicy with a
+// sweep over send times: starved deliveries land in [Until, Until+16],
+// other links and the post-horizon regime keep the base policy's
+// bounds, and a nil predicate means no starvation.
+func TestStarvePolicyHorizonSweep(t *testing.T) {
+	const until = Time(100)
+	base := SyncPolicy{Delta: 10}
+	p := StarvePolicy{
+		Base:   base,
+		Until:  until,
+		Starve: func(from, to int) bool { return from == 2 },
+	}
+	rng := rand.New(rand.NewPCG(7, 0))
+
+	// A starved link is withheld past the horizon, but only finitely.
+	for i := 0; i < 100; i++ {
+		now := Time(i)
+		d := p.Delay(rng, 2, 3, now)
+		if now+d < until {
+			t.Fatalf("starved message at now=%d delivered at %d, before the horizon %d", now, now+d, until)
+		}
+		if now+d > until+16 {
+			t.Fatalf("starved message at now=%d delayed to %d, far beyond the horizon %d", now, now+d, until)
+		}
+	}
+
+	// Non-starved links see the base policy's delay bounds.
+	for i := 0; i < 100; i++ {
+		d := p.Delay(rng, 3, 2, 0)
+		if d < 1 || d >= base.Delta {
+			t.Fatalf("non-starved delay %d outside the sync bound [1, %d)", d, base.Delta)
+		}
+	}
+
+	// After the horizon the starved link recovers.
+	for i := 0; i < 100; i++ {
+		d := p.Delay(rng, 2, 3, until+1)
+		if d < 1 || d >= base.Delta {
+			t.Fatalf("post-horizon delay %d outside the sync bound [1, %d)", d, base.Delta)
+		}
+	}
+
+	// A nil Starve predicate degrades to the base policy.
+	p.Starve = nil
+	if d := p.Delay(rng, 2, 3, 0); d < 1 || d >= base.Delta {
+		t.Fatalf("nil-predicate delay %d outside the sync bound [1, %d)", d, base.Delta)
+	}
+}

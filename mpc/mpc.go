@@ -55,6 +55,9 @@ type Config struct {
 	Delta int64
 	// Seed makes the run fully deterministic.
 	Seed uint64
+	// Tail, with the Async network, overrides the heavy-tail
+	// probability of the delay distribution (default 0.15).
+	Tail float64
 	// CoinRounds is the ABA round constant k (default 8).
 	CoinRounds int
 	// SyncOnly disables every asynchronous fallback path, turning the
@@ -219,7 +222,10 @@ func Run(cfg Config, circ *circuit.Circuit, inputs []field.Element, adv *Adversa
 			ctrl.Set(p, adversary.CrashAt(sim.Time(t)))
 		}
 	}
-	var policy sim.Policy
+	var policy sim.Policy = sim.AsyncPolicy{Delta: pcfg.Delta, Tail: cfg.Tail}
+	if kind == proto.Sync {
+		policy = sim.SyncPolicy{Delta: pcfg.Delta}
+	}
 	if adv != nil && len(adv.StarveFrom) > 0 {
 		starved := map[int]bool{}
 		for _, p := range adv.StarveFrom {
@@ -229,11 +235,7 @@ func Run(cfg Config, circ *circuit.Circuit, inputs []field.Element, adv *Adversa
 		if until == 0 {
 			until = 500 * pcfg.Delta
 		}
-		var base sim.Policy = sim.AsyncPolicy{Delta: pcfg.Delta}
-		if kind == proto.Sync {
-			base = sim.SyncPolicy{Delta: pcfg.Delta}
-		}
-		policy = sim.StarvePolicy{Base: base, Until: until,
+		policy = sim.StarvePolicy{Base: policy, Until: until,
 			Starve: func(from, to int) bool { return starved[from] }}
 	}
 

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/circuit"
+	"repro/field"
+)
+
+// CircuitSpec names a workload from the circuit gadget catalogue.
+type CircuitSpec struct {
+	// Family is one of Families: "sum", "product", "dot", "stats",
+	// "membership", "polyeval", "matmul", "depth".
+	Family string `json:"family"`
+	// Depth is the multiplicative depth for the "depth" family.
+	Depth int `json:"depth,omitempty"`
+	// Coeffs are the ascending public coefficients for "polyeval".
+	Coeffs []uint64 `json:"coeffs,omitempty"`
+}
+
+// Families lists the supported circuit families in display order.
+func Families() []string {
+	return []string{"sum", "product", "dot", "stats", "membership", "polyeval", "matmul", "depth"}
+}
+
+// check validates the spec against an n-party run without building.
+func (c CircuitSpec) check(n int) error {
+	switch c.Family {
+	case "sum", "product", "stats", "membership":
+	case "dot":
+		if n%2 != 0 {
+			return fmt.Errorf("family %q needs an even party count, have n = %d", c.Family, n)
+		}
+	case "matmul":
+		if n != 8 {
+			return fmt.Errorf("family %q needs exactly 8 parties (two 2x2 matrices), have n = %d", c.Family, n)
+		}
+	case "polyeval":
+		if len(c.Coeffs) < 2 {
+			return fmt.Errorf("family %q needs at least 2 coefficients, have %d", c.Family, len(c.Coeffs))
+		}
+	case "depth":
+		if c.Depth < 1 {
+			return fmt.Errorf("family %q needs depth >= 1, have %d", c.Family, c.Depth)
+		}
+	case "":
+		return fmt.Errorf("family is required (one of %v)", Families())
+	default:
+		return fmt.Errorf("unknown family %q (one of %v)", c.Family, Families())
+	}
+	if c.Depth != 0 && c.Family != "depth" {
+		return fmt.Errorf("depth only applies to family %q", "depth")
+	}
+	if len(c.Coeffs) != 0 && c.Family != "polyeval" {
+		return fmt.Errorf("coeffs only apply to family %q", "polyeval")
+	}
+	return nil
+}
+
+// Build constructs the circuit for an n-party run.
+func (c CircuitSpec) Build(n int) (*circuit.Circuit, error) {
+	if err := c.check(n); err != nil {
+		return nil, err
+	}
+	switch c.Family {
+	case "sum":
+		return circuit.Sum(n), nil
+	case "product":
+		return circuit.Product(n), nil
+	case "dot":
+		return circuit.DotProduct(n / 2), nil
+	case "stats":
+		return circuit.SumAndVariancePieces(n), nil
+	case "membership":
+		return circuit.SetMembership(n), nil
+	case "polyeval":
+		coeffs := make([]field.Element, len(c.Coeffs))
+		for i, v := range c.Coeffs {
+			coeffs[i] = field.New(v)
+		}
+		return circuit.PolyEval(n, coeffs), nil
+	case "matmul":
+		return circuit.MatMul2x2(), nil
+	case "depth":
+		return circuit.DepthChain(n, c.Depth), nil
+	}
+	panic("unreachable: check covers all families")
+}
+
+// String renders the spec compactly, e.g. "depth(4)" or "polyeval[3]".
+func (c CircuitSpec) String() string {
+	switch c.Family {
+	case "depth":
+		return fmt.Sprintf("depth(%d)", c.Depth)
+	case "polyeval":
+		return fmt.Sprintf("polyeval[%d]", len(c.Coeffs))
+	default:
+		return c.Family
+	}
+}

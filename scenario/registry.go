@@ -1,0 +1,379 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builtin is the registry of named built-in scenarios. It spans every
+// circuit family, both network models, every adversary preset
+// (garble/silent/crash/starve), the SyncOnly ablation, fallback
+// triggers, and threshold-boundary (3·Ts + Ta = N − 1) configurations.
+var builtin = map[string]*Manifest{}
+
+// register adds m to the registry; duplicate or invalid builtins are a
+// programming error.
+func register(m *Manifest) {
+	if _, dup := builtin[m.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate builtin %q", m.Name))
+	}
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: invalid builtin: %v", err))
+	}
+	builtin[m.Name] = m
+}
+
+// Names returns the sorted names of the built-in scenarios.
+func Names() []string {
+	out := make([]string, 0, len(builtin))
+	for name := range builtin {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Builtin returns the built-in scenarios sorted by name.
+func Builtin() []*Manifest {
+	out := make([]*Manifest, 0, len(builtin))
+	for _, name := range Names() {
+		out = append(out, builtin[name])
+	}
+	return out
+}
+
+// Lookup returns the built-in scenario with the given name.
+func Lookup(name string) (*Manifest, error) {
+	m, ok := builtin[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: no builtin named %q (see Names)", name)
+	}
+	return m, nil
+}
+
+// Common party configurations. flagship is the paper's headline n = 8
+// setting; both it and the two boundary configs satisfy
+// 3·Ts + Ta = N − 1, the largest thresholds feasible for their N.
+var (
+	flagship   = Parties{N: 8, Ts: 2, Ta: 1}
+	boundaryN5 = Parties{N: 5, Ts: 1, Ta: 1}
+	boundaryN9 = Parties{N: 9, Ts: 2, Ta: 2}
+)
+
+func syncNet() NetworkSpec  { return NetworkSpec{Kind: "sync", Delta: 10} }
+func asyncNet() NetworkSpec { return NetworkSpec{Kind: "async", Delta: 10} }
+
+func init() {
+	// --- Synchronous, all honest: one scenario per circuit family.
+	register(&Manifest{
+		Name:        "sync-sum-honest",
+		Description: "flagship n=8 linear-only baseline: Σ x_i under synchrony, all honest",
+		Parties:     flagship, Network: syncNet(), Seed: 1,
+		Circuit: CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Outputs: []uint64{36}, Consistent: true,
+			MinAgreement: 8, AllHonestTerminate: true, WithinDeadline: true,
+			MaxTicks: 1200, MaxHonestMessages: 800_000, MaxHonestBytes: 40_000_000,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-product-honest",
+		Description: "multiplication tree Π x_i under synchrony, all honest",
+		Parties:     flagship, Network: syncNet(), Seed: 2,
+		Circuit: CircuitSpec{Family: "product"},
+		Expect: Expect{
+			Outputs: []uint64{40320}, Consistent: true,
+			MinAgreement: 8, AllHonestTerminate: true, WithinDeadline: true,
+			MaxHonestBytes: 140_000_000,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-dot-honest",
+		Description: "two-vector dot product Σ x_i·y_i under synchrony, all honest",
+		Parties:     flagship, Network: syncNet(), Seed: 3,
+		Circuit: CircuitSpec{Family: "dot"},
+		Expect: Expect{
+			// x = (1,2,3,4), y = (5,6,7,8): Σ x_i·y_i = 70.
+			Outputs: []uint64{70}, Consistent: true,
+			MinAgreement: 8, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-stats-honest",
+		Description: "federated statistics (Σ x_i, Σ x_i²) under synchrony, all honest",
+		Parties:     flagship, Network: syncNet(), Seed: 4,
+		Circuit: CircuitSpec{Family: "stats"},
+		Expect: Expect{
+			Outputs: []uint64{36, 204}, Consistent: true,
+			MinAgreement: 8, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-membership-hit",
+		Description: "private set membership where the element is in the set: Π (e - s_j) = 0",
+		Parties:     flagship, Network: syncNet(), Seed: 5,
+		Circuit: CircuitSpec{Family: "membership"},
+		Inputs:  []uint64{5, 1, 5, 9, 2, 7, 3, 4},
+		Expect: Expect{
+			Outputs: []uint64{0}, Consistent: true,
+			MinAgreement: 8, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-membership-miss",
+		Description: "private set membership where the element is absent: nonzero witness",
+		Parties:     flagship, Network: syncNet(), Seed: 6,
+		Circuit: CircuitSpec{Family: "membership"},
+		Inputs:  []uint64{100, 1, 5, 9, 2, 7, 3, 4},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 8, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-polyeval-honest",
+		Description: "public polynomial evaluation at a private point (Horner chain)",
+		Parties:     flagship, Network: syncNet(), Seed: 7,
+		Circuit: CircuitSpec{Family: "polyeval", Coeffs: []uint64{7, 3, 2}},
+		Expect: Expect{
+			// p(x) = 2x² + 3x + 7 at x = 1, plus Σ_{i≥2} x_i = 35: 47.
+			Outputs: []uint64{47}, Consistent: true,
+			MinAgreement: 8, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-matmul-honest",
+		Description: "2x2 matrix product, the multiplication-heavy shape (cM=8, DM=1)",
+		Parties:     flagship, Network: syncNet(), Seed: 8,
+		Circuit: CircuitSpec{Family: "matmul"},
+		Expect: Expect{
+			// A=[[1,2],[3,4]], B=[[5,6],[7,8]] → C=[[19,22],[43,50]].
+			Outputs: []uint64{19, 22, 43, 50}, Consistent: true,
+			MinAgreement: 8, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-depth-chain",
+		Description: "worst-case multiplicative depth: a chain of 4 squarings",
+		Parties:     boundaryN5, Network: syncNet(), Seed: 9,
+		Circuit: CircuitSpec{Family: "depth", Depth: 4},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 5, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+
+	// --- Synchronous, Byzantine adversaries at full budget.
+	register(&Manifest{
+		Name:        "sync-garble-ts",
+		Description: "ts=2 garbling senders under synchrony: full synchronous budget",
+		Parties:     flagship, Network: syncNet(), Seed: 10,
+		Adversary: AdversarySpec{Garble: []int{2, 5}},
+		Circuit:   CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-silent-crash",
+		Description: "a party crashed from the start under synchrony",
+		Parties:     flagship, Network: syncNet(), Seed: 11,
+		Adversary: AdversarySpec{Silent: []int{3}},
+		Circuit:   CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-crash-midway",
+		Description: "a party crashing mid-protocol (tick 40) under synchrony",
+		Parties:     flagship, Network: syncNet(), Seed: 12,
+		Adversary: AdversarySpec{CrashAt: map[int]int64{4: 40}},
+		Circuit:   CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-garble-and-silent",
+		Description: "mixed strategy at full budget: one garbler plus one crash",
+		Parties:     flagship, Network: syncNet(), Seed: 13,
+		Adversary: AdversarySpec{Garble: []int{7}, Silent: []int{2}},
+		Circuit:   CircuitSpec{Family: "stats"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+
+	// --- Threshold-boundary configurations (3·Ts + Ta = N − 1).
+	register(&Manifest{
+		Name:        "sync-boundary-n5",
+		Description: "smallest best-of-both-worlds configuration n=5, ts=ta=1 (3·ts+ta = n−1)",
+		Parties:     boundaryN5, Network: syncNet(), Seed: 14,
+		Circuit: CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Outputs: []uint64{15}, Consistent: true,
+			MinAgreement: 5, AllHonestTerminate: true, WithinDeadline: true,
+			MaxTicks: 1000, MaxHonestBytes: 3_500_000,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-boundary-n9",
+		Description: "boundary configuration n=9, ts=2, ta=2 (3·ts+ta = n−1)",
+		Parties:     boundaryN9, Network: syncNet(), Seed: 15,
+		Circuit: CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Outputs: []uint64{45}, Consistent: true,
+			MinAgreement: 7, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-boundary-n5-garble",
+		Description: "boundary n=5 with its entire synchronous budget garbling",
+		Parties:     boundaryN5, Network: syncNet(), Seed: 16,
+		Adversary: AdversarySpec{Garble: []int{2}},
+		Circuit:   CircuitSpec{Family: "product"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 4, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+
+	// --- SyncOnly ablation: the fallback-trigger pair.
+	register(&Manifest{
+		Name:        "synconly-sync-baseline",
+		Description: "ablation: fallback paths disabled, synchronous network — still correct",
+		Parties:     flagship, Network: syncNet(), Seed: 17, SyncOnly: true,
+		Circuit: CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Outputs: []uint64{36}, Consistent: true,
+			MinAgreement: 8, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "fallback-synconly-async-stalls",
+		Description: "fallback trigger, negative control: the SyncOnly stack loses liveness under asynchrony",
+		Parties:     flagship, Network: asyncNet(), Seed: 18, SyncOnly: true,
+		EventLimit: 20_000_000,
+		Adversary:  AdversarySpec{StarveFrom: []int{8}, StarveUntil: 6000},
+		Circuit:    CircuitSpec{Family: "sum"},
+		Expect:     Expect{Error: ErrNameNoHonestOutput},
+	})
+	register(&Manifest{
+		Name:        "fallback-bobw-async-survives",
+		Description: "fallback trigger, positive control: the same run with fallback enabled terminates",
+		Parties:     flagship, Network: asyncNet(), Seed: 18,
+		Adversary: AdversarySpec{StarveFrom: []int{8}, StarveUntil: 6000},
+		Circuit:   CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6,
+			MaxTicks:     4000,
+		},
+	})
+
+	// --- Asynchronous network.
+	register(&Manifest{
+		Name:        "async-sum-honest",
+		Description: "Σ x_i under asynchrony, all honest",
+		Parties:     flagship, Network: asyncNet(), Seed: 19,
+		Circuit: CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6, AllHonestTerminate: true,
+			MaxTicks: 2000, MaxHonestBytes: 50_000_000,
+		},
+	})
+	register(&Manifest{
+		Name:        "async-product-honest",
+		Description: "multiplication tree under asynchrony, all honest",
+		Parties:     flagship, Network: asyncNet(), Seed: 20,
+		Circuit: CircuitSpec{Family: "product"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6, AllHonestTerminate: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "async-garble-ta",
+		Description: "the full asynchronous budget (ta=1) garbling under asynchrony",
+		Parties:     flagship, Network: asyncNet(), Seed: 21,
+		Adversary: AdversarySpec{Garble: []int{3}},
+		Circuit:   CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6, AllHonestTerminate: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "async-silent-ta",
+		Description: "a crashed party under asynchrony (ta=1 budget)",
+		Parties:     flagship, Network: asyncNet(), Seed: 22,
+		Adversary: AdversarySpec{Silent: []int{6}},
+		Circuit:   CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6, AllHonestTerminate: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "async-starved-links",
+		Description: "adversarial scheduler starving all links out of one honest party",
+		Parties:     flagship, Network: asyncNet(), Seed: 23,
+		Adversary: AdversarySpec{StarveFrom: []int{8}, StarveUntil: 6000},
+		Circuit:   CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6,
+			MaxTicks:     3000,
+		},
+	})
+	register(&Manifest{
+		Name:        "async-heavy-tail",
+		Description: "asynchrony with a 40% heavy-tail delay distribution",
+		Parties:     flagship, Network: NetworkSpec{Kind: "async", Delta: 10, Tail: 0.4}, Seed: 24,
+		Circuit: CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6, AllHonestTerminate: true,
+			MaxTicks: 4000,
+		},
+	})
+	register(&Manifest{
+		Name:        "async-depth-chain",
+		Description: "depth-3 squaring chain under asynchrony at the n=5 boundary",
+		Parties:     boundaryN5, Network: asyncNet(), Seed: 25,
+		Circuit: CircuitSpec{Family: "depth", Depth: 3},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 4, AllHonestTerminate: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "async-boundary-n5-garble",
+		Description: "boundary n=5 under asynchrony with its entire ta budget garbling",
+		Parties:     boundaryN5, Network: asyncNet(), Seed: 26,
+		Adversary: AdversarySpec{Garble: []int{5}},
+		Circuit:   CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 4, AllHonestTerminate: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "async-starve-and-garble",
+		Description: "combined attack: one garbler plus starved links under asynchrony",
+		Parties:     flagship, Network: asyncNet(), Seed: 27,
+		Adversary: AdversarySpec{Garble: []int{4}, StarveFrom: []int{1}, StarveUntil: 4000},
+		Circuit:   CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6,
+			MaxTicks:     8000,
+		},
+	})
+}

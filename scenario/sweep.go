@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SweepResult pairs a manifest with its run outcome. Exactly one of
+// Report and Err is set: Err covers manifest/assembly failures, while
+// engine errors and assertion verdicts live inside the Report.
+type SweepResult struct {
+	Manifest *Manifest
+	Report   *Report
+	Err      error
+}
+
+// Sweep runs the manifests on a worker pool of the given size
+// (parallel < 1 uses GOMAXPROCS) and returns one result per manifest,
+// in input order. Each simulation is single-threaded and deterministic,
+// so results are independent of the pool size and of scheduling: only
+// wall-clock time varies.
+func Sweep(ms []*Manifest, parallel int) []SweepResult {
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(ms) {
+		parallel = len(ms)
+	}
+	out := make([]SweepResult, len(ms))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep, err := Run(ms[i])
+				out[i] = SweepResult{Manifest: ms[i], Report: rep, Err: err}
+			}
+		}()
+	}
+	for i := range ms {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// ExpandSeeds derives one manifest per seed from a base manifest,
+// renaming each to "<name>-seed<s>". Expected exact outputs survive
+// reseeding only when the agreement set is pinned, so seed expansion
+// drops the Outputs assertion and keeps the seed-independent ones
+// (consistency, agreement bounds, budgets).
+func ExpandSeeds(m *Manifest, seeds []uint64) []*Manifest {
+	out := make([]*Manifest, len(seeds))
+	for i, s := range seeds {
+		c := *m
+		c.Name = fmt.Sprintf("%s-seed%d", m.Name, s)
+		c.Seed = s
+		c.Expect.Outputs = nil
+		out[i] = &c
+	}
+	return out
+}
