@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short scenarios ci
+.PHONY: build vet test test-short scenarios bench-smoke bench-json ci
 
 build:
 	$(GO) build ./...
@@ -18,4 +18,14 @@ test-short:
 scenarios:
 	$(GO) run ./cmd/scenario run --all -parallel 4
 
-ci: build vet test-short
+# bench-smoke compiles and single-shots every benchmark (CI guard; no
+# stable timing intended).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-json regenerates BENCH_PR2.json: the tracked E7/E8 wall-clock
+# trajectory against the recorded pre-PR2 baseline (docs/performance.md).
+bench-json:
+	$(GO) run ./cmd/scenario bench -out BENCH_PR2.json
+
+ci: build vet test-short bench-smoke

@@ -8,6 +8,7 @@
 //	scenario validate [-f file.json] [name ...]
 //	scenario run      [-f file.json] [-parallel N] [-json] [--all | name ...]
 //	scenario sweep    [-seeds A..B] [-parallel N] [-json] [--all | name ...]
+//	scenario bench    [-out BENCH_PR2.json]
 //
 // Examples:
 //
@@ -25,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/bench"
 	"repro/scenario"
 )
 
@@ -41,17 +43,53 @@ func main() {
 		cmdRun(os.Args[2:])
 	case "sweep":
 		cmdSweep(os.Args[2:])
+	case "bench":
+		cmdBench(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
-		fatal("unknown subcommand %q (want list, validate, run or sweep)", os.Args[1])
+		fatal("unknown subcommand %q (want list, validate, run, sweep or bench)", os.Args[1])
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep> [flags] [--all | name ...]")
+	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep|bench> [flags] [--all | name ...]")
 	fmt.Fprintln(os.Stderr, "run 'scenario <subcommand> -h' for subcommand flags")
 	os.Exit(2)
+}
+
+// cmdBench measures the tracked perf benchmarks (E7 VSS, E8 ACS) and
+// writes the trajectory report: recorded pre-PR2 baseline, fresh
+// wall-clock figures, per-row speedups and the protocol-metric
+// invariance verdict. See docs/performance.md.
+func cmdBench(args []string) {
+	fs := flag.NewFlagSet("scenario bench", flag.ExitOnError)
+	out := fs.String("out", "", "write the JSON report to `file` (default stdout)")
+	fs.Parse(args)
+	report, err := bench.RunPerf()
+	if err != nil {
+		fatal("%v", err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := bench.WritePerf(w, report); err != nil {
+		fatal("%v", err)
+	}
+	if !report.Invariant {
+		fatal("protocol metrics diverged from the recorded baseline — the perf work changed behaviour")
+	}
+	for _, row := range report.Current {
+		if s, ok := report.Speedup[row.Name]; ok {
+			fmt.Fprintf(os.Stderr, "%-14s %6.2fx\n", row.Name, s)
+		}
+	}
 }
 
 // select resolves the manifests a subcommand operates on: an explicit

@@ -88,6 +88,22 @@ func (e Element) Mul(b Element) Element {
 // Square returns e² mod p.
 func (e Element) Square() Element { return e.Mul(e) }
 
+// MulAdd returns e + a·b mod p with a single fused reduction: the
+// accumulator joins the product limbs before the final fold, saving the
+// separate Add's compare-and-subtract on interpolation inner loops.
+func (e Element) MulAdd(a, b Element) Element {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	p0 := lo & Modulus
+	p1 := (hi<<3 | lo>>61) & Modulus
+	p2 := hi >> 58
+	s := uint64(e) + p0 + p1 + p2 // ≤ 4(p-1), fits in 63 bits
+	s = (s & Modulus) + (s >> 61)
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return Element(s)
+}
+
 // Pow returns e^k mod p by binary exponentiation. Pow(0, 0) = 1.
 func (e Element) Pow(k uint64) Element {
 	result := One
@@ -194,9 +210,21 @@ func Dot(xs, ys []Element) Element {
 	}
 	var s Element
 	for i := range xs {
-		s = s.Add(xs[i].Mul(ys[i]))
+		s = s.MulAdd(xs[i], ys[i])
 	}
 	return s
+}
+
+// AddScaled adds c·src to dst element-wise, in place. The slices must
+// have equal length. It is the fused accumulation step of kernel-based
+// interpolation.
+func AddScaled(dst, src []Element, c Element) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("field: AddScaled length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i] = dst[i].MulAdd(src[i], c)
+	}
 }
 
 // BatchInv computes the inverses of all elements in xs with a single field

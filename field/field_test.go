@@ -324,3 +324,50 @@ func BenchmarkInv(b *testing.B) {
 	}
 	_ = x
 }
+
+func TestMulAddMatchesMulThenAdd(t *testing.T) {
+	r := rand.New(rand.NewPCG(77, 1))
+	for i := 0; i < 2000; i++ {
+		e, a, b := Random(r), Random(r), Random(r)
+		if got, want := e.MulAdd(a, b), e.Add(a.Mul(b)); got != want {
+			t.Fatalf("MulAdd(%v, %v, %v) = %v, want %v", e, a, b, got, want)
+		}
+	}
+	// Boundary values: the fused reduction must stay canonical.
+	top := Element(Modulus - 1)
+	for _, e := range []Element{0, 1, top} {
+		for _, a := range []Element{0, 1, top} {
+			for _, b := range []Element{0, 1, top} {
+				if got, want := e.MulAdd(a, b), e.Add(a.Mul(b)); got != want {
+					t.Fatalf("MulAdd(%v, %v, %v) = %v, want %v", e, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	r := rand.New(rand.NewPCG(78, 1))
+	dst := make([]Element, 16)
+	src := make([]Element, 16)
+	want := make([]Element, 16)
+	for i := range dst {
+		dst[i], src[i] = Random(r), Random(r)
+	}
+	c := Random(r)
+	for i := range want {
+		want[i] = dst[i].Add(c.Mul(src[i]))
+	}
+	AddScaled(dst, src, c)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("AddScaled[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddScaled must panic on length mismatch")
+		}
+	}()
+	AddScaled(dst, src[:3], c)
+}

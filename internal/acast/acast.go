@@ -18,6 +18,8 @@
 package acast
 
 import (
+	"bytes"
+
 	"repro/internal/proto"
 	"repro/internal/wire"
 )
@@ -29,6 +31,18 @@ const (
 	msgReady
 )
 
+// valueState tallies ECHO/READY votes for one distinct candidate value.
+// Distinct values per instance are few (one with an honest sender), so
+// a linear scan over a small slice replaces per-message string keys and
+// per-value maps on the hot path.
+type valueState struct {
+	val      []byte // aliases a delivered body; read-only
+	echoes   []bool // 1-based sender index
+	readies  []bool
+	nEchoes  int
+	nReadies int
+}
+
 // Acast is one party's state in a single reliable-broadcast instance.
 type Acast struct {
 	rt     *proto.Runtime
@@ -39,8 +53,7 @@ type Acast struct {
 	gotSend   bool
 	sentEcho  bool
 	sentReady bool
-	echoes    map[string]map[int]bool // value -> senders
-	readies   map[string]map[int]bool
+	vals      []*valueState
 	delivered bool
 	output    []byte
 	onOutput  func(m []byte)
@@ -56,8 +69,6 @@ func New(rt *proto.Runtime, inst string, sender, t int, onOutput func(m []byte))
 		sender:   sender,
 		n:        rt.N(),
 		t:        t,
-		echoes:   make(map[string]map[int]bool),
-		readies:  make(map[string]map[int]bool),
 		onOutput: onOutput,
 	}
 	rt.Register(inst, a)
@@ -82,14 +93,33 @@ func (a *Acast) Output() []byte { return a.output }
 // echoThreshold is ⌈(n+t+1)/2⌉.
 func (a *Acast) echoThreshold() int { return (a.n + a.t + 2) / 2 }
 
+// state returns the vote tally for value m, creating it on first sight.
+func (a *Acast) state(m []byte) *valueState {
+	for _, v := range a.vals {
+		if bytes.Equal(v.val, m) {
+			return v
+		}
+	}
+	v := &valueState{val: m, echoes: make([]bool, a.n+1), readies: make([]bool, a.n+1)}
+	a.vals = append(a.vals, v)
+	return v
+}
+
+// encode marshals a value message.
+func encode(m []byte) []byte {
+	return wire.NewWriterCap(len(m) + 4).Blob(m).Bytes()
+}
+
 // Deliver implements proto.Handler.
 func (a *Acast) Deliver(from int, msgType uint8, body []byte) {
+	if from < 1 || from > a.n {
+		return
+	}
 	r := wire.NewReader(body)
-	m := r.Blob()
+	m := r.BlobRef()
 	if r.Done() != nil {
 		return // malformed: drop
 	}
-	key := string(m)
 	switch msgType {
 	case msgSend:
 		if from != a.sender || a.gotSend {
@@ -98,37 +128,31 @@ func (a *Acast) Deliver(from int, msgType uint8, body []byte) {
 		a.gotSend = true
 		if !a.sentEcho {
 			a.sentEcho = true
-			a.rt.SendAll(a.inst, msgEcho, wire.NewWriter().Blob(m).Bytes())
+			a.rt.SendAll(a.inst, msgEcho, encode(m))
 		}
 	case msgEcho:
-		set := a.echoes[key]
-		if set == nil {
-			set = make(map[int]bool)
-			a.echoes[key] = set
-		}
-		if set[from] {
+		v := a.state(m)
+		if v.echoes[from] {
 			return
 		}
-		set[from] = true
-		if len(set) >= a.echoThreshold() && !a.sentReady {
+		v.echoes[from] = true
+		v.nEchoes++
+		if v.nEchoes >= a.echoThreshold() && !a.sentReady {
 			a.sentReady = true
-			a.rt.SendAll(a.inst, msgReady, wire.NewWriter().Blob(m).Bytes())
+			a.rt.SendAll(a.inst, msgReady, encode(m))
 		}
 	case msgReady:
-		set := a.readies[key]
-		if set == nil {
-			set = make(map[int]bool)
-			a.readies[key] = set
-		}
-		if set[from] {
+		v := a.state(m)
+		if v.readies[from] {
 			return
 		}
-		set[from] = true
-		if len(set) >= a.t+1 && !a.sentReady {
+		v.readies[from] = true
+		v.nReadies++
+		if v.nReadies >= a.t+1 && !a.sentReady {
 			a.sentReady = true
-			a.rt.SendAll(a.inst, msgReady, wire.NewWriter().Blob(m).Bytes())
+			a.rt.SendAll(a.inst, msgReady, encode(m))
 		}
-		if len(set) >= 2*a.t+1 && !a.delivered {
+		if v.nReadies >= 2*a.t+1 && !a.delivered {
 			a.delivered = true
 			a.output = m
 			if a.onOutput != nil {

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// PerfRow is one benchmark row of a perf report: wall-clock ns/op plus
+// the protocol metrics that must stay invariant across optimisation
+// work (the paper's reproduction targets).
+type PerfRow struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Bytes   uint64 `json:"bytes_per_op"`
+	Msgs    uint64 `json:"msgs_per_op"`
+	VTicks  int64  `json:"vticks_per_op"`
+	Bound   int64  `json:"bound"`
+}
+
+// PerfReport is the JSON document emitted to BENCH_PR2.json: the
+// recorded pre-PR2 baseline next to freshly measured rows, with
+// per-experiment speedups. Protocol metrics (bytes, msgs, vticks) must
+// be identical between the two columns — the perf work may only change
+// wall-clock.
+type PerfReport struct {
+	Note      string             `json:"note"`
+	Baseline  []PerfRow          `json:"baseline_pre_pr2"`
+	Current   []PerfRow          `json:"current"`
+	Speedup   map[string]float64 `json:"speedup"`
+	Invariant bool               `json:"metrics_invariant"`
+}
+
+// BaselinePrePR2 is the pre-PR2 measurement of the tracked benchmarks
+// (seed repository state, -benchtime 2x, Intel Xeon @ 2.10GHz): the
+// trajectory anchor every later perf PR is compared against.
+func BaselinePrePR2() []PerfRow {
+	return []PerfRow{
+		{Name: "E7VSS/n8/L1", NsPerOp: 124137044, Bytes: 3449872, Msgs: 86368, VTicks: 843, Bound: 910},
+		{Name: "E7VSS/n8/L8", NsPerOp: 129975602, Bytes: 3491144, Msgs: 86368, VTicks: 843, Bound: 910},
+		{Name: "E8ACS/n5/L1", NsPerOp: 125975164, Bytes: 2601620, Msgs: 63545, VTicks: 843, Bound: 1070},
+		{Name: "E8ACS/n8/L1", NsPerOp: 1416698356, Bytes: 32782400, Msgs: 729304, VTicks: 1056, Bound: 1310},
+	}
+}
+
+// perfCases enumerates the tracked benchmark configurations in baseline
+// order.
+func perfCases() []struct {
+	name string
+	run  func(seed uint64) Measure
+} {
+	return []struct {
+		name string
+		run  func(seed uint64) Measure
+	}{
+		{"E7VSS/n8/L1", func(seed uint64) Measure { return E7VSS(Config8(), 1, seed) }},
+		{"E7VSS/n8/L8", func(seed uint64) Measure { return E7VSS(Config8(), 8, seed) }},
+		{"E8ACS/n5/L1", func(seed uint64) Measure { return E8ACS(Config5(), 1, seed) }},
+		{"E8ACS/n8/L1", func(seed uint64) Measure { return E8ACS(Config8(), 1, seed) }},
+	}
+}
+
+// RunPerf measures the tracked benchmarks via testing.Benchmark and
+// assembles the report.
+func RunPerf() (*PerfReport, error) {
+	report := &PerfReport{
+		Note: "wall-clock per protocol run (testing.Benchmark); bytes/msgs/vticks are " +
+			"protocol invariants and must match the baseline exactly",
+		Baseline:  BaselinePrePR2(),
+		Speedup:   map[string]float64{},
+		Invariant: true,
+	}
+	baseline := map[string]PerfRow{}
+	for _, row := range report.Baseline {
+		baseline[row.Name] = row
+	}
+	for _, c := range perfCases() {
+		// Protocol metrics are a function of the seed (the network
+		// schedule); the baseline recorded seed 1, so the invariant
+		// comparison re-runs exactly that seed.
+		ref := c.run(1)
+		if !ref.OK {
+			return nil, fmt.Errorf("bench: %s violated its experiment invariant", c.name)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.run(uint64(i))
+			}
+		})
+		row := PerfRow{
+			Name:    c.name,
+			NsPerOp: res.NsPerOp(),
+			Bytes:   ref.HonestBytes,
+			Msgs:    ref.HonestMsgs,
+			VTicks:  int64(ref.LastOutput),
+			Bound:   int64(ref.Bound),
+		}
+		report.Current = append(report.Current, row)
+		if base, ok := baseline[row.Name]; ok {
+			report.Speedup[row.Name] = float64(base.NsPerOp) / float64(row.NsPerOp)
+			if base.Bytes != row.Bytes || base.Msgs != row.Msgs || base.VTicks != row.VTicks {
+				report.Invariant = false
+			}
+		}
+	}
+	return report, nil
+}
+
+// WritePerf renders the report as indented JSON.
+func WritePerf(w io.Writer, report *PerfReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

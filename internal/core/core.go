@@ -256,7 +256,7 @@ func (e *CirEval) onReconstructed(vals []field.Element) {
 		return
 	}
 	e.sentReady = true
-	e.rt.SendAll(e.inst, msgReady, wire.NewWriter().Elements(vals).Bytes())
+	e.rt.SendAll(e.inst, msgReady, wire.NewWriterCap(2+8*len(vals)).Elements(vals).Bytes())
 }
 
 // Deliver implements proto.Handler: the Bracha-style termination vote.

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/sim"
+	"repro/poly"
 )
 
 // Handler is a protocol instance: it consumes messages addressed to its
@@ -53,6 +54,10 @@ type Runtime struct {
 	sched *sim.Scheduler
 	net   *sim.Network
 	rng   *rand.Rand
+	// kernels is the run-wide interpolation-kernel cache, shared by all
+	// parties of a world (the simulation is single-threaded, and the
+	// evaluation grid is public, so sharing leaks nothing).
+	kernels *poly.KernelCache
 
 	exact    map[string]Handler
 	prefixes []prefixEntry
@@ -63,17 +68,25 @@ type Runtime struct {
 // to the network.
 func NewRuntime(id, n int, sched *sim.Scheduler, net *sim.Network, rng *rand.Rand) *Runtime {
 	rt := &Runtime{
-		id:     id,
-		n:      n,
-		sched:  sched,
-		net:    net,
-		rng:    rng,
-		exact:  make(map[string]Handler),
-		buffer: make(map[string][]bufMsg),
+		id:      id,
+		n:       n,
+		sched:   sched,
+		net:     net,
+		rng:     rng,
+		kernels: poly.NewKernelCache(),
+		exact:   make(map[string]Handler),
+		buffer:  make(map[string][]bufMsg),
 	}
 	net.Attach(id, rt)
 	return rt
 }
+
+// SetKernelCache replaces this runtime's interpolation-kernel cache;
+// the World harness points every party at one shared per-run cache.
+func (rt *Runtime) SetKernelCache(c *poly.KernelCache) { rt.kernels = c }
+
+// Kernels returns the run's interpolation-kernel cache.
+func (rt *Runtime) Kernels() *poly.KernelCache { return rt.kernels }
 
 // ID returns this party's 1-based index.
 func (rt *Runtime) ID() int { return rt.id }

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/sim"
+	"repro/poly"
 )
 
 // WorldOpts configures a simulated n-party system.
@@ -70,9 +71,11 @@ func NewWorld(opts WorldOpts) *World {
 		Runtimes: make([]*Runtime, cfg.N+1),
 		corrupt:  make(map[int]bool),
 	}
+	kernels := poly.NewKernelCache()
 	for i := 1; i <= cfg.N; i++ {
 		prng := rand.New(rand.NewPCG(opts.Seed^uint64(i)*0x9e3779b97f4a7c15, uint64(i)))
 		w.Runtimes[i] = NewRuntime(i, cfg.N, sched, net, prng)
+		w.Runtimes[i].SetKernelCache(kernels)
 	}
 	for _, c := range opts.Corrupt {
 		if c < 1 || c > cfg.N {

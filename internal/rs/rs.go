@@ -14,6 +14,7 @@ package rs
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/field"
 	"repro/poly"
@@ -26,6 +27,10 @@ var ErrDecodeFailed = errors.New("rs: decoding failed")
 // Decode runs Berlekamp–Welch on the given points: it finds a polynomial
 // q of degree ≤ d such that q disagrees with at most e of the points.
 // It requires len(points) ≥ d + 2e + 1 and distinct X coordinates.
+//
+// Decode is the naive reference decoder: it allocates its elimination
+// matrix per call and performs no caching. The incremental OEC decoder
+// below is differentially tested against it.
 func Decode(points []poly.Point, d, e int) (poly.Poly, error) {
 	m := len(points)
 	if d < 0 || e < 0 {
@@ -77,16 +82,27 @@ func Decode(points []poly.Point, d, e int) (poly.Poly, error) {
 	if !ok {
 		return poly.Poly{}, ErrDecodeFailed
 	}
-	qBig := poly.NewPoly(sol[:nq]...)
-	eCoeffs := make([]field.Element, ne+1)
-	copy(eCoeffs, sol[nq:])
-	eCoeffs[ne] = field.One // monic
-	ePoly := poly.NewPoly(eCoeffs...)
-	q, exact := qBig.Div(ePoly)
-	if !exact || q.Degree() > d {
+	q, ok := divideOut(sol, d, e)
+	if !ok {
 		return poly.Poly{}, ErrDecodeFailed
 	}
 	return q, nil
+}
+
+// divideOut recovers q = Q/E from a Berlekamp–Welch solution vector,
+// reporting false when the division is inexact or the degree too high.
+func divideOut(sol []field.Element, d, e int) (poly.Poly, bool) {
+	nq := d + e + 1
+	qBig := poly.NewPoly(sol[:nq]...)
+	eCoeffs := make([]field.Element, e+1)
+	copy(eCoeffs, sol[nq:])
+	eCoeffs[e] = field.One // monic
+	ePoly := poly.NewPoly(eCoeffs...)
+	q, exact := qBig.Div(ePoly)
+	if !exact || q.Degree() > d {
+		return poly.Poly{}, false
+	}
+	return q, true
 }
 
 // countAgreements returns the number of points lying on q.
@@ -153,13 +169,38 @@ func solve(mat [][]field.Element, cols int) ([]field.Element, bool) {
 //
 // Points are added as they arrive (duplicates from the same X are
 // ignored); Poll attempts reconstruction and returns the polynomial once
-// some degree-d candidate agrees with at least d + t + 1 received points.
+// some candidate polynomial of degree d agrees with at least d + t + 1
+// received points.
+//
+// The decoder is incremental: the interpolant through the first d+1
+// points is cached (built on a poly.Kernel) and each later point updates
+// a running agreement count, so the common error-free case costs one
+// O(d) evaluation per point and O(1) per Poll — no Gaussian elimination.
+// When the cached candidate falls short, a single Berlekamp–Welch solve
+// at the maximal admissible error budget replaces the former
+// r = 0..rMax budget sweep (any admissible budget recovers the same
+// committed polynomial once d + t + 1 agreements exist), reusing the
+// elimination matrix across attempts and memoising failed attempts per
+// point count.
 type OEC struct {
 	d, t   int
 	points []poly.Point
 	seen   map[field.Element]bool
 	done   bool
 	result poly.Poly
+
+	// cache optionally supplies the interpolation kernel (shared per
+	// run); nil means the decoder builds its own.
+	cache *poly.KernelCache
+	// cand is the cached interpolant through the first d+1 points;
+	// agree counts received points lying on it.
+	cand  poly.Poly
+	agree int
+	// lastFailed memoises the point count of the last failed full
+	// solve: no new point, no new attempt.
+	lastFailed int
+	// scratch holds the reusable Berlekamp–Welch elimination matrix.
+	scratch bwScratch
 }
 
 // NewOEC returns an OEC decoder for a d-degree polynomial where at most
@@ -168,7 +209,16 @@ func NewOEC(d, t int) *OEC {
 	if d < 0 || t < 0 {
 		panic(fmt.Sprintf("rs: invalid OEC parameters d=%d t=%d", d, t))
 	}
-	return &OEC{d: d, t: t, seen: make(map[field.Element]bool)}
+	return &OEC{d: d, t: t, seen: make(map[field.Element]bool), lastFailed: -1}
+}
+
+// NewOECCached is NewOEC with a shared kernel cache: parallel decoders
+// fed by the same provider set (e.g. the L per-polynomial decoders of
+// one WPS instance) see identical point sequences and share one kernel.
+func NewOECCached(d, t int, cache *poly.KernelCache) *OEC {
+	o := NewOEC(d, t)
+	o.cache = cache
+	return o
 }
 
 // Add records the point (x, y). Later duplicates for the same x are
@@ -180,6 +230,43 @@ func (o *OEC) Add(x, y field.Element) {
 	}
 	o.seen[x] = true
 	o.points = append(o.points, poly.Point{X: x, Y: y})
+	if o.done {
+		return
+	}
+	switch m := len(o.points); {
+	case m < o.d+1:
+	case m == o.d+1:
+		o.buildCandidate()
+	default:
+		if o.cand.Eval(x) == y {
+			o.agree++
+		}
+	}
+}
+
+// buildCandidate interpolates the first d+1 points into the cached
+// candidate; those points agree with it by construction.
+func (o *OEC) buildCandidate() {
+	xs := make([]field.Element, o.d+1)
+	ys := make([]field.Element, o.d+1)
+	for i, p := range o.points[:o.d+1] {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	var (
+		kern *poly.Kernel
+		err  error
+	)
+	if o.cache != nil {
+		kern, err = o.cache.Get(xs)
+	} else {
+		kern, err = poly.NewKernel(xs)
+	}
+	if err != nil {
+		// Distinct X's are guaranteed by the seen-set.
+		panic(fmt.Sprintf("rs: OEC kernel: %v", err))
+	}
+	o.cand = kern.Interpolate(ys)
+	o.agree = o.d + 1
 }
 
 // Count returns the number of distinct points received.
@@ -197,34 +284,98 @@ func (o *OEC) Poll() (poly.Poly, bool) {
 	if m < need {
 		return poly.Poly{}, false
 	}
-	// With m = d + t + 1 + r points received, up to r of them may be
-	// erroneous while still leaving d + t + 1 honest agreements
-	// impossible... precisely: if the actual number of errors among the
-	// received points is ≤ r, Berlekamp–Welch with budget r finds q.
-	// Try every budget up to min(r, t): earlier arrivals may already
-	// decode with a smaller budget.
+	// Error-free fast path: the cached interpolant already explains
+	// d + t + 1 received points, at least d + 1 of them honest, so it
+	// is the committed polynomial.
+	if o.agree >= need {
+		o.done = true
+		o.result = o.cand
+		return o.cand, true
+	}
+	if m == o.lastFailed {
+		return poly.Poly{}, false
+	}
+	// With m = d + t + 1 + r points received and at most min(r, t) of
+	// them erroneous, Berlekamp–Welch at the single maximal budget
+	// rMax = min(r, t) recovers the committed polynomial: rMax ≤ t
+	// gives m ≥ d + 2·rMax + 1, so every solution of the budget-rMax
+	// system divides out to it, making the former sweep over the
+	// smaller budgets redundant. (A budget-0 attempt is subsumed by the
+	// fast path above: it succeeds only when all m points agree.)
 	rMax := min(m-need, o.t)
-	for r := 0; r <= rMax; r++ {
-		q, err := Decode(o.points, o.d, r)
-		if err != nil {
-			continue
-		}
-		if countAgreements(q, o.points) >= need {
+	if rMax > 0 {
+		q, ok := o.scratch.decode(o.points, o.d, rMax)
+		if ok && countAgreements(q, o.points) >= need {
 			o.done = true
 			o.result = q
 			return q, true
 		}
 	}
+	o.lastFailed = m
 	return poly.Poly{}, false
+}
+
+// bwScratch reuses the Berlekamp–Welch elimination matrix across decode
+// attempts.
+type bwScratch struct {
+	rows [][]field.Element
+	flat []field.Element
+}
+
+// decode runs one Berlekamp–Welch solve at error budget e ≥ 1 over the
+// scratch matrix: the allocation-lean equivalent of Decode's system
+// build, sharing its solve and division steps.
+func (s *bwScratch) decode(points []poly.Point, d, e int) (poly.Poly, bool) {
+	m := len(points)
+	nq := d + e + 1
+	ne := e
+	cols := nq + ne
+	stride := cols + 1
+	if cap(s.flat) < m*stride {
+		s.flat = make([]field.Element, m*stride)
+		s.rows = make([][]field.Element, 0, m)
+	}
+	s.flat = s.flat[:m*stride]
+	s.rows = s.rows[:0]
+	for i, p := range points {
+		row := s.flat[i*stride : (i+1)*stride : (i+1)*stride]
+		xp := field.One
+		for k := 0; k < nq; k++ { // Q coefficients
+			row[k] = xp
+			xp = xp.Mul(p.X)
+		}
+		xp = field.One
+		for k := 0; k < ne; k++ { // E coefficients (negated, times y_i)
+			row[nq+k] = p.Y.Mul(xp).Neg()
+			xp = xp.Mul(p.X)
+		}
+		row[cols] = p.Y.Mul(p.X.Pow(uint64(e))) // RHS
+		s.rows = append(s.rows, row)
+	}
+	sol, ok := solve(s.rows, cols)
+	if !ok {
+		return poly.Poly{}, false
+	}
+	return divideOut(sol, d, e)
 }
 
 // ReconstructSecret is a convenience wrapper: given shares (α_i, s_i)
 // indexed by 1-based party index, with at most t corrupt, it decodes the
 // d-degree sharing polynomial and returns its constant term.
+//
+// Shares are fed to the decoder in ascending party order: map iteration
+// order is randomized per run, and a random feed order would let the
+// decoded representation — and, beyond the corruption budget, even
+// success — vary between identically-seeded runs.
 func ReconstructSecret(d, t int, shares map[int]field.Element) (field.Element, error) {
+	idx := make([]int, 0, len(shares))
+	for i := range shares {
+		idx = append(idx, i)
+	}
+	slices.Sort(idx)
 	o := NewOEC(d, t)
-	for i, s := range shares {
-		o.Add(poly.Alpha(i), s)
+	for _, i := range idx {
+		o.Add(poly.Alpha(i), shares[i])
 	}
 	q, ok := o.Poll()
 	if !ok {

@@ -27,6 +27,8 @@
 package sba
 
 import (
+	"bytes"
+
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -59,22 +61,28 @@ func (v Value) Equal(o Value) bool {
 	return v.Bot || string(v.Data) == string(o.Data)
 }
 
-// key returns a map key for tallying.
-func (v Value) key() string {
-	if v.Bot {
-		return "\x00"
+// keyLess orders values the way their former tallying map keys
+// ("\x00" for ⊥, "\x01"+data otherwise) sorted lexicographically: ⊥
+// first, then data values in byte order. Tie-breaks must stay stable so
+// runs remain bit-for-bit reproducible.
+func keyLess(a, b Value) bool {
+	if a.Bot != b.Bot {
+		return a.Bot
 	}
-	return "\x01" + string(v.Data)
+	if a.Bot {
+		return false
+	}
+	return bytes.Compare(a.Data, b.Data) < 0
 }
 
 func (v Value) encode() []byte {
-	return wire.NewWriter().Bool(v.Bot).Blob(v.Data).Bytes()
+	return wire.NewWriterCap(len(v.Data) + 5).Bool(v.Bot).Blob(v.Data).Bytes()
 }
 
 func decodeValue(body []byte) (Value, bool) {
 	r := wire.NewReader(body)
 	bot := r.Bool()
-	data := r.Blob()
+	data := r.BlobRef()
 	if r.Done() != nil {
 		return Value{}, false
 	}
@@ -94,12 +102,17 @@ type SBA struct {
 
 	x            Value
 	maxProposals int
-	// per-round first-message-per-sender buffers
-	values    map[int]map[int]Value // round index -> sender -> value
-	kingVal   map[int]*Value        // phase -> king's value
-	outputSet bool
-	output    Value
-	onOutput  func(Value)
+	// per-round first-message-per-sender buffers, indexed
+	// [roundIndex][sender]; seen marks slots holding a value.
+	values  [][]Value
+	seen    [][]bool
+	kingVal []*Value // phase -> king's value
+	// tallyVals/tallyCounts are reusable scratch for round tallies.
+	tallyVals   []Value
+	tallyCounts []int
+	outputSet   bool
+	output      Value
+	onOutput    func(Value)
 }
 
 // Deadline returns the protocol duration 3(t+1)Δ for threshold t.
@@ -119,8 +132,9 @@ func New(rt *proto.Runtime, inst string, t int, delta sim.Time, start sim.Time, 
 		delta:    delta,
 		start:    start,
 		x:        input,
-		values:   make(map[int]map[int]Value),
-		kingVal:  make(map[int]*Value),
+		values:   make([][]Value, 3*(t+1)),
+		seen:     make([][]bool, 3*(t+1)),
+		kingVal:  make([]*Value, t+2),
 		onOutput: onOutput,
 	}
 	rt.Register(inst, s)
@@ -138,25 +152,48 @@ func (s *SBA) Output() (Value, bool) { return s.output, s.outputSet }
 func roundIndex(phase int, kind uint8) int { return 3*(phase-1) + int(kind-msgValue) }
 
 func (s *SBA) beginPhase(phase int) {
-	s.rt.SendAll(s.inst, msgValue, wire.NewWriter().Int(phase).Blob(s.x.encode()).Bytes())
+	s.rt.SendAll(s.inst, msgValue, wire.NewWriterCap(len(s.x.Data)+12).Int(phase).Blob(s.x.encode()).Bytes())
 	s.rt.After(s.delta, func() { s.endValueRound(phase) })
 }
 
-func (s *SBA) endValueRound(phase int) {
-	recv := s.values[roundIndex(phase, msgValue)]
-	tally := make(map[string]int)
-	rep := make(map[string]Value)
-	for _, v := range recv {
-		tally[v.key()]++
-		rep[v.key()] = v
+// tally counts the distinct values received in the given round into the
+// reusable tallyVals/tallyCounts scratch. Distinct values per round are
+// at most n, and usually one; the quadratic scan beats per-value string
+// keys and map churn by a wide margin at protocol scale.
+func (s *SBA) tally(idx int) {
+	s.tallyVals = s.tallyVals[:0]
+	s.tallyCounts = s.tallyCounts[:0]
+	recv := s.values[idx]
+	seen := s.seen[idx]
+	for from := range recv {
+		if !seen[from] {
+			continue
+		}
+		v := recv[from]
+		found := false
+		for i, tv := range s.tallyVals {
+			if tv.Equal(v) {
+				s.tallyCounts[i]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.tallyVals = append(s.tallyVals, v)
+			s.tallyCounts = append(s.tallyCounts, 1)
+		}
 	}
-	for k, c := range tally {
+}
+
+func (s *SBA) endValueRound(phase int) {
+	s.tally(roundIndex(phase, msgValue))
+	for i, c := range s.tallyCounts {
 		if c >= s.n-s.t {
 			// Propose this value (at most one can reach n-t among ≤ n
 			// messages when n > 3t... two values could in principle both
 			// reach n-t only if 2(n-t) ≤ n, impossible; so unique).
-			v := rep[k]
-			s.rt.SendAll(s.inst, msgPropose, wire.NewWriter().Int(phase).Blob(v.encode()).Bytes())
+			v := s.tallyVals[i]
+			s.rt.SendAll(s.inst, msgPropose, wire.NewWriterCap(len(v.Data)+12).Int(phase).Blob(v.encode()).Bytes())
 			break
 		}
 	}
@@ -164,26 +201,20 @@ func (s *SBA) endValueRound(phase int) {
 }
 
 func (s *SBA) endProposeRound(phase int) {
-	recv := s.values[roundIndex(phase, msgPropose)]
-	tally := make(map[string]int)
-	rep := make(map[string]Value)
-	for _, v := range recv {
-		tally[v.key()]++
-		rep[v.key()] = v
-	}
-	best, bestCount := "", 0
-	for k, c := range tally {
-		if c > bestCount || (c == bestCount && k < best) {
-			best, bestCount = k, c
+	s.tally(roundIndex(phase, msgPropose))
+	best, bestCount := -1, 0
+	for i, c := range s.tallyCounts {
+		if c > bestCount || (c == bestCount && best >= 0 && keyLess(s.tallyVals[i], s.tallyVals[best])) {
+			best, bestCount = i, c
 		}
 	}
 	if bestCount > s.t {
-		s.x = rep[best]
+		s.x = s.tallyVals[best]
 	}
 	s.maxProposals = bestCount
 	// King round: the phase's king sends its (possibly updated) value.
 	if s.rt.ID() == s.king(phase) {
-		s.rt.SendAll(s.inst, msgKing, wire.NewWriter().Int(phase).Blob(s.x.encode()).Bytes())
+		s.rt.SendAll(s.inst, msgKing, wire.NewWriterCap(len(s.x.Data)+12).Int(phase).Blob(s.x.encode()).Bytes())
 	}
 	s.rt.After(s.delta, func() { s.endKingRound(phase) })
 }
@@ -218,9 +249,12 @@ func (s *SBA) finish() {
 
 // Deliver implements proto.Handler.
 func (s *SBA) Deliver(from int, msgType uint8, body []byte) {
+	if from < 1 || from > s.n {
+		return
+	}
 	r := wire.NewReader(body)
 	phase := r.Int()
-	enc := r.Blob()
+	enc := r.BlobRef()
 	if r.Done() != nil || phase < 1 || phase > s.t+1 {
 		return
 	}
@@ -231,13 +265,13 @@ func (s *SBA) Deliver(from int, msgType uint8, body []byte) {
 	switch msgType {
 	case msgValue, msgPropose:
 		idx := roundIndex(phase, msgType)
-		recv := s.values[idx]
-		if recv == nil {
-			recv = make(map[int]Value)
-			s.values[idx] = recv
+		if s.values[idx] == nil {
+			s.values[idx] = make([]Value, s.n+1)
+			s.seen[idx] = make([]bool, s.n+1)
 		}
-		if _, dup := recv[from]; !dup {
-			recv[from] = v
+		if !s.seen[idx][from] {
+			s.seen[idx][from] = true
+			s.values[idx][from] = v
 		}
 	case msgKing:
 		if from != s.king(phase) {

@@ -43,7 +43,7 @@ func mkInputs(n int, f func(i int) Value) []Value {
 	return in
 }
 
-func TestValueEqualAndKey(t *testing.T) {
+func TestValueEqualAndOrder(t *testing.T) {
 	if !Bot().Equal(Bot()) {
 		t.Fatal("⊥ != ⊥")
 	}
@@ -53,8 +53,16 @@ func TestValueEqualAndKey(t *testing.T) {
 	if !Val([]byte("a")).Equal(Val([]byte("a"))) || Val([]byte("a")).Equal(Val([]byte("b"))) {
 		t.Fatal("value equality broken")
 	}
-	if Bot().key() == Val(nil).key() {
-		t.Fatal("⊥ and empty value share a key")
+	// The tally tie-break order must keep ⊥ distinct from (and before)
+	// the empty value, and order data values bytewise.
+	if !keyLess(Bot(), Val(nil)) || keyLess(Val(nil), Bot()) {
+		t.Fatal("⊥ must sort strictly before the empty value")
+	}
+	if !keyLess(Val([]byte("a")), Val([]byte("b"))) || keyLess(Val([]byte("b")), Val([]byte("a"))) {
+		t.Fatal("data values must sort bytewise")
+	}
+	if keyLess(Val([]byte("a")), Val([]byte("a"))) {
+		t.Fatal("keyLess must be irreflexive")
 	}
 }
 

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// TestSchedulerOverflowWindow exercises events scheduled beyond the
+// calendar window: they must park in the overflow heap and still fire
+// in exact (time, priority, sequence) order as the base advances.
+func TestSchedulerOverflowWindow(t *testing.T) {
+	s := NewScheduler()
+	var order []Time
+	times := []Time{3 * window, 1, window + 5, 2*window + 7, 2, 5 * window, window - 1, window}
+	for _, at := range times {
+		at := at
+		s.At(at, func() { order = append(order, at) })
+	}
+	s.RunToQuiescence()
+	want := append([]Time(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 5*window {
+		t.Fatalf("Now = %d, want %d", s.Now(), 5*window)
+	}
+}
+
+// TestSchedulerOverflowFIFO checks that same-tick events split across
+// the ring/overflow boundary keep push order.
+func TestSchedulerOverflowFIFO(t *testing.T) {
+	s := NewScheduler()
+	target := Time(window + 50) // beyond the initial window: overflow
+	var order []int
+	s.At(target, func() { order = append(order, 1) })
+	s.At(target, func() { order = append(order, 2) })
+	// An early event advances the base far enough that the next pushes
+	// to the same target tick land in the ring instead.
+	s.At(100, func() {
+		s.At(target, func() { order = append(order, 3) })
+	})
+	s.RunToQuiescence()
+	for i, want := range []int{1, 2, 3} {
+		if i >= len(order) || order[i] != want {
+			t.Fatalf("order = %v, want [1 2 3]", order)
+		}
+	}
+}
+
+// TestSchedulerPrioInterleaving pins the same-tick class semantics: a
+// PrioDeliver event scheduled *during* a PrioProcess callback of the
+// same tick still runs before the remaining PrioProcess events.
+func TestSchedulerPrioInterleaving(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.AtPrio(10, PrioProcess, func() {
+		order = append(order, "proc1")
+		s.At(10, func() { order = append(order, "deliver-late") })
+	})
+	s.AtPrio(10, PrioProcess, func() { order = append(order, "proc2") })
+	s.At(10, func() { order = append(order, "deliver-early") })
+	s.RunToQuiescence()
+	want := []string{"deliver-early", "proc1", "deliver-late", "proc2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSchedulerRunUntilThenPast covers the base/now split after an
+// idle horizon jump: events scheduled between the horizon and a far
+// pending event must still run in order.
+func TestSchedulerRunUntilThenPast(t *testing.T) {
+	s := NewScheduler()
+	var order []Time
+	s.At(2*window+9, func() { order = append(order, 2*window+9) })
+	s.RunUntil(500) // no events ≤ 500: now jumps to 500, base stays behind
+	if s.Now() != 500 {
+		t.Fatalf("Now = %d, want 500", s.Now())
+	}
+	s.At(600, func() { order = append(order, 600) })
+	s.At(window+600, func() { order = append(order, Time(window+600)) })
+	s.RunToQuiescence()
+	want := []Time{600, window + 600, 2*window + 9}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSchedulerStormOrdering cross-checks the calendar queue against a
+// straightforward sort of (time, priority, sequence) on a randomized
+// event storm with nested scheduling.
+func TestSchedulerStormOrdering(t *testing.T) {
+	type stamp struct {
+		at   Time
+		prio uint8
+		n    int
+	}
+	r := rand.New(rand.NewPCG(3, 9))
+	s := NewScheduler()
+	var got []stamp
+	n := 0
+	record := func(prio uint8) func() {
+		n++
+		id := n
+		return func() { got = append(got, stamp{at: s.Now(), prio: prio, n: id}) }
+	}
+	for i := 0; i < 2000; i++ {
+		at := Time(r.Int64N(3 * window))
+		if r.IntN(4) == 0 {
+			s.AtPrio(at, PrioProcess, record(PrioProcess))
+		} else {
+			s.At(at, record(PrioDeliver))
+		}
+	}
+	// Nested: every 50th event schedules a follow-up relative to its own
+	// firing time.
+	s.At(window/2, func() {
+		for i := 0; i < 100; i++ {
+			d := Time(r.Int64N(2 * window))
+			s.After(d, record(PrioDeliver))
+		}
+	})
+	s.RunToQuiescence()
+	if len(got) != 2100 {
+		t.Fatalf("recorded %d events, want 2100", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.at > b.at {
+			t.Fatalf("time order violated at %d: %+v then %+v", i, a, b)
+		}
+		if a.at == b.at && a.prio > b.prio {
+			t.Fatalf("priority order violated at %d: %+v then %+v", i, a, b)
+		}
+		if a.at == b.at && a.prio == b.prio && a.n > b.n {
+			t.Fatalf("FIFO order violated at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+// TestSchedulerPendingAcrossBoundary counts pending events across the
+// ring/overflow split.
+func TestSchedulerPendingAcrossBoundary(t *testing.T) {
+	s := NewScheduler()
+	s.At(1, func() {})
+	s.At(window+1, func() {})
+	s.At(4*window, func() {})
+	if s.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", s.Pending())
+	}
+	s.Step()
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.RunToQuiescence()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}

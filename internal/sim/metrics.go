@@ -26,6 +26,11 @@ type Metrics struct {
 	Honest   Counts
 	Corrupt  Counts
 	ByFamily map[string]*Counts // honest-origin only
+	// lastLabel/lastCounts memoise the most recent family lookup:
+	// traffic arrives in long same-family bursts (SendAll loops), so a
+	// string compare usually replaces the map probe.
+	lastLabel  string
+	lastCounts *Counts
 }
 
 // NewMetrics returns empty metrics for n parties.
@@ -41,11 +46,16 @@ func (m *Metrics) Record(e Envelope, fromCorrupt bool) {
 	}
 	m.Honest.add(e)
 	label := TopLabel(e.Inst)
+	if label == m.lastLabel && m.lastCounts != nil {
+		m.lastCounts.add(e)
+		return
+	}
 	c := m.ByFamily[label]
 	if c == nil {
 		c = &Counts{}
 		m.ByFamily[label] = c
 	}
+	m.lastLabel, m.lastCounts = label, c
 	c.add(e)
 }
 

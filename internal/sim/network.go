@@ -207,12 +207,9 @@ func (nw *Network) deliver(env Envelope, extra Time) {
 	if delay < 1 {
 		delay = 1
 	}
-	to := env.To
-	nw.sched.After(delay, func() {
-		if d := nw.parties[to]; d != nil {
-			d.Dispatch(env)
-		}
-	})
+	// Typed delivery event: no per-message closure, the scheduler
+	// dispatches the envelope directly.
+	nw.sched.afterDeliver(delay, nw, env)
 }
 
 // TopLabel extracts the first path component of an instance ID, used to

@@ -12,19 +12,30 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
 // Time is a point in virtual time, in ticks.
 type Time int64
 
-// event is a scheduled callback.
+// Event kinds. Timer events carry a callback; delivery events carry the
+// envelope and target inline, so the per-message hot path allocates no
+// closure and the scheduler dispatches directly.
+const (
+	kindTimer uint8 = iota
+	kindDeliver
+)
+
+// event is a scheduled occurrence: either a timer callback or a typed
+// message delivery.
 type event struct {
 	at   Time
-	prio uint8  // same-tick ordering class: lower runs first
 	seq  uint64 // FIFO tie-break within a class; keeps runs deterministic
-	fn   func()
+	prio uint8  // same-tick ordering class: lower runs first
+	kind uint8
+	fn   func()   // kindTimer
+	env  Envelope // kindDeliver
+	nw   *Network // kindDeliver
 }
 
 // Priority classes for same-tick ordering.
@@ -38,36 +49,78 @@ const (
 	PrioProcess uint8 = 1
 )
 
-type eventHeap []event
+// window is the calendar-queue span in ticks: events scheduled within
+// window ticks of the queue base go into O(1) per-tick buckets; farther
+// events wait in the overflow heap and migrate as the base advances.
+// Power of two so the slot index is a mask.
+const window = 1 << 11
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
+// lane is one priority class of one tick's bucket: a FIFO slice with a
+// consumed-prefix head. Since seq increases monotonically with every
+// push, append order equals seq order within a lane.
+type lane struct {
+	evs  []event
+	head int
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+func (l *lane) empty() bool { return l.head >= len(l.evs) }
+
+// bucket holds one tick's pending events, split by priority class.
+type bucket struct {
+	lanes [2]lane
+}
+
+func (b *bucket) empty() bool { return b.lanes[0].empty() && b.lanes[1].empty() }
 
 // Scheduler is a single-threaded discrete-event loop. All protocol code
 // runs inside scheduler callbacks; there is no concurrency, so runs are
 // fully deterministic given the seeds.
+//
+// Events execute in strict (time, priority, push-sequence) order,
+// implemented as a calendar queue: a ring of per-tick FIFO buckets
+// covering [base, base+window) plus an overflow heap for events farther
+// out. Push and pop are O(1) on the hot path (protocol delays are short
+// relative to the window), and bucket storage is reused across ring
+// wraps, so steady-state scheduling does not allocate.
 type Scheduler struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now  Time
+	seq  uint64
+	base Time // ring covers ticks [base, base+window)
+	ring [window]bucket
+	// ringCount and overflow partition the pending events: everything in
+	// the ring is strictly before base+window; everything in the overflow
+	// heap is at base+window or later.
+	ringCount int
+	overflow  overflowHeap
+	// spare recycles drained bucket storage: a run rarely wraps the
+	// ring, so without it every tick's bucket would grow from nil.
+	spare [][]event
 	// processed counts executed events, as a runaway-loop guard.
 	processed uint64
 	// Limit aborts Run after this many events (0 = unlimited).
 	Limit uint64
+}
+
+// grab appends e to the lane, drawing recycled storage for the first
+// event of an empty lane.
+func (s *Scheduler) grab(l *lane, e event) {
+	if l.evs == nil && len(s.spare) > 0 {
+		l.evs = s.spare[len(s.spare)-1]
+		s.spare = s.spare[:len(s.spare)-1]
+	}
+	l.evs = append(l.evs, e)
+}
+
+// release returns a drained lane's storage to the spare pool.
+func (s *Scheduler) release(l *lane) {
+	if l.evs == nil {
+		l.head = 0
+		return
+	}
+	clear(l.evs) // release Body/closure references for the GC
+	s.spare = append(s.spare, l.evs[:0])
+	l.evs = nil
+	l.head = 0
 }
 
 // NewScheduler returns an empty scheduler at time 0.
@@ -79,16 +132,32 @@ func (s *Scheduler) Now() Time { return s.now }
 // Processed returns the number of events executed so far.
 func (s *Scheduler) Processed() uint64 { return s.processed }
 
+// push enqueues e, which must not be in the past.
+func (s *Scheduler) push(e event) {
+	if e.at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %d < %d", e.at, s.now))
+	}
+	if e.prio > PrioProcess {
+		// The ring has exactly two lanes; an undefined class would order
+		// inconsistently between the ring and the overflow heap.
+		panic(fmt.Sprintf("sim: undefined priority class %d", e.prio))
+	}
+	s.seq++
+	e.seq = s.seq
+	if e.at-s.base < window {
+		s.grab(&s.ring[e.at&(window-1)].lanes[e.prio], e)
+		s.ringCount++
+		return
+	}
+	s.overflow.push(e)
+}
+
 // At schedules fn at absolute time t, which must not be in the past.
 func (s *Scheduler) At(t Time, fn func()) { s.AtPrio(t, PrioDeliver, fn) }
 
 // AtPrio schedules fn at absolute time t in the given priority class.
 func (s *Scheduler) AtPrio(t Time, prio uint8, fn func()) {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event in the past: %d < %d", t, s.now))
-	}
-	s.seq++
-	s.events.pushEvent(event{at: t, prio: prio, seq: s.seq, fn: fn})
+	s.push(event{at: t, prio: prio, kind: kindTimer, fn: fn})
 }
 
 // After schedules fn d ticks from now; d must be non-negative.
@@ -99,15 +168,99 @@ func (s *Scheduler) After(d Time, fn func()) {
 	s.At(s.now+d, fn)
 }
 
+// afterDeliver schedules the typed delivery of env to nw's addressee d
+// ticks from now, without allocating a callback closure.
+func (s *Scheduler) afterDeliver(d Time, nw *Network, env Envelope) {
+	s.push(event{at: s.now + d, prio: PrioDeliver, kind: kindDeliver, env: env, nw: nw})
+}
+
+// migrate moves overflow events that now fall inside the ring window
+// into their buckets. The heap pops in (at, prio, seq) order, so lane
+// FIFO order is preserved.
+func (s *Scheduler) migrate() {
+	for len(s.overflow) > 0 && s.overflow[0].at-s.base < window {
+		e := s.overflow.pop()
+		s.grab(&s.ring[e.at&(window-1)].lanes[e.prio], e)
+		s.ringCount++
+	}
+}
+
+// peekTime returns the earliest pending tick without mutating state:
+// base may only advance in pop, where now immediately catches up to it,
+// otherwise an event pushed between now and an advanced base would land
+// in a bucket the ring has already passed.
+func (s *Scheduler) peekTime() (Time, bool) {
+	if s.ringCount > 0 {
+		// All ring events are in [base, base+window), and everything in
+		// the overflow heap is later, so the first non-empty bucket from
+		// base is the global minimum.
+		for t := s.base; ; t++ {
+			if !s.ring[t&(window-1)].empty() {
+				return t, true
+			}
+		}
+	}
+	if len(s.overflow) > 0 {
+		return s.overflow[0].at, true
+	}
+	return 0, false
+}
+
+// pop removes and returns the earliest pending event, advancing base to
+// its tick (the caller sets now to that tick before running anything).
+func (s *Scheduler) pop() event {
+	if s.ringCount == 0 {
+		if len(s.overflow) == 0 {
+			panic("sim: pop from empty scheduler")
+		}
+		s.base = s.overflow[0].at
+		s.migrate()
+	}
+	for {
+		b := &s.ring[s.base&(window-1)]
+		if !b.empty() {
+			break
+		}
+		s.release(&b.lanes[0])
+		s.release(&b.lanes[1])
+		s.base++
+		s.migrate()
+	}
+	b := &s.ring[s.base&(window-1)]
+	ln := &b.lanes[0]
+	if ln.empty() {
+		ln = &b.lanes[1]
+	}
+	e := ln.evs[ln.head]
+	ln.evs[ln.head] = event{} // release references
+	ln.head++
+	s.ringCount--
+	return e
+}
+
+// run executes one event.
+func (s *Scheduler) run(e event) {
+	if e.kind == kindDeliver {
+		if d := e.nw.parties[e.env.To]; d != nil {
+			d.Dispatch(e.env)
+		}
+		return
+	}
+	e.fn()
+}
+
+// pending returns the number of queued events.
+func (s *Scheduler) pending() int { return s.ringCount + len(s.overflow) }
+
 // Step executes the next event. It reports whether an event was run.
 func (s *Scheduler) Step() bool {
-	if len(s.events) == 0 {
+	if s.pending() == 0 {
 		return false
 	}
-	e := s.events.popEvent()
+	e := s.pop()
 	s.now = e.at
 	s.processed++
-	e.fn()
+	s.run(e)
 	return true
 }
 
@@ -115,7 +268,11 @@ func (s *Scheduler) Step() bool {
 // is strictly after the horizon. It returns the number of events run.
 func (s *Scheduler) RunUntil(horizon Time) uint64 {
 	var n uint64
-	for len(s.events) > 0 && s.events.peek().at <= horizon {
+	for {
+		t, ok := s.peekTime()
+		if !ok || t > horizon {
+			break
+		}
 		if s.Limit > 0 && s.processed >= s.Limit {
 			break
 		}
@@ -132,7 +289,7 @@ func (s *Scheduler) RunUntil(horizon Time) uint64 {
 // It returns the number of events run.
 func (s *Scheduler) RunToQuiescence() uint64 {
 	var n uint64
-	for len(s.events) > 0 {
+	for s.pending() > 0 {
 		if s.Limit > 0 && s.processed >= s.Limit {
 			break
 		}
@@ -143,4 +300,59 @@ func (s *Scheduler) RunToQuiescence() uint64 {
 }
 
 // Pending returns the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *Scheduler) Pending() int { return s.pending() }
+
+// overflowHeap is a hand-rolled binary min-heap over (at, prio, seq),
+// holding events scheduled beyond the calendar window.
+type overflowHeap []event
+
+func (h overflowHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *overflowHeap) push(e event) {
+	*h = append(*h, e)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *overflowHeap) pop() event {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = event{} // release references
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	return top
+}

@@ -49,7 +49,9 @@ func NewRecon(rt *proto.Runtime, inst string, cfg proto.Config, batch int, onDon
 		onDone:  onDone,
 	}
 	for i := range r.oecs {
-		r.oecs[i] = rs.NewOEC(cfg.Ts, cfg.Ts)
+		// Batched decoders see identical point sequences; share one
+		// interpolation kernel through the per-run cache.
+		r.oecs[i] = rs.NewOECCached(cfg.Ts, cfg.Ts, rt.Kernels())
 	}
 	rt.Register(inst, r)
 	return r
@@ -64,7 +66,7 @@ func (r *Recon) Start(shares []field.Element) {
 		panic("triples: Recon.Start with wrong batch size")
 	}
 	r.started = true
-	r.rt.SendAll(r.inst, msgShares, wire.NewWriter().Elements(shares).Bytes())
+	r.rt.SendAll(r.inst, msgShares, wire.NewWriterCap(2+8*len(shares)).Elements(shares).Bytes())
 }
 
 // Done reports whether the values have been reconstructed.

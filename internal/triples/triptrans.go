@@ -20,6 +20,27 @@ type Triple struct {
 type TransResult struct {
 	D       int
 	Triples []Triple // index i-1 holds shares of (X(α_i), Y(α_i), Z(α_i))
+	// kernels is the per-run interpolation-kernel cache (nil falls back
+	// to the naive Lagrange path, e.g. for hand-built test values).
+	kernels *poly.KernelCache
+}
+
+// coeffsAt returns the Lagrange coefficients for evaluating a shared
+// degree-(m-1) polynomial over α_1..α_m at p, through the kernel cache
+// when available.
+func (t *TransResult) coeffsAt(m int, p field.Element) ([]field.Element, error) {
+	if t.kernels != nil {
+		kern, err := t.kernels.Alphas(m)
+		if err != nil {
+			return nil, err
+		}
+		return kern.CoeffsAt(p), nil
+	}
+	xs := make([]field.Element, m)
+	for i := range xs {
+		xs[i] = poly.Alpha(i + 1)
+	}
+	return poly.LagrangeCoeffsAt(xs, p)
 }
 
 // ShareAt returns this party's shares of (X(p), Y(p), Z(p)) for an
@@ -27,29 +48,21 @@ type TransResult struct {
 // transformed shares (the paper's "Lagrange linear function").
 func (t *TransResult) ShareAt(p field.Element) (Triple, error) {
 	d := t.D
-	xsPts := make([]field.Element, d+1)
-	for i := 0; i <= d; i++ {
-		xsPts[i] = poly.Alpha(i + 1)
-	}
-	cs, err := poly.LagrangeCoeffsAt(xsPts, p)
+	cs, err := t.coeffsAt(d+1, p)
 	if err != nil {
 		return Triple{}, err
 	}
 	var out Triple
 	for i := 0; i <= d; i++ {
-		out.X = out.X.Add(cs[i].Mul(t.Triples[i].X))
-		out.Y = out.Y.Add(cs[i].Mul(t.Triples[i].Y))
+		out.X = out.X.MulAdd(cs[i], t.Triples[i].X)
+		out.Y = out.Y.MulAdd(cs[i], t.Triples[i].Y)
 	}
-	zsPts := make([]field.Element, 2*d+1)
-	for i := 0; i <= 2*d; i++ {
-		zsPts[i] = poly.Alpha(i + 1)
-	}
-	zs, err := poly.LagrangeCoeffsAt(zsPts, p)
+	zs, err := t.coeffsAt(2*d+1, p)
 	if err != nil {
 		return Triple{}, err
 	}
 	for i := 0; i <= 2*d; i++ {
-		out.Z = out.Z.Add(zs[i].Mul(t.Triples[i].Z))
+		out.Z = out.Z.MulAdd(zs[i], t.Triples[i].Z)
 	}
 	return out, nil
 }
@@ -113,21 +126,17 @@ func (t *TripTrans) Start(triples []Triple) {
 		return
 	}
 	// New X and Y points at α_{d+2}..α_{2d+1} by Lagrange combination of
-	// the first d+1 shares.
-	base := make([]field.Element, t.d+1)
-	for i := range base {
-		base[i] = poly.Alpha(i + 1)
+	// the first d+1 shares, through the cached kernel over α_1..α_{d+1}.
+	kern, err := t.rt.Kernels().Alphas(t.d + 1)
+	if err != nil {
+		panic(err)
 	}
 	for k := 0; k < t.d; k++ {
-		target := poly.Alpha(t.d + 2 + k)
-		cs, err := poly.LagrangeCoeffsAt(base, target)
-		if err != nil {
-			panic(err)
-		}
+		cs := kern.CoeffsAt(poly.Alpha(t.d + 2 + k))
 		var xNew, yNew field.Element
 		for i := 0; i <= t.d; i++ {
-			xNew = xNew.Add(cs[i].Mul(triples[i].X))
-			yNew = yNew.Add(cs[i].Mul(triples[i].Y))
+			xNew = xNew.MulAdd(cs[i], triples[i].X)
+			yNew = yNew.MulAdd(cs[i], triples[i].Y)
 		}
 		helper := triples[t.d+1+k]
 		t.beavers[k].Start(xNew, yNew, helper.X, helper.Y, helper.Z)
@@ -151,25 +160,23 @@ func (t *TripTrans) maybeFinish() {
 	}
 	out := make([]Triple, 2*t.d+1)
 	copy(out, t.input[:t.d+1])
-	base := make([]field.Element, t.d+1)
-	for i := range base {
-		base[i] = poly.Alpha(i + 1)
-	}
-	for k := 0; k < t.d; k++ {
-		target := poly.Alpha(t.d + 2 + k)
-		cs, err := poly.LagrangeCoeffsAt(base, target)
+	if t.d > 0 {
+		kern, err := t.rt.Kernels().Alphas(t.d + 1)
 		if err != nil {
 			panic(err)
 		}
-		var xNew, yNew field.Element
-		for i := 0; i <= t.d; i++ {
-			xNew = xNew.Add(cs[i].Mul(t.input[i].X))
-			yNew = yNew.Add(cs[i].Mul(t.input[i].Y))
+		for k := 0; k < t.d; k++ {
+			cs := kern.CoeffsAt(poly.Alpha(t.d + 2 + k))
+			var xNew, yNew field.Element
+			for i := 0; i <= t.d; i++ {
+				xNew = xNew.MulAdd(cs[i], t.input[i].X)
+				yNew = yNew.MulAdd(cs[i], t.input[i].Y)
+			}
+			out[t.d+1+k] = Triple{X: xNew, Y: yNew, Z: *t.outs[k]}
 		}
-		out[t.d+1+k] = Triple{X: xNew, Y: yNew, Z: *t.outs[k]}
 	}
 	t.done = true
-	t.result = &TransResult{D: t.d, Triples: out}
+	t.result = &TransResult{D: t.d, Triples: out, kernels: t.rt.Kernels()}
 	if t.onDone != nil {
 		t.onDone(t.result)
 	}

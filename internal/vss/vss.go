@@ -158,7 +158,7 @@ func (v *VSS) StartRows(rows [][]poly.Poly) {
 		panic("vss: StartRows called by non-dealer")
 	}
 	for i := 1; i <= v.cfg.N; i++ {
-		v.rt.Send(v.inst, i, MsgShare, wire.NewWriter().Polys(rows[i-1]).Bytes())
+		v.rt.Send(v.inst, i, MsgShare, wire.NewWriterCap(wire.PolysSize(rows[i-1])).Polys(rows[i-1]).Bytes())
 	}
 }
 
@@ -313,17 +313,23 @@ func (v *VSS) tryInterpolate(providers []int) {
 		}
 	}
 	ss = ss[:v.cfg.Ts+1]
+	// One cached kernel serves all L interpolations (and every other
+	// party interpolating from the same provider prefix this run).
+	xs := make([]field.Element, len(ss))
+	for i, j := range ss {
+		xs[i] = poly.Alpha(j)
+	}
+	kern, err := v.rt.Kernels().Get(xs)
+	if err != nil {
+		return
+	}
+	ys := make([]field.Element, len(ss))
 	shares := make([]field.Element, v.L)
 	for l := 0; l < v.L; l++ {
-		pts := make([]poly.Point, 0, len(ss))
-		for _, j := range ss {
-			pts = append(pts, poly.Point{X: poly.Alpha(j), Y: v.shareFrom[j][l]})
+		for i, j := range ss {
+			ys[i] = v.shareFrom[j][l]
 		}
-		val, err := poly.InterpolateAt(pts, field.Zero)
-		if err != nil {
-			return
-		}
-		shares[l] = val
+		shares[l] = kern.EvalAt(ys, field.Zero)
 	}
 	v.finish(shares)
 }

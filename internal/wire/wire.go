@@ -21,6 +21,16 @@ var ErrMalformed = errors.New("wire: malformed payload")
 // causing huge allocations.
 const maxLen = 1 << 20
 
+// PolysSize returns a capacity hint for a length-prefixed slice of
+// polynomials: the exact element payload plus a little varint headroom.
+func PolysSize(ps []poly.Poly) int {
+	n := 2
+	for _, p := range ps {
+		n += 2 + field.ElementSize*len(p.Coeffs)
+	}
+	return n
+}
+
 // Writer builds a payload.
 type Writer struct {
 	buf []byte
@@ -28,6 +38,11 @@ type Writer struct {
 
 // NewWriter returns an empty payload writer.
 func NewWriter() *Writer { return &Writer{} }
+
+// NewWriterCap returns an empty payload writer whose buffer is
+// pre-sized to hold n bytes, so hot senders marshal with a single
+// allocation instead of append-doubling.
+func NewWriterCap(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
 
 // Bytes returns the accumulated payload.
 func (w *Writer) Bytes() []byte { return w.buf }
@@ -248,6 +263,25 @@ func (r *Reader) Ints() []int {
 			return nil
 		}
 	}
+	return out
+}
+
+// BlobRef reads length-prefixed raw bytes without copying: the result
+// aliases the payload buffer. Callers must treat it as read-only; this
+// is safe for delivered envelope bodies, which are immutable once sent
+// (interceptors copy before rewriting).
+func (r *Reader) BlobRef() []byte {
+	n := r.Int()
+	if r.err != nil || n > maxLen {
+		r.fail()
+		return nil
+	}
+	if len(r.buf) < n {
+		r.fail()
+		return nil
+	}
+	out := r.buf[:n:n]
+	r.buf = r.buf[n:]
 	return out
 }
 

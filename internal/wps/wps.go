@@ -151,7 +151,7 @@ func (w *WPS) SetBivariates(bs []*poly.Symmetric) { w.bivars = bs }
 
 func (w *WPS) sendRows(rows [][]poly.Poly) {
 	for i := 1; i <= w.cfg.N; i++ {
-		w.rt.Send(w.inst, i, MsgShare, wire.NewWriter().Polys(rows[i-1]).Bytes())
+		w.rt.Send(w.inst, i, MsgShare, wire.NewWriterCap(wire.PolysSize(rows[i-1])).Polys(rows[i-1]).Bytes())
 	}
 }
 
@@ -230,7 +230,7 @@ func (w *WPS) sendPoints() {
 		for l := range vals {
 			vals[l] = w.myRows[l].Eval(poly.Alpha(j))
 		}
-		w.rt.Send(w.inst, j, MsgPoints, wire.NewWriter().Elements(vals).Bytes())
+		w.rt.Send(w.inst, j, MsgPoints, wire.NewWriterCap(2+8*len(vals)).Elements(vals).Bytes())
 	}
 }
 
@@ -315,7 +315,9 @@ func (w *WPS) ensureOEC(providers []int) {
 	}
 	w.oecs = make([]*rs.OEC, w.L)
 	for l := range w.oecs {
-		w.oecs[l] = rs.NewOEC(w.cfg.Ts, w.cfg.Ts)
+		// The L decoders are fed identical point sequences, so they
+		// share one interpolation kernel through the per-run cache.
+		w.oecs[l] = rs.NewOECCached(w.cfg.Ts, w.cfg.Ts, w.rt.Kernels())
 	}
 	w.oecFrom = make(map[int]bool, len(providers))
 	for _, p := range providers {

@@ -1,0 +1,222 @@
+package poly
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/field"
+)
+
+func kernelRng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 7)) }
+
+// randomDistinct returns m distinct random field elements.
+func randomDistinct(r *rand.Rand, m int) []field.Element {
+	seen := map[field.Element]bool{}
+	out := make([]field.Element, 0, m)
+	for len(out) < m {
+		x := field.Random(r)
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TestKernelDifferentialInterpolate pits Kernel.Interpolate against the
+// retained naive poly.Interpolate on randomized inputs: the coefficient
+// vectors must match exactly (field arithmetic is exact, so any
+// accumulation order yields identical elements).
+func TestKernelDifferentialInterpolate(t *testing.T) {
+	r := kernelRng(1)
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + r.IntN(12)
+		xs := randomDistinct(r, m)
+		ys := make([]field.Element, m)
+		pts := make([]Point, m)
+		for i := range ys {
+			ys[i] = field.Random(r)
+			pts[i] = Point{X: xs[i], Y: ys[i]}
+		}
+		k, err := NewKernel(xs)
+		if err != nil {
+			t.Fatalf("trial %d: NewKernel: %v", trial, err)
+		}
+		fast := k.Interpolate(ys)
+		naive, err := Interpolate(pts)
+		if err != nil {
+			t.Fatalf("trial %d: Interpolate: %v", trial, err)
+		}
+		if len(fast.Coeffs) != len(naive.Coeffs) {
+			t.Fatalf("trial %d: coefficient count %d != %d", trial, len(fast.Coeffs), len(naive.Coeffs))
+		}
+		for i := range fast.Coeffs {
+			if fast.Coeffs[i] != naive.Coeffs[i] {
+				t.Fatalf("trial %d: coeff %d: kernel %v, naive %v", trial, i, fast.Coeffs[i], naive.Coeffs[i])
+			}
+		}
+	}
+}
+
+// TestKernelDifferentialCoeffs pits CoeffsAt against the retained naive
+// LagrangeCoeffsAt, including evaluation points on the grid itself.
+func TestKernelDifferentialCoeffs(t *testing.T) {
+	r := kernelRng(2)
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + r.IntN(12)
+		xs := randomDistinct(r, m)
+		k, err := NewKernel(xs)
+		if err != nil {
+			t.Fatalf("trial %d: NewKernel: %v", trial, err)
+		}
+		var x field.Element
+		if trial%3 == 0 {
+			x = xs[r.IntN(m)] // on-grid: must yield the indicator vector
+		} else {
+			x = field.Random(r)
+		}
+		fast := k.CoeffsAt(x)
+		naive, err := LagrangeCoeffsAt(xs, x)
+		if err != nil {
+			t.Fatalf("trial %d: LagrangeCoeffsAt: %v", trial, err)
+		}
+		for i := range naive {
+			if fast[i] != naive[i] {
+				t.Fatalf("trial %d: coefficient %d at %v: kernel %v, naive %v", trial, i, x, fast[i], naive[i])
+			}
+		}
+	}
+}
+
+// TestKernelDifferentialEvalAt pits EvalAt against the retained naive
+// InterpolateAt on random polynomials evaluated off-grid.
+func TestKernelDifferentialEvalAt(t *testing.T) {
+	r := kernelRng(3)
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + r.IntN(10)
+		xs := randomDistinct(r, m)
+		p := Random(r, m-1, field.Random(r))
+		pts := make([]Point, m)
+		ys := make([]field.Element, m)
+		for i, x := range xs {
+			ys[i] = p.Eval(x)
+			pts[i] = Point{X: x, Y: ys[i]}
+		}
+		k, err := NewKernel(xs)
+		if err != nil {
+			t.Fatalf("trial %d: NewKernel: %v", trial, err)
+		}
+		x := field.Random(r)
+		fast := k.EvalAt(ys, x)
+		naive, err := InterpolateAt(pts, x)
+		if err != nil {
+			t.Fatalf("trial %d: InterpolateAt: %v", trial, err)
+		}
+		if fast != naive {
+			t.Fatalf("trial %d: EvalAt %v, InterpolateAt %v", trial, fast, naive)
+		}
+		if want := p.Eval(x); fast != want {
+			t.Fatalf("trial %d: EvalAt %v, direct %v", trial, fast, want)
+		}
+	}
+}
+
+// TestKernelDuplicatePoints mirrors the naive API's duplicate-point
+// error.
+func TestKernelDuplicatePoints(t *testing.T) {
+	if _, err := NewKernel([]field.Element{1, 2, 1}); err == nil {
+		t.Fatal("NewKernel accepted duplicate points")
+	}
+	if _, err := NewKernel(nil); err == nil {
+		t.Fatal("NewKernel accepted an empty point set")
+	}
+}
+
+// TestKernelCacheReuse checks that the cache hands back the identical
+// kernel for the same point sequence and distinct kernels otherwise.
+func TestKernelCacheReuse(t *testing.T) {
+	c := NewKernelCache()
+	a1, err := c.Alphas(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Alphas(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("cache rebuilt a kernel for the same point set")
+	}
+	b, err := c.Alphas(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == b {
+		t.Fatal("cache conflated distinct point sets")
+	}
+	// Order matters: coefficients align with the caller's share order.
+	rev, err := c.Get([]field.Element{Alpha(4), Alpha(3), Alpha(2), Alpha(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev == a1 {
+		t.Fatal("cache conflated reversed point sequences")
+	}
+}
+
+// TestKernelZeroAlloc guards the allocation-free contract of the hot
+// kernel paths.
+func TestKernelZeroAlloc(t *testing.T) {
+	r := kernelRng(4)
+	xs := randomDistinct(r, 8)
+	ys := make([]field.Element, 8)
+	for i := range ys {
+		ys[i] = field.Random(r)
+	}
+	k, err := NewKernel(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]field.Element, 8)
+	x := field.Random(r)
+	if n := testing.AllocsPerRun(100, func() { k.CoeffsAtInto(dst, x) }); n != 0 {
+		t.Fatalf("CoeffsAtInto allocates %v times per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { k.EvalAt(ys, x) }); n != 0 {
+		t.Fatalf("EvalAt allocates %v times per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { k.CoeffsAt(x) }); n != 0 {
+		t.Fatalf("CoeffsAt allocates %v times per run", n)
+	}
+}
+
+// BenchmarkKernelEvalAt measures the cached O(n) evaluation against the
+// naive rebuild-everything path.
+func BenchmarkKernelEvalAt(b *testing.B) {
+	r := kernelRng(5)
+	xs := randomDistinct(r, 9)
+	ys := make([]field.Element, 9)
+	pts := make([]Point, 9)
+	for i := range ys {
+		ys[i] = field.Random(r)
+		pts[i] = Point{X: xs[i], Y: ys[i]}
+	}
+	x := field.Random(r)
+	b.Run("kernel", func(b *testing.B) {
+		k, err := NewKernel(xs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.EvalAt(ys, x)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := InterpolateAt(pts, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

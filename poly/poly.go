@@ -79,11 +79,11 @@ func (p Poly) Degree() int {
 // IsZero reports whether p is the zero polynomial.
 func (p Poly) IsZero() bool { return p.Degree() == -1 }
 
-// Eval evaluates p at x using Horner's rule.
+// Eval evaluates p at x using Horner's rule with fused multiply-adds.
 func (p Poly) Eval(x field.Element) field.Element {
 	var acc field.Element
 	for k := len(p.Coeffs) - 1; k >= 0; k-- {
-		acc = acc.Mul(x).Add(p.Coeffs[k])
+		acc = p.Coeffs[k].MulAdd(acc, x)
 	}
 	return acc
 }
@@ -148,9 +148,21 @@ func (p Poly) Add(q Poly) Poly {
 	return Poly{Coeffs: out}
 }
 
-// Sub returns p - q.
+// Sub returns p - q by direct element-wise subtraction.
 func (p Poly) Sub(q Poly) Poly {
-	return p.Add(q.ScalarMul(field.One.Neg()))
+	n := max(len(p.Coeffs), len(q.Coeffs))
+	out := make([]field.Element, n)
+	for k := range out {
+		var a, b field.Element
+		if k < len(p.Coeffs) {
+			a = p.Coeffs[k]
+		}
+		if k < len(q.Coeffs) {
+			b = q.Coeffs[k]
+		}
+		out[k] = a.Sub(b)
+	}
+	return Poly{Coeffs: out}
 }
 
 // ScalarMul returns c·p.

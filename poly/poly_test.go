@@ -433,3 +433,27 @@ func BenchmarkInterpolate(b *testing.B) {
 		}
 	}
 }
+
+// TestSubDirect pins the direct element-wise subtraction against the
+// defining identity p - q = p + (-1)·q, across mismatched lengths.
+func TestSubDirect(t *testing.T) {
+	r := rand.New(rand.NewPCG(91, 1))
+	for trial := 0; trial < 100; trial++ {
+		p := Random(r, r.IntN(6), field.Random(r))
+		q := Random(r, r.IntN(6), field.Random(r))
+		got := p.Sub(q)
+		want := p.Add(q.ScalarMul(field.One.Neg()))
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: Sub = %v, want %v", trial, got.Coeffs, want.Coeffs)
+		}
+		if !p.Sub(p).IsZero() {
+			t.Fatalf("trial %d: p - p != 0", trial)
+		}
+	}
+	// A single output slice, no intermediates: one allocation total.
+	p := Random(r, 8, field.Random(r))
+	q := Random(r, 8, field.Random(r))
+	if n := testing.AllocsPerRun(100, func() { p.Sub(q) }); n > 1 {
+		t.Fatalf("Sub allocates %v times per run, want ≤ 1", n)
+	}
+}
