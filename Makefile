@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short scenarios bench-smoke bench-json ci
+.PHONY: build vet test test-short scenarios bench-smoke bench-msgs bench-json ci
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,16 @@ scenarios:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-json regenerates BENCH_PR2.json: the tracked E7/E8 wall-clock
-# trajectory against the recorded pre-PR2 baseline (docs/performance.md).
-bench-json:
-	$(GO) run ./cmd/scenario bench -out BENCH_PR2.json
+# bench-msgs runs the tracked mul-deep online bench and fails if the
+# layered evaluator's honest-origin message count regresses above the
+# recorded per-layer baseline (deterministic; CI guard).
+bench-msgs:
+	$(GO) test -run 'TestMulDeepMessageBudget' -v ./internal/bench
 
-ci: build vet test-short bench-smoke
+# bench-json regenerates BENCH_PR3.json: the tracked wall-clock
+# trajectory against the recorded pre-PR2 baseline plus the PR 3
+# per-gate vs per-layer message-complexity rows (docs/performance.md).
+bench-json:
+	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json
+
+ci: build vet test-short bench-smoke bench-msgs

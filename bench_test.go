@@ -165,6 +165,27 @@ func BenchmarkE11CirEval(b *testing.B) {
 	}
 }
 
+// E13 — the online phase in isolation (trusted-dealer setup): the
+// layer-batched evaluator against the per-gate reference on the
+// depth-heavy 8×8 multiplication grid (cM=64, DM=8). msgs/op is the
+// headline: per-layer batching sends (DM+2)·n² honest messages where
+// the reference sends (cM+2)·n².
+func BenchmarkE13Online(b *testing.B) {
+	circ := bench.MulDeepCircuit()
+	for _, mode := range []struct {
+		name    string
+		perGate bool
+	}{{"layered", false}, {"per-gate", true}} {
+		b.Run(fmt.Sprintf("grid8x8/%s", mode.name), func(b *testing.B) {
+			var m bench.Measure
+			for i := 0; i < b.N; i++ {
+				m = bench.E13Online(bench.Config8(), circ, mode.perGate, uint64(i))
+			}
+			report(b, m)
+		})
+	}
+}
+
 // E12 — the §1 headline matrix: BoBW survives both columns; the
 // baselines each lose one.
 func BenchmarkE12Matrix(b *testing.B) {

@@ -59,6 +59,52 @@ type Circuit struct {
 	// MulCount is cM; MulDepth is DM.
 	MulCount int
 	MulDepth int
+	// MulLayers groups the multiplication gates by multiplicative
+	// depth: MulLayers[d] lists, in ascending gate order, the wires of
+	// the OpMul gates at Depth d+1 (layers 1..DM). The online phase
+	// batches each layer's Beaver reconstructions into one instance, so
+	// the layer structure is part of the circuit's cost model.
+	MulLayers [][]Wire
+	// MulGates maps MulIndex -> gate wire (triple assignment order).
+	MulGates []Wire
+}
+
+// Layers returns the per-depth multiplication-gate lists, deriving
+// them on the fly for hand-assembled circuits that bypassed Build.
+func (c *Circuit) Layers() [][]Wire {
+	if c.MulLayers != nil || c.MulCount == 0 {
+		return c.MulLayers
+	}
+	return mulLayers(c.Gates, c.MulDepth)
+}
+
+// MulGate returns the wire of the multiplication gate with the given
+// MulIndex, deriving the index for hand-assembled circuits.
+func (c *Circuit) MulGate(k int) Wire {
+	if c.MulGates != nil {
+		return c.MulGates[k]
+	}
+	for i, g := range c.Gates {
+		if g.Op == OpMul && g.MulIndex == k {
+			return Wire(i)
+		}
+	}
+	panic(fmt.Sprintf("circuit: no multiplication gate with MulIndex %d", k))
+}
+
+// mulLayers computes the per-depth multiplication lists (layer d at
+// index d-1) for gates of multiplicative depth dm.
+func mulLayers(gates []Gate, dm int) [][]Wire {
+	if dm == 0 {
+		return nil
+	}
+	layers := make([][]Wire, dm)
+	for i, g := range gates {
+		if g.Op == OpMul {
+			layers[g.Depth-1] = append(layers[g.Depth-1], Wire(i))
+		}
+	}
+	return layers
 }
 
 // Builder constructs circuits.
@@ -159,12 +205,20 @@ func (b *Builder) Build() *Circuit {
 	copy(gates, b.gates)
 	outs := make([]Wire, len(b.outs))
 	copy(outs, b.outs)
+	mulGates := make([]Wire, b.muls)
+	for i, g := range gates {
+		if g.Op == OpMul {
+			mulGates[g.MulIndex] = Wire(i)
+		}
+	}
 	return &Circuit{
-		N:        b.n,
-		Gates:    gates,
-		Outputs:  outs,
-		MulCount: b.muls,
-		MulDepth: dm,
+		N:         b.n,
+		Gates:     gates,
+		Outputs:   outs,
+		MulCount:  b.muls,
+		MulDepth:  dm,
+		MulLayers: mulLayers(gates, dm),
+		MulGates:  mulGates,
 	}
 }
 

@@ -252,3 +252,112 @@ func TestMulIndexSequential(t *testing.T) {
 		}
 	}
 }
+
+// checkLayers asserts the Build-time layer metadata invariants: every
+// multiplication gate appears exactly once in the layer matching its
+// depth, layers are in ascending gate order, no layer 1..DM is empty,
+// and MulGates maps MulIndex to the right wire.
+func checkLayers(t *testing.T, c *Circuit) {
+	t.Helper()
+	if len(c.MulLayers) != c.MulDepth {
+		t.Fatalf("have %d layers, want DM = %d", len(c.MulLayers), c.MulDepth)
+	}
+	seen := 0
+	for d, lay := range c.MulLayers {
+		if len(lay) == 0 {
+			t.Fatalf("layer %d is empty", d+1)
+		}
+		for k, w := range lay {
+			g := c.Gates[w]
+			if g.Op != OpMul {
+				t.Fatalf("layer %d entry %d is not a mul gate", d+1, k)
+			}
+			if g.Depth != d+1 {
+				t.Fatalf("gate %d in layer %d has depth %d", w, d+1, g.Depth)
+			}
+			if k > 0 && lay[k-1] >= w {
+				t.Fatalf("layer %d not in ascending gate order", d+1)
+			}
+			seen++
+		}
+	}
+	if seen != c.MulCount {
+		t.Fatalf("layers hold %d muls, want cM = %d", seen, c.MulCount)
+	}
+	for k := 0; k < c.MulCount; k++ {
+		w := c.MulGate(k)
+		if g := c.Gates[w]; g.Op != OpMul || g.MulIndex != k {
+			t.Fatalf("MulGate(%d) = %d, gate is %+v", k, w, g)
+		}
+	}
+}
+
+func TestMulLayerMetadata(t *testing.T) {
+	for _, c := range []*Circuit{
+		Product(8), SetMembership(8), MatMul2x2(), DepthChain(5, 4),
+		DotProduct(4), SumAndVariancePieces(8), MulGrid(5, 3, 4),
+	} {
+		checkLayers(t, c)
+	}
+	if c := Sum(8); len(c.MulLayers) != 0 || len(c.MulGates) != 0 {
+		t.Fatal("linear circuit must have no mul layers")
+	}
+}
+
+// TestLayersFallback: hand-assembled circuits that bypassed Build
+// derive the same layer structure on the fly.
+func TestLayersFallback(t *testing.T) {
+	built := MulGrid(5, 2, 3)
+	raw := &Circuit{
+		N: built.N, Gates: built.Gates, Outputs: built.Outputs,
+		MulCount: built.MulCount, MulDepth: built.MulDepth,
+	}
+	lays := raw.Layers()
+	if len(lays) != len(built.MulLayers) {
+		t.Fatalf("fallback found %d layers, Build found %d", len(lays), len(built.MulLayers))
+	}
+	for d := range lays {
+		if len(lays[d]) != len(built.MulLayers[d]) {
+			t.Fatalf("layer %d: fallback %v, Build %v", d+1, lays[d], built.MulLayers[d])
+		}
+		for k := range lays[d] {
+			if lays[d][k] != built.MulLayers[d][k] {
+				t.Fatalf("layer %d: fallback %v, Build %v", d+1, lays[d], built.MulLayers[d])
+			}
+		}
+	}
+	for k := 0; k < built.MulCount; k++ {
+		if raw.MulGate(k) != built.MulGate(k) {
+			t.Fatalf("fallback MulGate(%d) = %d, Build %d", k, raw.MulGate(k), built.MulGate(k))
+		}
+	}
+}
+
+func TestMulGridGadget(t *testing.T) {
+	c := MulGrid(5, 3, 4)
+	if c.MulCount != 12 || c.MulDepth != 4 {
+		t.Fatalf("cM=%d DM=%d, want 12/4", c.MulCount, c.MulDepth)
+	}
+	for d, lay := range c.MulLayers {
+		if len(lay) != 3 {
+			t.Fatalf("layer %d has %d muls, want width 3", d+1, len(lay))
+		}
+	}
+	in := []field.Element{field.New(2), field.New(3), field.New(4), field.New(5), field.New(6)}
+	out, err := c.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain w: product of in[w%5] and in[(w+k)%5] for k=1..4.
+	want := field.Zero
+	for w := 0; w < 3; w++ {
+		acc := in[w%5]
+		for k := 1; k <= 4; k++ {
+			acc = acc.Mul(in[(w+k)%5])
+		}
+		want = want.Add(acc)
+	}
+	if out[0] != want {
+		t.Fatalf("MulGrid eval = %v, want %v", out[0], want)
+	}
+}

@@ -145,6 +145,39 @@ func MatMul2x2() *Circuit {
 	return b.Build()
 }
 
+// MulGrid builds the depth-heavy, width-heavy benchmark circuit: width
+// independent multiplication chains of length depth (chain w starts
+// from input (w mod n)+1 and repeatedly multiplies by successive
+// inputs round-robin), summed into a single output. Every
+// multiplicative layer 1..depth holds exactly width gates, so
+// cM = width·depth and DM = depth — the shape where per-layer batching
+// of the online phase pays off most (one reconstruction instance per
+// layer instead of width per layer).
+func MulGrid(n, width, depth int) *Circuit {
+	if width < 1 || depth < 1 {
+		panic("circuit: MulGrid needs width >= 1 and depth >= 1")
+	}
+	b := NewBuilder(n)
+	ins := make([]Wire, n)
+	for i := 1; i <= n; i++ {
+		ins[i-1] = b.Input(i)
+	}
+	chains := make([]Wire, width)
+	for w := 0; w < width; w++ {
+		acc := ins[w%n]
+		for k := 1; k <= depth; k++ {
+			acc = b.Mul(acc, ins[(w+k)%n])
+		}
+		chains[w] = acc
+	}
+	sum := chains[0]
+	for w := 1; w < width; w++ {
+		sum = b.Add(sum, chains[w])
+	}
+	b.Output(sum)
+	return b.Build()
+}
+
 // DepthChain builds a worst-case-depth circuit: a chain of dm
 // multiplications of party 1's input with itself, plus every other
 // party's input folded in linearly (used by the DM timing sweeps).

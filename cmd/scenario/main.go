@@ -8,7 +8,7 @@
 //	scenario validate [-f file.json] [name ...]
 //	scenario run      [-f file.json] [-parallel N] [-json] [--all | name ...]
 //	scenario sweep    [-seeds A..B] [-parallel N] [-json] [--all | name ...]
-//	scenario bench    [-out BENCH_PR2.json]
+//	scenario bench    [-out BENCH_PR3.json]
 //
 // Examples:
 //
@@ -58,10 +58,12 @@ func usage() {
 	os.Exit(2)
 }
 
-// cmdBench measures the tracked perf benchmarks (E7 VSS, E8 ACS) and
-// writes the trajectory report: recorded pre-PR2 baseline, fresh
-// wall-clock figures, per-row speedups and the protocol-metric
-// invariance verdict. See docs/performance.md.
+// cmdBench measures the tracked perf benchmarks (E7 VSS, E8 ACS, E13
+// online) and writes the trajectory report: recorded pre-PR2 baseline,
+// fresh wall-clock figures, per-row speedups, the protocol-metric
+// invariance verdict, and the PR 3 layer-batching message-complexity
+// comparison (per-gate vs per-layer online phase). See
+// docs/performance.md.
 func cmdBench(args []string) {
 	fs := flag.NewFlagSet("scenario bench", flag.ExitOnError)
 	out := fs.String("out", "", "write the JSON report to `file` (default stdout)")
@@ -89,6 +91,10 @@ func cmdBench(args []string) {
 		if s, ok := report.Speedup[row.Name]; ok {
 			fmt.Fprintf(os.Stderr, "%-14s %6.2fx\n", row.Name, s)
 		}
+	}
+	for _, row := range report.LayerBatching {
+		fmt.Fprintf(os.Stderr, "%-24s %6d -> %5d msgs (%.1fx fewer)\n",
+			row.Name, row.PerGateMsgs, row.LayeredMsgs, row.MsgRatio)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/acs"
 	"repro/internal/ba"
 	"repro/internal/bc"
+	"repro/internal/core"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/triples"
@@ -368,6 +369,96 @@ func E11CirEval(cfg proto.Config, circ *circuit.Circuit, network mpc.Network, se
 		OK:          ok && (network != mpc.Sync || last <= res.Deadline),
 	}
 }
+
+// E13Online measures the *online phase* in isolation — shared circuit
+// evaluation, output reconstruction and Bracha termination — from a
+// trusted-dealer setup: input sharings and multiplication triples are
+// dealt locally instead of running ΠACS/ΠPreProcessing, so the
+// honest-origin traffic is exactly the evaluation-phase traffic the
+// layer-batching work targets. perGate selects the retained per-gate
+// reference evaluator; the default is the layered batched one. OK
+// requires every party to terminate with the clear-circuit outputs.
+func E13Online(cfg proto.Config, circ *circuit.Circuit, perGate bool, seed uint64) Measure {
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg, Network: proto.Sync, Seed: seed})
+	r := rand.New(rand.NewPCG(seed, 13))
+
+	inputs := make([]field.Element, cfg.N)
+	cs := make([]int, cfg.N)
+	inShares := make([]map[int][]field.Element, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		inShares[i] = make(map[int][]field.Element, cfg.N)
+		cs[i-1] = i
+	}
+	for j := 1; j <= cfg.N; j++ {
+		inputs[j-1] = field.New(uint64(j))
+		sh := poly.Random(r, cfg.Ts, inputs[j-1]).Shares(cfg.N)
+		for i := 1; i <= cfg.N; i++ {
+			inShares[i][j] = []field.Element{sh[i-1]}
+		}
+	}
+	trips := make([][]triples.Triple, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		trips[i] = make([]triples.Triple, circ.MulCount)
+	}
+	for k := 0; k < circ.MulCount; k++ {
+		a, b := field.Random(r), field.Random(r)
+		sa := poly.Random(r, cfg.Ts, a).Shares(cfg.N)
+		sb := poly.Random(r, cfg.Ts, b).Shares(cfg.N)
+		sc := poly.Random(r, cfg.Ts, a.Mul(b)).Shares(cfg.N)
+		for i := 1; i <= cfg.N; i++ {
+			trips[i][k] = triples.Triple{X: sa[i-1], Y: sb[i-1], Z: sc[i-1]}
+		}
+	}
+
+	mode := core.EvalLayered
+	if perGate {
+		mode = core.EvalPerGate
+	}
+	var last sim.Time
+	outs := make([][]field.Element, cfg.N+1)
+	engines := make([]*core.CirEval, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		i := i
+		engines[i] = core.NewOnline(w.Runtimes[i], "mpc", circ, cfg, 0, mode, func(out []field.Element) {
+			outs[i] = out
+			if w.Sched.Now() > last {
+				last = w.Sched.Now()
+			}
+		})
+	}
+	for i := 1; i <= cfg.N; i++ {
+		engines[i].StartOnline(inShares[i], cs, trips[i])
+	}
+	w.RunToQuiescence()
+
+	want, err := circ.Eval(inputs)
+	ok := err == nil
+	for i := 1; i <= cfg.N && ok; i++ {
+		if outs[i] == nil || len(outs[i]) != len(want) {
+			ok = false
+			break
+		}
+		for k := range want {
+			if outs[i][k] != want[k] {
+				ok = false
+			}
+		}
+	}
+	return Measure{
+		HonestMsgs:  w.Metrics().HonestMessages(),
+		HonestBytes: w.Metrics().HonestBytes(),
+		LastOutput:  last,
+		Bound:       sim.Time(circ.MulDepth+3) * cfg.Delta,
+		Events:      w.Sched.Processed(),
+		OK:          ok,
+	}
+}
+
+// MulDeepCircuit is the tracked depth-heavy workload: an 8×8
+// multiplication grid (cM = 64, DM = 8) on the flagship n = 8 config —
+// every multiplicative layer holds 8 gates, the shape where per-layer
+// batching collapses 2·cM reconstruction instances to 2·DM.
+func MulDeepCircuit() *circuit.Circuit { return circuit.MulGrid(8, 8, 8) }
 
 // MatrixMode identifies a protocol variant in the E12 comparison.
 type MatrixMode string

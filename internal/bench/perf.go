@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"testing"
+
+	"repro/circuit"
 )
 
 // PerfRow is one benchmark row of a perf report: wall-clock ns/op plus
@@ -19,18 +21,49 @@ type PerfRow struct {
 	Bound   int64  `json:"bound"`
 }
 
-// PerfReport is the JSON document emitted to BENCH_PR2.json: the
-// recorded pre-PR2 baseline next to freshly measured rows, with
-// per-experiment speedups. Protocol metrics (bytes, msgs, vticks) must
-// be identical between the two columns — the perf work may only change
-// wall-clock.
-type PerfReport struct {
-	Note      string             `json:"note"`
-	Baseline  []PerfRow          `json:"baseline_pre_pr2"`
-	Current   []PerfRow          `json:"current"`
-	Speedup   map[string]float64 `json:"speedup"`
-	Invariant bool               `json:"metrics_invariant"`
+// LayerRow is one message-complexity row of the PR 3 layer-batching
+// comparison: the same online-phase workload (E13Online) run through
+// the retained per-gate reference evaluator and the layered batched
+// one. OutputsOK reports that *both* runs terminated with the
+// clear-circuit outputs — the invariance verdict for the layering
+// work, whose only permitted change is message grouping.
+type LayerRow struct {
+	Name         string  `json:"name"`
+	CM           int     `json:"c_m"`
+	DM           int     `json:"d_m"`
+	PerGateMsgs  uint64  `json:"per_gate_msgs"`
+	LayeredMsgs  uint64  `json:"layered_msgs"`
+	MsgRatio     float64 `json:"msg_ratio"`
+	PerGateBytes uint64  `json:"per_gate_bytes"`
+	LayeredBytes uint64  `json:"layered_bytes"`
+	OutputsOK    bool    `json:"outputs_ok"`
 }
+
+// PerfReport is the JSON document emitted to BENCH_PR3.json: the
+// recorded pre-PR2 wall-clock baseline next to freshly measured rows
+// with per-experiment speedups, plus the PR 3 layer-batching
+// message-complexity comparison. Protocol metrics (bytes, msgs,
+// vticks) of the baseline rows must be identical between the two
+// wall-clock columns — that perf work may only change wall-clock — and
+// every layer-batching row must report OutputsOK.
+type PerfReport struct {
+	Note          string             `json:"note"`
+	Baseline      []PerfRow          `json:"baseline_pre_pr2"`
+	Current       []PerfRow          `json:"current"`
+	Speedup       map[string]float64 `json:"speedup"`
+	Invariant     bool               `json:"metrics_invariant"`
+	LayerBatching []LayerRow         `json:"layer_batching_pr3"`
+}
+
+// Recorded per-layer baseline of the tracked mul-deep online bench
+// (MulDeepCircuit on Config8, seed 1): the CI budget guard fails if
+// the layered evaluator's honest-origin message count regresses above
+// MulDeepLayeredMsgsBaseline. The per-gate figure is kept for the
+// ratio's denominator; the acceptance floor is a ≥ 3× reduction.
+const (
+	MulDeepLayeredMsgsBaseline uint64 = 640
+	MulDeepPerGateMsgsBaseline uint64 = 4224
+)
 
 // BaselinePrePR2 is the pre-PR2 measurement of the tracked benchmarks
 // (seed repository state, -benchtime 2x, Intel Xeon @ 2.10GHz): the
@@ -45,7 +78,8 @@ func BaselinePrePR2() []PerfRow {
 }
 
 // perfCases enumerates the tracked benchmark configurations in baseline
-// order.
+// order; rows without a recorded pre-PR2 entry (the PR 3 mul-deep
+// online bench) anchor the trajectory from their first recording.
 func perfCases() []struct {
 	name string
 	run  func(seed uint64) Measure
@@ -58,18 +92,67 @@ func perfCases() []struct {
 		{"E7VSS/n8/L8", func(seed uint64) Measure { return E7VSS(Config8(), 8, seed) }},
 		{"E8ACS/n5/L1", func(seed uint64) Measure { return E8ACS(Config5(), 1, seed) }},
 		{"E8ACS/n8/L1", func(seed uint64) Measure { return E8ACS(Config8(), 1, seed) }},
+		{"E13Online/grid8x8/n8", func(seed uint64) Measure { return E13Online(Config8(), MulDeepCircuit(), false, seed) }},
 	}
 }
 
+// layerCases enumerates the online-phase workloads of the
+// layer-batching comparison; the first is the tracked mul-deep bench
+// behind the CI budget guard.
+func layerCases() []struct {
+	name string
+	circ *circuit.Circuit
+} {
+	return []struct {
+		name string
+		circ *circuit.Circuit
+	}{
+		{"E13Online/grid8x8/n8", MulDeepCircuit()},
+		{"E13Online/product/n8", circuit.Product(8)},
+		{"E13Online/matmul/n8", circuit.MatMul2x2()},
+	}
+}
+
+// RunLayerBatching measures the per-gate vs layered online-phase
+// message complexity on every comparison workload at seed 1 (the
+// recorded-baseline seed).
+func RunLayerBatching() []LayerRow {
+	rows := make([]LayerRow, 0, 4)
+	for _, c := range layerCases() {
+		per := E13Online(Config8(), c.circ, true, 1)
+		lay := E13Online(Config8(), c.circ, false, 1)
+		rows = append(rows, LayerRow{
+			Name:         c.name,
+			CM:           c.circ.MulCount,
+			DM:           c.circ.MulDepth,
+			PerGateMsgs:  per.HonestMsgs,
+			LayeredMsgs:  lay.HonestMsgs,
+			MsgRatio:     float64(per.HonestMsgs) / float64(lay.HonestMsgs),
+			PerGateBytes: per.HonestBytes,
+			LayeredBytes: lay.HonestBytes,
+			OutputsOK:    per.OK && lay.OK,
+		})
+	}
+	return rows
+}
+
 // RunPerf measures the tracked benchmarks via testing.Benchmark and
-// assembles the report.
+// assembles the report, including the layer-batching message-
+// complexity comparison.
 func RunPerf() (*PerfReport, error) {
 	report := &PerfReport{
 		Note: "wall-clock per protocol run (testing.Benchmark); bytes/msgs/vticks are " +
-			"protocol invariants and must match the baseline exactly",
+			"protocol invariants and must match the baseline exactly; layer_batching_pr3 " +
+			"compares online-phase honest messages per-gate vs per-layer (outputs must match)",
 		Baseline:  BaselinePrePR2(),
 		Speedup:   map[string]float64{},
 		Invariant: true,
+	}
+	report.LayerBatching = RunLayerBatching()
+	for _, row := range report.LayerBatching {
+		if !row.OutputsOK {
+			return nil, fmt.Errorf("bench: %s: evaluator outputs diverged from the clear circuit", row.Name)
+		}
 	}
 	baseline := map[string]PerfRow{}
 	for _, row := range report.Baseline {

@@ -11,14 +11,25 @@
 //     default to 0.
 //  2. Shared circuit evaluation. Linear gates are local; each
 //     multiplication gate consumes one preprocessed triple via ΠBeaver.
-//     Independent multiplications at one depth run in parallel, so the
-//     evaluation adds DM·Δ to the schedule.
+//     Independent multiplications at one depth run in parallel and
+//     share one batched reconstruction (triples.BatchBeaver), so the
+//     evaluation adds DM·Δ to the schedule and DM — not cM —
+//     reconstruction instances to the traffic.
 //  3. Output. The shared outputs are publicly reconstructed with OEC.
 //  4. Termination à la Bracha: (ready, y) from ts+1 parties is adopted,
 //     2ts+1 terminate the protocol.
 //
 // The circuit is evaluated once — the paper's headline difference from
 // the generic run-both-protocols compilers of [17,19,30].
+//
+// Two evaluator implementations exist. The default EvalLayered walks
+// the circuit with a dependency-counting worklist: every wire is
+// visited O(1) times, and each multiplicative layer's Beaver batch
+// starts exactly when the layer's last operand resolves. EvalPerGate
+// is the pre-batching reference — one Beaver instance (and one
+// 2-element reconstruction) per gate, resolved by a quadratic
+// fixed-point sweep — retained for differential testing: both modes
+// compute bit-for-bit identical shares.
 package core
 
 import (
@@ -39,6 +50,20 @@ import (
 // msgReady carries the (ready, y) termination votes.
 const msgReady uint8 = 1
 
+// EvalMode selects the online-phase evaluator implementation.
+type EvalMode uint8
+
+// Evaluator modes.
+const (
+	// EvalLayered batches all multiplications of one multiplicative
+	// layer through a single reconstruction instance and resolves wires
+	// with a dependency-count worklist (the default).
+	EvalLayered EvalMode = iota
+	// EvalPerGate spawns one Beaver instance per multiplication gate —
+	// the reference path kept for differential testing.
+	EvalPerGate
+)
+
 // Deadline returns TCirEval - T0 = TTripGen + (DM + 2)·Δ for a circuit
 // of multiplicative depth dm.
 func Deadline(cfg proto.Config, dm int) sim.Time {
@@ -58,6 +83,7 @@ type CirEval struct {
 	cfg   proto.Config
 	circ  *circuit.Circuit
 	start sim.Time
+	mode  EvalMode
 
 	inputACS *acs.ACS
 	preproc  *triples.Preprocessing
@@ -66,9 +92,20 @@ type CirEval struct {
 	inShares map[int][]field.Element
 	trips    []triples.Triple
 
-	beavers  []*triples.Beaver // per MulIndex
-	wires    []*field.Element  // this party's share per wire
-	resolved int
+	// Wire state shared by both evaluator modes.
+	wires    []field.Element
+	haveWire []bool
+
+	// EvalPerGate state: one Beaver per MulIndex.
+	beavers []*triples.Beaver
+
+	// EvalLayered state: the dependency-count worklist plus one
+	// BatchBeaver per multiplicative layer.
+	layers       [][]circuit.Wire       // layer d at index d-1
+	batches      []*triples.BatchBeaver // parallel to layers
+	deps         []int32                // unresolved operand count per gate
+	consumers    [][]int32              // gates consuming each wire
+	layerPending []int                  // not-yet-ready mul gates per layer
 
 	outRecon *triples.Recon
 
@@ -81,10 +118,50 @@ type CirEval struct {
 	onOutput    func([]field.Element)
 }
 
-// New registers a ΠCirEval instance anchored at start; the party calls
-// Start with its private input there. onOutput fires once, at
-// termination, with the public circuit outputs.
+// New registers a ΠCirEval instance anchored at start with the default
+// layered evaluator; the party calls Start with its private input
+// there. onOutput fires once, at termination, with the public circuit
+// outputs.
 func New(rt *proto.Runtime, inst string, circ *circuit.Circuit, cfg proto.Config, coin aba.CoinSource, start sim.Time, onOutput func([]field.Element)) *CirEval {
+	return NewWithMode(rt, inst, circ, cfg, coin, start, EvalLayered, onOutput)
+}
+
+// NewWithMode is New with an explicit evaluator mode. All parties of a
+// run must use the same mode: the modes differ in their message
+// grouping (per-layer vs per-gate reconstruction instances), not in
+// the shares they compute.
+func NewWithMode(rt *proto.Runtime, inst string, circ *circuit.Circuit, cfg proto.Config, coin aba.CoinSource, start sim.Time, mode EvalMode, onOutput func([]field.Element)) *CirEval {
+	e := newEval(rt, inst, circ, cfg, start, mode, onOutput)
+	e.inputACS = acs.New(rt, proto.Join(inst, "in"), 1, cfg, coin, start,
+		func(cs []int, shares map[int][]field.Element) {
+			e.cs = cs
+			e.inShares = shares
+			e.tryEvaluate()
+		})
+	if cM := circ.MulCount; cM > 0 {
+		e.preproc = triples.NewPreprocessing(rt, proto.Join(inst, "pp"), cM, cfg, coin, start,
+			func(ts []triples.Triple) {
+				e.trips = ts
+				e.tryEvaluate()
+			})
+	}
+	return e
+}
+
+// NewOnline registers an online-phase-only ΠCirEval: no input ΠACS and
+// no ΠPreProcessing are spawned; the caller provides input sharings,
+// the agreed set and the multiplication triples directly through
+// StartOnline (a trusted-dealer setup). This isolates the shared
+// circuit-evaluation, output and termination phases for benchmarking
+// and differential testing.
+func NewOnline(rt *proto.Runtime, inst string, circ *circuit.Circuit, cfg proto.Config, start sim.Time, mode EvalMode, onOutput func([]field.Element)) *CirEval {
+	return newEval(rt, inst, circ, cfg, start, mode, onOutput)
+}
+
+// newEval builds the evaluator core shared by the full-protocol and
+// online-only constructors and registers the termination handler and
+// the per-mode Beaver instances.
+func newEval(rt *proto.Runtime, inst string, circ *circuit.Circuit, cfg proto.Config, start sim.Time, mode EvalMode, onOutput func([]field.Element)) *CirEval {
 	if circ.N != cfg.N {
 		panic(fmt.Sprintf("core: circuit has %d input slots, config has %d parties", circ.N, cfg.N))
 	}
@@ -94,45 +171,93 @@ func New(rt *proto.Runtime, inst string, circ *circuit.Circuit, cfg proto.Config
 		cfg:       cfg,
 		circ:      circ,
 		start:     start,
+		mode:      mode,
 		inShares:  make(map[int][]field.Element),
-		beavers:   make([]*triples.Beaver, circ.MulCount),
-		wires:     make([]*field.Element, len(circ.Gates)),
+		wires:     make([]field.Element, len(circ.Gates)),
+		haveWire:  make([]bool, len(circ.Gates)),
 		readyFrom: make(map[string]map[int]bool),
 		onOutput:  onOutput,
 	}
 	rt.Register(inst, e)
-	e.inputACS = acs.New(rt, proto.Join(inst, "in"), 1, cfg, coin, start,
-		func(cs []int, shares map[int][]field.Element) {
-			e.cs = cs
-			e.inShares = shares
-			e.tryEvaluate()
-		})
-	cM := circ.MulCount
-	if cM > 0 {
-		e.preproc = triples.NewPreprocessing(rt, proto.Join(inst, "pp"), cM, cfg, coin, start,
-			func(ts []triples.Triple) {
-				e.trips = ts
-				e.tryEvaluate()
+	switch mode {
+	case EvalPerGate:
+		e.beavers = make([]*triples.Beaver, circ.MulCount)
+		for k := range e.beavers {
+			k := k
+			e.beavers[k] = triples.NewBeaver(rt, proto.Join(inst, "mul", fmt.Sprint(k)), cfg, func(z field.Element) {
+				e.onMul(k, z)
 			})
-	}
-	for k := 0; k < cM; k++ {
-		k := k
-		e.beavers[k] = triples.NewBeaver(rt, proto.Join(inst, "mul", fmt.Sprint(k)), cfg, func(z field.Element) {
-			e.onMul(k, z)
-		})
+		}
+	case EvalLayered:
+		e.initLayered()
+	default:
+		panic(fmt.Sprintf("core: unknown evaluator mode %d", mode))
 	}
 	e.outRecon = triples.NewRecon(rt, proto.Join(inst, "out"), cfg, len(circ.Outputs),
 		func(vals []field.Element) { e.onReconstructed(vals) })
 	return e
 }
 
+// initLayered builds the dependency graph (operand counts and consumer
+// adjacency) and registers one BatchBeaver per multiplicative layer.
+func (e *CirEval) initLayered() {
+	gates := e.circ.Gates
+	e.deps = make([]int32, len(gates))
+	e.consumers = make([][]int32, len(gates))
+	for idx, g := range gates {
+		switch g.Op {
+		case circuit.OpAdd, circuit.OpSub, circuit.OpMul:
+			// A gate consuming the same wire twice appears twice in the
+			// wire's consumer list; its count is decremented twice.
+			e.deps[idx] = 2
+			e.consumers[g.A] = append(e.consumers[g.A], int32(idx))
+			e.consumers[g.B] = append(e.consumers[g.B], int32(idx))
+		case circuit.OpAddConst, circuit.OpMulConst:
+			e.deps[idx] = 1
+			e.consumers[g.A] = append(e.consumers[g.A], int32(idx))
+		}
+	}
+	e.layers = e.circ.Layers()
+	e.batches = make([]*triples.BatchBeaver, len(e.layers))
+	e.layerPending = make([]int, len(e.layers))
+	for d, lay := range e.layers {
+		if len(lay) == 0 {
+			continue
+		}
+		d := d
+		e.layerPending[d] = len(lay)
+		e.batches[d] = triples.NewBatchBeaver(e.rt, proto.Join(e.inst, "lay", fmt.Sprint(d+1)), e.cfg, len(lay),
+			func(zs []field.Element) { e.onLayer(d, zs) })
+	}
+}
+
 // Start shares this party's private input. Honest parties call it at
 // the structural start time.
 func (e *CirEval) Start(input field.Element) {
+	if e.inputACS == nil {
+		panic("core: Start on an online-only instance (use StartOnline)")
+	}
 	e.inputACS.Start([]poly.Poly{poly.Random(e.rt.Rand(), e.cfg.Ts, input)})
 	if e.preproc != nil {
 		e.preproc.Start()
 	}
+}
+
+// StartOnline begins evaluation of an online-only instance (NewOnline)
+// from a trusted-dealer setup: this party's share of every provider's
+// input (inShares[j][0] for j ∈ cs), the agreed provider set, and its
+// shares of the cM multiplication triples in MulIndex order.
+func (e *CirEval) StartOnline(inShares map[int][]field.Element, cs []int, trips []triples.Triple) {
+	if e.inputACS != nil {
+		panic("core: StartOnline on a full-protocol instance (use Start)")
+	}
+	if len(trips) != e.circ.MulCount {
+		panic(fmt.Sprintf("core: StartOnline with %d triples, circuit needs %d", len(trips), e.circ.MulCount))
+	}
+	e.cs = cs
+	e.inShares = inShares
+	e.trips = trips
+	e.tryEvaluate()
 }
 
 // Terminated reports whether this party has terminated with an output.
@@ -153,7 +278,12 @@ func (e *CirEval) tryEvaluate() {
 		return
 	}
 	e.evalStarted = true
-	e.sweep()
+	switch e.mode {
+	case EvalPerGate:
+		e.sweep()
+	case EvalLayered:
+		e.seedWorklist()
+	}
 }
 
 // shareOfInput returns this party's share of P_j's input: the ACS share
@@ -165,6 +295,96 @@ func (e *CirEval) shareOfInput(j int) field.Element {
 	return field.Zero
 }
 
+// --- EvalLayered: dependency-count worklist -------------------------
+
+// seedWorklist resolves the source gates (inputs and constants) and
+// propagates through the dependency graph.
+func (e *CirEval) seedWorklist() {
+	stack := make([]int32, 0, len(e.circ.Gates))
+	for idx, g := range e.circ.Gates {
+		switch g.Op {
+		case circuit.OpInput:
+			stack = e.setWire(int32(idx), e.shareOfInput(g.Arg), stack)
+		case circuit.OpConst:
+			// A public constant is "shared" by the constant polynomial:
+			// every party's share is the constant.
+			stack = e.setWire(int32(idx), g.Const, stack)
+		}
+	}
+	e.drain(stack)
+}
+
+// onLayer resolves a whole layer's product wires from the completed
+// Beaver batch (zs in layer order) and continues propagation.
+func (e *CirEval) onLayer(d int, zs []field.Element) {
+	stack := make([]int32, 0, len(zs)+8)
+	for k, w := range e.layers[d] {
+		stack = e.setWire(int32(w), zs[k], stack)
+	}
+	e.drain(stack)
+}
+
+// setWire records a resolved wire and queues it for propagation.
+func (e *CirEval) setWire(idx int32, v field.Element, stack []int32) []int32 {
+	e.wires[idx] = v
+	e.haveWire[idx] = true
+	return append(stack, idx)
+}
+
+// drain propagates resolved wires: each consumer's operand count drops
+// by one per resolved operand; a consumer reaching zero either
+// evaluates locally (linear gates) or checks in with its layer (mul
+// gates), starting the layer's Beaver batch when it was the last. Each
+// gate is visited O(fan-in + fan-out) times overall.
+func (e *CirEval) drain(stack []int32) {
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range e.consumers[w] {
+			e.deps[c]--
+			if e.deps[c] != 0 {
+				continue
+			}
+			g := &e.circ.Gates[c]
+			switch g.Op {
+			case circuit.OpAdd:
+				stack = e.setWire(c, e.wires[g.A].Add(e.wires[g.B]), stack)
+			case circuit.OpSub:
+				stack = e.setWire(c, e.wires[g.A].Sub(e.wires[g.B]), stack)
+			case circuit.OpAddConst:
+				stack = e.setWire(c, e.wires[g.A].Add(g.Const), stack)
+			case circuit.OpMulConst:
+				stack = e.setWire(c, e.wires[g.A].Mul(g.Const), stack)
+			case circuit.OpMul:
+				d := g.Depth - 1
+				e.layerPending[d]--
+				if e.layerPending[d] == 0 {
+					e.startLayer(d)
+				}
+			}
+		}
+	}
+	e.maybeOutputPhase()
+}
+
+// startLayer collects the layer's operand and triple shares in layer
+// order and starts its batched Beaver instance.
+func (e *CirEval) startLayer(d int) {
+	lay := e.layers[d]
+	xs := make([]field.Element, len(lay))
+	ys := make([]field.Element, len(lay))
+	trips := make([]triples.Triple, len(lay))
+	for k, w := range lay {
+		g := &e.circ.Gates[w]
+		xs[k] = e.wires[g.A]
+		ys[k] = e.wires[g.B]
+		trips[k] = e.trips[g.MulIndex]
+	}
+	e.batches[d].Start(xs, ys, trips)
+}
+
+// --- EvalPerGate: the quadratic reference sweep ---------------------
+
 // sweep evaluates every gate whose operands are resolved, starting
 // Beaver instances for ready multiplication gates.
 func (e *CirEval) sweep() {
@@ -172,7 +392,7 @@ func (e *CirEval) sweep() {
 	for progress {
 		progress = false
 		for idx, g := range e.circ.Gates {
-			if e.wires[idx] != nil {
+			if e.haveWire[idx] {
 				continue
 			}
 			var v field.Element
@@ -180,47 +400,39 @@ func (e *CirEval) sweep() {
 			case circuit.OpInput:
 				v = e.shareOfInput(g.Arg)
 			case circuit.OpConst:
-				// A public constant is "shared" by the constant
-				// polynomial: every party's share is the constant.
 				v = g.Const
 			case circuit.OpAdd:
-				a, b := e.wires[g.A], e.wires[g.B]
-				if a == nil || b == nil {
+				if !e.haveWire[g.A] || !e.haveWire[g.B] {
 					continue
 				}
-				v = a.Add(*b)
+				v = e.wires[g.A].Add(e.wires[g.B])
 			case circuit.OpSub:
-				a, b := e.wires[g.A], e.wires[g.B]
-				if a == nil || b == nil {
+				if !e.haveWire[g.A] || !e.haveWire[g.B] {
 					continue
 				}
-				v = a.Sub(*b)
+				v = e.wires[g.A].Sub(e.wires[g.B])
 			case circuit.OpAddConst:
-				a := e.wires[g.A]
-				if a == nil {
+				if !e.haveWire[g.A] {
 					continue
 				}
-				v = a.Add(g.Const)
+				v = e.wires[g.A].Add(g.Const)
 			case circuit.OpMulConst:
-				a := e.wires[g.A]
-				if a == nil {
+				if !e.haveWire[g.A] {
 					continue
 				}
-				v = a.Mul(g.Const)
+				v = e.wires[g.A].Mul(g.Const)
 			case circuit.OpMul:
-				a, b := e.wires[g.A], e.wires[g.B]
-				if a == nil || b == nil {
+				if !e.haveWire[g.A] || !e.haveWire[g.B] {
 					continue
 				}
 				// Start the Beaver instance once (Start is idempotent);
 				// its completion resolves this wire.
 				tr := e.trips[g.MulIndex]
-				e.beavers[g.MulIndex].Start(*a, *b, tr.X, tr.Y, tr.Z)
+				e.beavers[g.MulIndex].Start(e.wires[g.A], e.wires[g.B], tr.X, tr.Y, tr.Z)
 				continue
 			}
-			vv := v
-			e.wires[idx] = &vv
-			e.resolved++
+			e.wires[idx] = v
+			e.haveWire[idx] = true
 			progress = true
 		}
 	}
@@ -228,25 +440,25 @@ func (e *CirEval) sweep() {
 }
 
 func (e *CirEval) onMul(k int, z field.Element) {
-	for idx, g := range e.circ.Gates {
-		if g.Op == circuit.OpMul && g.MulIndex == k && e.wires[idx] == nil {
-			zz := z
-			e.wires[idx] = &zz
-			e.resolved++
-		}
+	idx := e.circ.MulGate(k)
+	if !e.haveWire[idx] {
+		e.wires[idx] = z
+		e.haveWire[idx] = true
 	}
 	e.sweep()
 }
+
+// --- Output and termination (shared) --------------------------------
 
 // maybeOutputPhase starts public output reconstruction when every
 // output wire's share is resolved.
 func (e *CirEval) maybeOutputPhase() {
 	shares := make([]field.Element, len(e.circ.Outputs))
 	for i, w := range e.circ.Outputs {
-		if e.wires[w] == nil {
+		if !e.haveWire[w] {
 			return
 		}
-		shares[i] = *e.wires[w]
+		shares[i] = e.wires[w]
 	}
 	e.outRecon.Start(shares)
 }

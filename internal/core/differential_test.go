@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/circuit"
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/proto"
+)
+
+// randomCircuit builds a small random 5-party circuit with muls deep
+// enough to exercise multi-gate layers (shared wires included).
+func randomCircuit(t *testing.T, seed uint64) *circuit.Circuit {
+	t.Helper()
+	r := rand.New(rand.NewPCG(seed, 7))
+	b := circuit.NewBuilder(5)
+	wires := make([]circuit.Wire, 0, 32)
+	for i := 1; i <= 5; i++ {
+		wires = append(wires, b.Input(i))
+	}
+	for k := 0; k < 10; k++ {
+		a := wires[r.IntN(len(wires))]
+		bb := wires[r.IntN(len(wires))]
+		switch r.IntN(5) {
+		case 0:
+			wires = append(wires, b.Add(a, bb))
+		case 1:
+			wires = append(wires, b.Sub(a, bb))
+		case 2, 3:
+			wires = append(wires, b.Mul(a, bb))
+		case 4:
+			wires = append(wires, b.AddConst(a, field.Random(r)))
+		}
+	}
+	b.Output(wires[len(wires)-1])
+	b.Output(wires[len(wires)-2])
+	return b.Build()
+}
+
+// runMode evaluates circ under the given evaluator mode and returns
+// per-party outputs and agreed sets.
+func runMode(t *testing.T, circ *circuit.Circuit, mode EvalMode, seed uint64, in []field.Element) ([][]field.Element, [][]int) {
+	t.Helper()
+	c := cfg5()
+	w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: seed})
+	coin := aba.DefaultCoin(seed)
+	outs := make([][]field.Element, 6)
+	engines := make([]*CirEval, 6)
+	for i := 1; i <= 5; i++ {
+		i := i
+		engines[i] = NewWithMode(w.Runtimes[i], "mpc", circ, c, coin, 0, mode, func(out []field.Element) {
+			outs[i] = out
+		})
+	}
+	for i := 1; i <= 5; i++ {
+		engines[i].Start(in[i-1])
+	}
+	w.RunToQuiescence()
+	css := make([][]int, 6)
+	for i := 1; i <= 5; i++ {
+		if outs[i] == nil {
+			t.Fatalf("mode %d: party %d did not terminate", mode, i)
+		}
+		css[i] = engines[i].CS()
+	}
+	return outs, css
+}
+
+// TestLayeredMatchesPerGate is the evaluator differential test: on
+// random circuits, the layered worklist evaluator and the per-gate
+// reference must produce identical outputs and agreement sets — the
+// layering changes message grouping, never values.
+func TestLayeredMatchesPerGate(t *testing.T) {
+	for trial := uint64(0); trial < 5; trial++ {
+		circ := randomCircuit(t, trial)
+		r := rand.New(rand.NewPCG(trial, 11))
+		in := make([]field.Element, 5)
+		for i := range in {
+			in[i] = field.Random(r)
+		}
+		layered, layeredCS := runMode(t, circ, EvalLayered, trial, in)
+		perGate, perGateCS := runMode(t, circ, EvalPerGate, trial, in)
+		for i := 1; i <= 5; i++ {
+			if len(layered[i]) != len(perGate[i]) {
+				t.Fatalf("trial %d party %d: output arity %d vs %d", trial, i, len(layered[i]), len(perGate[i]))
+			}
+			for k := range layered[i] {
+				if layered[i][k] != perGate[i][k] {
+					t.Fatalf("trial %d party %d output[%d]: layered %v != per-gate %v",
+						trial, i, k, layered[i][k], perGate[i][k])
+				}
+			}
+			if len(layeredCS[i]) != len(perGateCS[i]) {
+				t.Fatalf("trial %d party %d: CS %v vs %v", trial, i, layeredCS[i], perGateCS[i])
+			}
+			for k := range layeredCS[i] {
+				if layeredCS[i][k] != perGateCS[i][k] {
+					t.Fatalf("trial %d party %d: CS %v vs %v", trial, i, layeredCS[i], perGateCS[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLayeredDeepGrid runs the layered evaluator on the depth-heavy
+// grid shape (every layer holds several muls) and checks the outputs
+// against the clear evaluation.
+func TestLayeredDeepGrid(t *testing.T) {
+	circ := circuit.MulGrid(5, 4, 5)
+	if circ.MulCount != 20 || circ.MulDepth != 5 {
+		t.Fatalf("grid shape cM=%d DM=%d, want 20/5", circ.MulCount, circ.MulDepth)
+	}
+	for d, lay := range circ.MulLayers {
+		if len(lay) != 4 {
+			t.Fatalf("layer %d has %d muls, want 4", d+1, len(lay))
+		}
+	}
+	in := inputs5()
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg5(), Network: proto.Sync, Seed: 31})
+	h := newHarness(w, circ, 31)
+	h.start(in, nil)
+	w.RunToQuiescence()
+	h.verify(t, circ, in)
+}

@@ -1,0 +1,167 @@
+package triples
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/field"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/poly"
+)
+
+// dealLayer shares l multiplication inputs and valid triples: the
+// returned slices are per-party (1-based), each holding l shares.
+func dealLayer(r *rand.Rand, cfg proto.Config, l int) (xs, ys [][]field.Element, trips [][]Triple, want []field.Element) {
+	xs = make([][]field.Element, cfg.N+1)
+	ys = make([][]field.Element, cfg.N+1)
+	trips = make([][]Triple, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		xs[i] = make([]field.Element, l)
+		ys[i] = make([]field.Element, l)
+		trips[i] = make([]Triple, l)
+	}
+	want = make([]field.Element, l)
+	for k := 0; k < l; k++ {
+		x, y := field.Random(r), field.Random(r)
+		a, b := field.Random(r), field.Random(r)
+		want[k] = x.Mul(y)
+		sx := poly.Random(r, cfg.Ts, x).Shares(cfg.N)
+		sy := poly.Random(r, cfg.Ts, y).Shares(cfg.N)
+		sa := poly.Random(r, cfg.Ts, a).Shares(cfg.N)
+		sb := poly.Random(r, cfg.Ts, b).Shares(cfg.N)
+		sc := poly.Random(r, cfg.Ts, a.Mul(b)).Shares(cfg.N)
+		for i := 1; i <= cfg.N; i++ {
+			xs[i][k] = sx[i-1]
+			ys[i][k] = sy[i-1]
+			trips[i][k] = Triple{X: sa[i-1], Y: sb[i-1], Z: sc[i-1]}
+		}
+	}
+	return xs, ys, trips, want
+}
+
+// TestBatchBeaverCorrectness: a whole layer of multiplications through
+// one batched instance reconstructs to the true products, within Δ on
+// the synchronous network.
+func TestBatchBeaverCorrectness(t *testing.T) {
+	for _, nk := range []proto.NetKind{proto.Sync, proto.Async} {
+		c := cfg8()
+		w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: nk, Seed: 7})
+		r := rand.New(rand.NewPCG(7, 7))
+		const l = 6
+		xs, ys, trips, want := dealLayer(r, c, l)
+		zs := make([][]field.Element, c.N+1)
+		doneAt := make([]sim.Time, c.N+1)
+		insts := make([]*BatchBeaver, c.N+1)
+		for i := 1; i <= c.N; i++ {
+			i := i
+			insts[i] = NewBatchBeaver(w.Runtimes[i], "bbv", c, l, func(out []field.Element) {
+				zs[i] = out
+				doneAt[i] = w.Sched.Now()
+			})
+		}
+		for i := 1; i <= c.N; i++ {
+			insts[i].Start(xs[i], ys[i], trips[i])
+		}
+		w.RunToQuiescence()
+		for k := 0; k < l; k++ {
+			shares := map[int]field.Element{}
+			for i := 1; i <= c.N; i++ {
+				if zs[i] == nil {
+					t.Fatalf("net %v: party %d did not finish", nk, i)
+				}
+				shares[i] = zs[i][k]
+			}
+			if got := reconstruct(t, c, shares); got != want[k] {
+				t.Fatalf("net %v: product %d = %v, want %v", nk, k, got, want[k])
+			}
+		}
+		if nk == proto.Sync {
+			for i := 1; i <= c.N; i++ {
+				if doneAt[i] > c.Delta {
+					t.Fatalf("party %d finished batched Beaver at %d > Δ", i, doneAt[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchBeaverMatchesPerGateShares: each party's z-shares from the
+// batched instance are bit-for-bit the shares the per-gate Beaver
+// computes from the same inputs — layering only regroups messages.
+func TestBatchBeaverMatchesPerGateShares(t *testing.T) {
+	c := cfg5()
+	r := rand.New(rand.NewPCG(9, 9))
+	const l = 4
+	xs, ys, trips, _ := dealLayer(r, c, l)
+
+	wb := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 5})
+	batched := make([][]field.Element, c.N+1)
+	for i := 1; i <= c.N; i++ {
+		i := i
+		NewBatchBeaver(wb.Runtimes[i], "bbv", c, l, func(out []field.Element) { batched[i] = out }).
+			Start(xs[i], ys[i], trips[i])
+	}
+	wb.RunToQuiescence()
+
+	perGate := make([][]field.Element, c.N+1)
+	for i := range perGate {
+		perGate[i] = make([]field.Element, l)
+	}
+	for k := 0; k < l; k++ {
+		k := k
+		wg := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 5})
+		for i := 1; i <= c.N; i++ {
+			i := i
+			tr := trips[i][k]
+			NewBeaver(wg.Runtimes[i], "bv", c, func(z field.Element) { perGate[i][k] = z }).
+				Start(xs[i][k], ys[i][k], tr.X, tr.Y, tr.Z)
+		}
+		wg.RunToQuiescence()
+	}
+	for i := 1; i <= c.N; i++ {
+		for k := 0; k < l; k++ {
+			if batched[i][k] != perGate[i][k] {
+				t.Fatalf("party %d gate %d: batched share %v != per-gate share %v",
+					i, k, batched[i][k], perGate[i][k])
+			}
+		}
+	}
+}
+
+// TestBatchBeaverLateStart: the reconstruction completing from other
+// parties' shares before this party calls Start must be deferred and
+// applied on Start (the pendingED path).
+func TestBatchBeaverLateStart(t *testing.T) {
+	c := cfg5()
+	w := proto.NewWorld(proto.WorldOpts{Cfg: c, Network: proto.Sync, Seed: 11})
+	r := rand.New(rand.NewPCG(11, 11))
+	const l = 3
+	xs, ys, trips, want := dealLayer(r, c, l)
+	zs := make([][]field.Element, c.N+1)
+	insts := make([]*BatchBeaver, c.N+1)
+	for i := 1; i <= c.N; i++ {
+		i := i
+		insts[i] = NewBatchBeaver(w.Runtimes[i], "bbv", c, l, func(out []field.Element) { zs[i] = out })
+	}
+	for i := 2; i <= c.N; i++ {
+		insts[i].Start(xs[i], ys[i], trips[i])
+	}
+	// Party 1 joins only after everyone else's shares are long
+	// delivered; with n-1 = 4 ≥ 2ts+1 shares the OEC completes without
+	// party 1, exercising the deferred-finish path.
+	w.Runtimes[1].After(50*c.Delta, func() { insts[1].Start(xs[1], ys[1], trips[1]) })
+	w.RunToQuiescence()
+	for k := 0; k < l; k++ {
+		shares := map[int]field.Element{}
+		for i := 1; i <= c.N; i++ {
+			if zs[i] == nil {
+				t.Fatalf("party %d did not finish", i)
+			}
+			shares[i] = zs[i][k]
+		}
+		if got := reconstruct(t, c, shares); got != want[k] {
+			t.Fatalf("product %d = %v, want %v", k, got, want[k])
+		}
+	}
+}

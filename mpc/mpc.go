@@ -67,10 +67,20 @@ type Config struct {
 	// EventLimit caps scheduler events as a runaway guard (default
 	// 200M).
 	EventLimit uint64
+	// PerGateEval selects the per-gate reference evaluator (one Beaver
+	// reconstruction instance per multiplication gate) instead of the
+	// default per-layer batched one. Both compute identical shares; the
+	// reference differs only in message grouping and is kept for
+	// differential testing of the layered online phase.
+	PerGateEval bool
 }
 
 // Adversary describes the static corruption and misbehaviour of a run.
-// All listed parties count against the corruption budget.
+// Passive, Silent, Garble and CrashAt parties count against the
+// corruption budget max(Ts, Ta). StarveFrom parties do NOT: starvation
+// is adversarial *network scheduling* of honest parties' links (the
+// paper's asynchronous scheduler), not a corruption, so starved
+// parties remain honest and are expected to terminate.
 type Adversary struct {
 	// Passive parties follow the protocol; the adversary only reads
 	// their state (and the harness may hand them wrong inputs).
@@ -260,10 +270,14 @@ func Run(cfg Config, circ *circuit.Circuit, inputs []field.Element, adv *Adversa
 		PaperDeadline: int64(core.PaperDeadline(pcfg, circ.MulDepth)),
 	}
 	coin := aba.DefaultCoin(cfg.Seed ^ 0xc01c01)
+	mode := core.EvalLayered
+	if cfg.PerGateEval {
+		mode = core.EvalPerGate
+	}
 	engines := make([]*core.CirEval, cfg.N+1)
 	for i := 1; i <= cfg.N; i++ {
 		i := i
-		engines[i] = core.New(w.Runtimes[i], "mpc", circ, pcfg, coin, 0, func(out []field.Element) {
+		engines[i] = core.NewWithMode(w.Runtimes[i], "mpc", circ, pcfg, coin, 0, mode, func(out []field.Element) {
 			res.PerParty[i] = out
 			res.TerminatedAt[i] = int64(w.Sched.Now())
 		})

@@ -82,8 +82,11 @@ type NetworkSpec struct {
 	Tail float64 `json:"tail,omitempty"`
 }
 
-// AdversarySpec describes the static corruption strategy. All listed
-// parties count against the corruption budget max(Ts, Ta).
+// AdversarySpec describes the static corruption strategy. Passive,
+// Silent, Garble and CrashAt parties count against the corruption
+// budget max(Ts, Ta); StarveFrom parties do not — starvation is
+// adversarial network scheduling of honest parties' links (the paper's
+// asynchronous scheduler), not a corruption (see Corrupt).
 type AdversarySpec struct {
 	// Passive parties follow the protocol; the adversary only reads
 	// their state.
@@ -277,7 +280,7 @@ func (m *Manifest) validateAdversary() error {
 		budget = m.Parties.Ta
 	}
 	if c := a.Corrupt(); len(c) > budget {
-		return bad("adversary corrupts %d parties %v, exceeding the budget max(ts, ta) = %d", len(c), c, budget)
+		return bad("adversary corrupts %d parties %v (passive/silent/garble/crashAt; starveFrom is network scheduling, not corruption), exceeding the budget max(ts, ta) = %d", len(c), c, budget)
 	}
 	if a.StarveUntil != 0 && len(a.StarveFrom) == 0 {
 		return bad("adversary.starveUntil set without adversary.starveFrom")
