@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short scenarios bench-smoke bench-msgs bench-json ci
+.PHONY: build vet test test-short test-race scenarios fuzz-smoke fuzz-native bench-smoke bench-msgs bench-json ci
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,25 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race -short ./...
+
+# fuzz-smoke runs a fixed-seed slice of the property-based protocol
+# fuzzing campaign (docs/fuzzing.md): deterministic, ~30s, so every PR
+# checks a slice of the random scenario space against the invariant
+# oracles.
+fuzz-smoke:
+	$(GO) run ./cmd/scenario fuzz -trials 12 -seed 1
+
+# fuzz-native gives each Go native fuzz target a short randomized
+# budget (coverage-guided, NOT deterministic — run locally, not in CI;
+# CI still replays the committed corpora under testdata/fuzz/ as part
+# of the normal test run).
+fuzz-native:
+	$(GO) test -run '^$$' -fuzz 'FuzzFieldRoundTrip$$' -fuzztime 10s ./field
+	$(GO) test -run '^$$' -fuzz 'FuzzOECMatchesDecode$$' -fuzztime 10s ./internal/rs
+	$(GO) test -run '^$$' -fuzz 'FuzzLoadManifest$$' -fuzztime 10s ./scenario
 
 # scenarios runs the full built-in scenario corpus on a 4-worker pool.
 scenarios:
@@ -35,4 +54,4 @@ bench-msgs:
 bench-json:
 	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json
 
-ci: build vet test-short bench-smoke bench-msgs
+ci: build vet test-short bench-smoke bench-msgs fuzz-smoke

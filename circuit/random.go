@@ -1,0 +1,112 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/field"
+)
+
+// RandSpec parameterises the seeded random circuit generator Random.
+// Circuits are built layer by layer, so the spec controls the depth
+// (Layers), width (gates per layer) and fan-in distributions of the
+// result: each gate's first operand is drawn mostly from the previous
+// layer (deep, chain-like circuits) and its second from the whole wire
+// pool so far (wide fan-in across layers).
+type RandSpec struct {
+	// Layers is the number of gate layers (>= 1).
+	Layers int
+	// Width is the number of gates per layer (>= 1).
+	Width int
+	// MulPct is the percentage (0..100) of generated gates that are
+	// multiplications; the remainder is split uniformly over the linear
+	// families (Add, Sub, AddConst, MulConst).
+	MulPct int
+	// Outs is the number of output wires (>= 1), sampled from the last
+	// layer first and then from the remaining pool.
+	Outs int
+}
+
+func (s RandSpec) check() error {
+	if s.Layers < 1 {
+		return fmt.Errorf("circuit: random spec needs layers >= 1, have %d", s.Layers)
+	}
+	if s.Width < 1 {
+		return fmt.Errorf("circuit: random spec needs width >= 1, have %d", s.Width)
+	}
+	if s.MulPct < 0 || s.MulPct > 100 {
+		return fmt.Errorf("circuit: random spec needs mulPct in 0..100, have %d", s.MulPct)
+	}
+	if s.Outs < 1 {
+		return fmt.Errorf("circuit: random spec needs outs >= 1, have %d", s.Outs)
+	}
+	return nil
+}
+
+// Random generates a pseudo-random n-party circuit from spec and seed:
+// the same (n, spec, seed) triple always yields the identical circuit,
+// which is how fuzz counterexample manifests replay a generated
+// workload from five integers instead of a gate list. Every party's
+// input feeds the pool, all gate families are exercised, and the
+// multiplicative depth is emergent from the layer structure (at most
+// spec.Layers). Random panics on an invalid spec; validate with the
+// scenario layer first when the spec comes from user input.
+func Random(n int, spec RandSpec, seed uint64) *Circuit {
+	if err := spec.check(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x636972637569746d)) // "circuitm"
+	b := NewBuilder(n)
+
+	pool := make([]Wire, 0, n+2+spec.Layers*spec.Width)
+	for i := 1; i <= n; i++ {
+		pool = append(pool, b.Input(i))
+	}
+	// Two small nonzero constants keep OpConst in the generated mix.
+	pool = append(pool, b.Const(field.New(rng.Uint64N(96)+1)))
+	pool = append(pool, b.Const(field.New(rng.Uint64N(96)+1)))
+	prev := pool
+
+	smallConst := func() field.Element { return field.New(rng.Uint64N(255) + 1) }
+	for l := 0; l < spec.Layers; l++ {
+		layer := make([]Wire, 0, spec.Width)
+		for g := 0; g < spec.Width; g++ {
+			// Fan-in: operand a biased (3:1) to the previous layer so
+			// depth actually grows; operand b uniform over everything.
+			a := prev[rng.IntN(len(prev))]
+			if rng.IntN(4) == 0 {
+				a = pool[rng.IntN(len(pool))]
+			}
+			bb := pool[rng.IntN(len(pool))]
+			var w Wire
+			if rng.IntN(100) < spec.MulPct {
+				w = b.Mul(a, bb)
+			} else {
+				switch rng.IntN(4) {
+				case 0:
+					w = b.Add(a, bb)
+				case 1:
+					w = b.Sub(a, bb)
+				case 2:
+					w = b.AddConst(a, smallConst())
+				default:
+					w = b.MulConst(a, smallConst())
+				}
+			}
+			layer = append(layer, w)
+		}
+		pool = append(pool, layer...)
+		prev = layer
+	}
+
+	// Outputs: the last layer first (so the deepest gates are always
+	// observable), then earlier wires, newest first.
+	outs := spec.Outs
+	if outs > len(pool) {
+		outs = len(pool)
+	}
+	for k := 0; k < outs; k++ {
+		b.Output(pool[len(pool)-1-k])
+	}
+	return b.Build()
+}

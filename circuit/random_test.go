@@ -1,0 +1,99 @@
+package circuit
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/field"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	spec := RandSpec{Layers: 3, Width: 4, MulPct: 40, Outs: 2}
+	a := Random(5, spec, 99)
+	b := Random(5, spec, 99)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (n, spec, seed) built different circuits")
+	}
+	c := Random(5, spec, 100)
+	if reflect.DeepEqual(a.Gates, c.Gates) {
+		t.Fatal("different seeds built identical circuits")
+	}
+}
+
+func TestRandomShape(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		spec := RandSpec{
+			Layers: 1 + int(seed%4),
+			Width:  1 + int(seed%5),
+			MulPct: int(seed % 101),
+			Outs:   1 + int(seed%3),
+		}
+		c := Random(6, spec, seed)
+		if c.N != 6 {
+			t.Fatalf("seed %d: N = %d", seed, c.N)
+		}
+		if c.MulDepth > spec.Layers {
+			t.Fatalf("seed %d: multiplicative depth %d exceeds layer count %d", seed, c.MulDepth, spec.Layers)
+		}
+		if len(c.Outputs) < 1 || len(c.Outputs) > spec.Outs {
+			t.Fatalf("seed %d: %d outputs, want 1..%d", seed, len(c.Outputs), spec.Outs)
+		}
+		if want := 6 + 2 + spec.Layers*spec.Width; len(c.Gates) != want {
+			t.Fatalf("seed %d: %d gates, want %d", seed, len(c.Gates), want)
+		}
+		// The circuit must evaluate cleanly: all wires in range, no
+		// unknown ops (Eval checks both).
+		inputs := make([]field.Element, 6)
+		for i := range inputs {
+			inputs[i] = field.New(uint64(i + 3))
+		}
+		if _, err := c.Eval(inputs); err != nil {
+			t.Fatalf("seed %d: evaluation failed: %v", seed, err)
+		}
+	}
+}
+
+// TestRandomExercisesAllFamilies: over a few seeds the generator must
+// emit every gate family it claims to cover.
+func TestRandomExercisesAllFamilies(t *testing.T) {
+	seen := map[Op]bool{}
+	for seed := uint64(0); seed < 20; seed++ {
+		c := Random(5, RandSpec{Layers: 4, Width: 6, MulPct: 30, Outs: 2}, seed)
+		for _, g := range c.Gates {
+			seen[g.Op] = true
+		}
+	}
+	for _, op := range []Op{OpInput, OpConst, OpAdd, OpSub, OpMul, OpAddConst, OpMulConst} {
+		if !seen[op] {
+			t.Errorf("op %d never generated across 20 seeds", op)
+		}
+	}
+}
+
+func TestRandomMulPctExtremes(t *testing.T) {
+	if c := Random(5, RandSpec{Layers: 3, Width: 4, MulPct: 0, Outs: 1}, 1); c.MulCount != 0 {
+		t.Fatalf("mulPct 0 produced %d multiplications", c.MulCount)
+	}
+	if c := Random(5, RandSpec{Layers: 3, Width: 4, MulPct: 100, Outs: 1}, 1); c.MulCount != 12 {
+		t.Fatalf("mulPct 100 produced %d of 12 multiplications", c.MulCount)
+	}
+}
+
+func TestRandomRejectsBadSpec(t *testing.T) {
+	for _, spec := range []RandSpec{
+		{Layers: 0, Width: 1, Outs: 1},
+		{Layers: 1, Width: 0, Outs: 1},
+		{Layers: 1, Width: 1, Outs: 0},
+		{Layers: 1, Width: 1, MulPct: 101, Outs: 1},
+		{Layers: 1, Width: 1, MulPct: -1, Outs: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("spec %+v did not panic", spec)
+				}
+			}()
+			Random(5, spec, 1)
+		}()
+	}
+}

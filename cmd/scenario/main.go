@@ -8,6 +8,8 @@
 //	scenario validate [-f file.json] [name ...]
 //	scenario run      [-f file.json] [-parallel N] [-json] [--all | name ...]
 //	scenario sweep    [-seeds A..B] [-parallel N] [-json] [--all | name ...]
+//	scenario fuzz     [-trials N] [-seed S] [-parallel N] [-json] [-out dir]
+//	scenario fuzz     -replay counterexample.json
 //	scenario bench    [-out BENCH_PR3.json]
 //
 // Examples:
@@ -16,6 +18,8 @@
 //	scenario run sync-garble-ts async-starved-links
 //	scenario validate -f examples/scenarios/async-starvation.json
 //	scenario sweep -seeds 1..16 sync-sum-honest
+//	scenario fuzz -trials 200 -seed 1 -out /tmp/ce
+//	scenario fuzz -replay /tmp/ce/fuzz-s1-t4-min.json
 package main
 
 import (
@@ -23,9 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
+	"repro/fuzzer"
 	"repro/internal/bench"
 	"repro/scenario"
 )
@@ -43,19 +49,106 @@ func main() {
 		cmdRun(os.Args[2:])
 	case "sweep":
 		cmdSweep(os.Args[2:])
+	case "fuzz":
+		cmdFuzz(os.Args[2:])
 	case "bench":
 		cmdBench(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
-		fatal("unknown subcommand %q (want list, validate, run, sweep or bench)", os.Args[1])
+		fatal("unknown subcommand %q (want list, validate, run, sweep, fuzz or bench)", os.Args[1])
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep|bench> [flags] [--all | name ...]")
+	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep|fuzz|bench> [flags] [--all | name ...]")
 	fmt.Fprintln(os.Stderr, "run 'scenario <subcommand> -h' for subcommand flags")
 	os.Exit(2)
+}
+
+// cmdFuzz runs a property-based fuzzing campaign (or replays one saved
+// counterexample): N seeded random scenarios checked against the
+// invariant-oracle suite, failures minimized and emitted as replayable
+// manifests. See docs/fuzzing.md.
+func cmdFuzz(args []string) {
+	fs := flag.NewFlagSet("scenario fuzz", flag.ExitOnError)
+	trials := fs.Int("trials", 100, "number of generated trials")
+	seed := fs.Uint64("seed", 1, "campaign seed; trials are a pure function of (seed, index)")
+	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS); never affects verdicts")
+	shrink := fs.Int("shrink", 200, "max oracle evaluations spent minimizing one counterexample")
+	jsonOut := fs.Bool("json", false, "emit the campaign summary as JSON")
+	outDir := fs.String("out", "", "write minimized counterexample manifests into `dir`")
+	inject := fs.String("inject", "", `plant a deliberate violation in every trial ("over-budget"; pipeline self-test)`)
+	replay := fs.String("replay", "", "replay a saved counterexample manifest `file` instead of fuzzing")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fatal("fuzz takes no positional arguments, got %v", fs.Args())
+	}
+
+	if *replay != "" {
+		v, err := fuzzer.ReplayFile(*replay)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *jsonOut {
+			emitJSON(v)
+		} else if v.OK() {
+			fmt.Printf("replay %s: ok (t=%d |CS|=%d)\n", v.Name, v.LastTick, len(v.CS))
+		} else {
+			fmt.Printf("replay %s: FAIL\n", v.Name)
+			for _, viol := range v.Violations {
+				fmt.Printf("     %s: %s\n", viol.Oracle, viol.Detail)
+			}
+		}
+		if !v.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	switch fuzzer.Inject(*inject) {
+	case fuzzer.InjectNone, fuzzer.InjectOverBudget:
+	default:
+		fatal("unknown -inject mode %q (want %q)", *inject, fuzzer.InjectOverBudget)
+	}
+	sum := fuzzer.Fuzz(fuzzer.Options{
+		Trials:        *trials,
+		Seed:          *seed,
+		Parallel:      *parallel,
+		MaxShrinkRuns: *shrink,
+		Inject:        fuzzer.Inject(*inject),
+	})
+	for _, ce := range sum.Failed {
+		if *outDir == "" {
+			continue
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal("%v", err)
+		}
+		path := filepath.Join(*outDir, ce.Manifest.Name+".json")
+		if err := os.WriteFile(path, append(ce.Manifest.JSON(), '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+	}
+	if *jsonOut {
+		emitJSON(sum)
+	} else {
+		fmt.Printf("fuzz seed=%d: %d/%d trials passed\n", sum.Seed, sum.Passed, sum.Trials)
+		for _, ce := range sum.Failed {
+			fmt.Printf("FAIL trial %d (%s, %d shrink runs)\n", ce.Trial, ce.Manifest.Name, ce.ShrinkRuns)
+			for _, viol := range ce.Violations {
+				fmt.Printf("     %s: %s\n", viol.Oracle, viol.Detail)
+			}
+			if *outDir != "" {
+				fmt.Printf("     minimized manifest: %s\n", filepath.Join(*outDir, ce.Manifest.Name+".json"))
+			} else {
+				fmt.Printf("     minimized manifest: %s\n", ce.Manifest.JSON())
+			}
+		}
+	}
+	if len(sum.Failed) > 0 {
+		os.Exit(1)
+	}
 }
 
 // cmdBench measures the tracked perf benchmarks (E7 VSS, E8 ACS, E13

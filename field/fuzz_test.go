@@ -1,0 +1,72 @@
+package field
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFieldRoundTrip checks the algebraic and serialization laws of
+// GF(2^61 - 1) on arbitrary operand pairs: byte-encoding round trips,
+// additive and multiplicative inverses cancel, multiplication
+// distributes over addition, and the fused MulAdd matches its
+// two-instruction expansion.
+func FuzzFieldRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(Modulus-1))
+	f.Add(Modulus, Modulus+1) // non-canonical inputs must reduce
+	f.Add(uint64(1)<<62, uint64(1)<<61)
+	f.Add(uint64(123456789), uint64(987654321))
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		x, y := New(a), New(b)
+
+		// Canonical representation and byte round trip.
+		if x.Uint64() >= Modulus {
+			t.Fatalf("New(%d) not reduced: %d", a, x.Uint64())
+		}
+		enc := x.Bytes()
+		dec, err := FromBytes(enc[:])
+		if err != nil || dec != x {
+			t.Fatalf("byte round trip of %v: got %v, err %v", x, dec, err)
+		}
+		if app := x.AppendBytes(nil); !bytes.Equal(app, enc[:]) {
+			t.Fatalf("AppendBytes %x differs from Bytes %x", app, enc)
+		}
+
+		// Additive group laws.
+		if x.Add(y).Sub(y) != x {
+			t.Fatalf("(%v + %v) - %v != %v", x, y, y, x)
+		}
+		if x.Add(x.Neg()) != Zero {
+			t.Fatalf("%v + (-%v) != 0", x, x)
+		}
+
+		// Multiplicative laws.
+		if !y.IsZero() {
+			q, err := x.Mul(y).Div(y)
+			if err != nil || q != x {
+				t.Fatalf("(%v * %v) / %v = %v (err %v), want %v", x, y, y, q, err, x)
+			}
+			inv, err := y.Inv()
+			if err != nil || y.Mul(inv) != One {
+				t.Fatalf("%v * %v^-1 = %v, want 1", y, y, y.Mul(inv))
+			}
+		}
+
+		// Distributivity and the fused multiply-add.
+		if x.Mul(y.Add(One)) != x.Mul(y).Add(x) {
+			t.Fatalf("x*(y+1) != x*y + x for x=%v y=%v", x, y)
+		}
+		if got, want := x.MulAdd(y, y), x.Add(y.Mul(y)); got != want {
+			t.Fatalf("MulAdd: %v + %v*%v = %v, want %v", x, y, y, got, want)
+		}
+
+		// Pow agrees with repeated multiplication for small exponents.
+		p := One
+		for k := uint64(0); k < 8; k++ {
+			if got := x.Pow(k); got != p {
+				t.Fatalf("%v^%d = %v, want %v", x, k, got, p)
+			}
+			p = p.Mul(x)
+		}
+	})
+}

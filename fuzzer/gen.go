@@ -1,0 +1,204 @@
+package fuzzer
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/scenario"
+)
+
+// Generate derives trial number index of a fuzzing campaign keyed by
+// masterSeed: a complete scenario manifest with random resilience
+// parameters, network model (including starvation and burst-outage
+// delivery schedules), circuit (mostly the generated "random" family,
+// the rest drawn from the named gadget catalogue) and adversary
+// strategy within the network's corruption budget. The result is a
+// pure function of (masterSeed, index), which is what makes a fuzzing
+// campaign a replayable space rather than a one-off random walk.
+func Generate(masterSeed uint64, index int) *scenario.Manifest {
+	rng := rand.New(rand.NewPCG(masterSeed, splitmix(uint64(index))))
+	m := &scenario.Manifest{
+		Name:       fmt.Sprintf("fuzz-s%d-t%d", masterSeed, index),
+		Seed:       rng.Uint64N(1_000_000),
+		EventLimit: trialEventLimit,
+		Expect:     scenario.Expect{Consistent: true},
+	}
+	m.Parties = genParties(rng)
+	m.Network = genNetwork(rng)
+	m.Circuit = genCircuit(rng, m.Parties.N)
+	if rng.IntN(100) < 40 {
+		m.Inputs = make([]uint64, m.Parties.N)
+		for i := range m.Inputs {
+			m.Inputs[i] = rng.Uint64N(1000)
+		}
+	}
+	m.Adversary = genAdversary(rng, m.Parties, m.Network)
+	return m
+}
+
+// trialEventLimit caps each trial's scheduler events so a liveness bug
+// surfaces as a termination-oracle violation instead of a hang.
+const trialEventLimit = 50_000_000
+
+// splitmix is the SplitMix64 finalizer: it spreads consecutive trial
+// indices over the whole seed space so PCG streams do not correlate.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// partyConfigs is the weighted space of resilience parameters, every
+// entry satisfying 3·Ts + Ta < N. Small N dominates to keep a trial
+// cheap; the flagship and boundary configurations stay in the mix.
+var partyConfigs = []struct {
+	p scenario.Parties
+	w int
+}{
+	{scenario.Parties{N: 5, Ts: 1, Ta: 1}, 6},
+	{scenario.Parties{N: 6, Ts: 1, Ta: 1}, 3},
+	{scenario.Parties{N: 7, Ts: 1, Ta: 1}, 2},
+	{scenario.Parties{N: 7, Ts: 2, Ta: 0}, 1},
+	{scenario.Parties{N: 8, Ts: 2, Ta: 1}, 1},
+	{scenario.Parties{N: 9, Ts: 2, Ta: 2}, 1},
+}
+
+func genParties(rng *rand.Rand) scenario.Parties {
+	total := 0
+	for _, c := range partyConfigs {
+		total += c.w
+	}
+	k := rng.IntN(total)
+	for _, c := range partyConfigs {
+		if k < c.w {
+			return c.p
+		}
+		k -= c.w
+	}
+	panic("unreachable")
+}
+
+func genNetwork(rng *rand.Rand) scenario.NetworkSpec {
+	net := scenario.NetworkSpec{Kind: "sync", Delta: 10}
+	if rng.IntN(100) < 45 {
+		net.Kind = "async"
+	}
+	if rng.IntN(100) < 30 {
+		net.Delta = 4 + int64(rng.IntN(17)) // 4..20
+	}
+	if net.Kind == "async" {
+		if rng.IntN(100) < 40 {
+			net.Tail = []float64{0.1, 0.2, 0.3, 0.4, 0.5}[rng.IntN(5)]
+		}
+		if rng.IntN(100) < 20 {
+			net.BurstPeriod = []int64{200, 300, 400, 600, 800}[rng.IntN(5)]
+			net.BurstDown = net.BurstPeriod / int64(2+rng.IntN(3)) // 1/2..1/4
+		}
+	}
+	return net
+}
+
+func genCircuit(rng *rand.Rand, n int) scenario.CircuitSpec {
+	if rng.IntN(100) < 65 {
+		return scenario.CircuitSpec{
+			Family: "random",
+			Layers: 1 + rng.IntN(4),
+			Width:  1 + rng.IntN(5),
+			MulPct: 10 * rng.IntN(7), // 0..60
+			Outs:   1 + rng.IntN(3),
+			// A small seed keeps emitted manifests readable; the space
+			// is still 2^32 circuits per shape.
+			GenSeed: rng.Uint64N(1 << 32),
+		}
+	}
+	families := []string{"sum", "product", "stats", "membership", "depth", "polyeval"}
+	if n%2 == 0 {
+		families = append(families, "dot")
+	}
+	if n == 8 {
+		families = append(families, "matmul")
+	}
+	spec := scenario.CircuitSpec{Family: families[rng.IntN(len(families))]}
+	switch spec.Family {
+	case "depth":
+		spec.Depth = 1 + rng.IntN(4)
+	case "polyeval":
+		spec.Coeffs = make([]uint64, 2+rng.IntN(3))
+		for i := range spec.Coeffs {
+			spec.Coeffs[i] = rng.Uint64N(100)
+		}
+	}
+	return spec
+}
+
+// dropSubs and delaySubs are the instance-path substrings targeted
+// corruption draws from: the input-ACS, preprocessing, output and
+// per-layer Beaver phases of the top-level run plus the inner VSS,
+// Acast and BA building blocks ("" in delaySubs delays everything).
+var (
+	dropSubs  = []string{"mpc/in", "mpc/pp", "mpc/out", "mpc/lay", "vss", "acast", "ba"}
+	delaySubs = []string{"", "mpc/in", "mpc/pp", "mpc/out", "vss", "acast"}
+)
+
+// genAdversary composes a random corruption strategy within the
+// network's corruption budget (Ts under sync, Ta under async — the
+// budget the paper's guarantees are quantified over), plus, under
+// asynchrony, adversarial link starvation (which corrupts no one).
+func genAdversary(rng *rand.Rand, p scenario.Parties, net scenario.NetworkSpec) scenario.AdversarySpec {
+	var a scenario.AdversarySpec
+	budget := NetworkBudget(p, net.Kind)
+	count := 0
+	if budget > 0 {
+		count = rng.IntN(budget + 1)
+	}
+	perm := rng.Perm(p.N)
+	for i := 0; i < count; i++ {
+		party := perm[i] + 1
+		switch rng.IntN(7) {
+		case 0:
+			a.Passive = append(a.Passive, party)
+		case 1:
+			a.Silent = append(a.Silent, party)
+		case 2:
+			a.Garble = append(a.Garble, party)
+		case 3:
+			if a.CrashAt == nil {
+				a.CrashAt = map[int]int64{}
+			}
+			a.CrashAt[party] = 10 + int64(rng.IntN(400))
+		case 4:
+			if a.Drop == nil {
+				a.Drop = map[int]string{}
+			}
+			a.Drop[party] = dropSubs[rng.IntN(len(dropSubs))]
+		case 5:
+			if a.Delay == nil {
+				a.Delay = map[int]scenario.DelayRule{}
+			}
+			a.Delay[party] = scenario.DelayRule{
+				Match: delaySubs[rng.IntN(len(delaySubs))],
+				Extra: 20 + int64(rng.IntN(300)),
+			}
+		case 6:
+			a.Equivocate = append(a.Equivocate, party)
+		}
+	}
+	if net.Kind == "async" && rng.IntN(100) < 30 {
+		a.StarveFrom = []int{1 + rng.IntN(p.N)}
+		a.StarveUntil = int64(1000 * (1 + rng.IntN(5)))
+	}
+	return a
+}
+
+// NetworkBudget is the corruption budget the paper's guarantees are
+// quantified over for the manifest's network: Ts under synchrony, Ta
+// under asynchrony. (Manifest validation is laxer — it allows
+// max(Ts, Ta) either way — because negative-control scenarios want to
+// express over-budget-for-this-network runs.)
+func NetworkBudget(p scenario.Parties, kind string) int {
+	if kind == "async" {
+		return p.Ta
+	}
+	return p.Ts
+}

@@ -1,0 +1,34 @@
+package fuzzer
+
+import (
+	"fmt"
+	"os"
+
+	"repro/scenario"
+)
+
+// Replay re-runs a manifest through the oracle suite. Because a run is
+// a pure function of its manifest, Replay of a saved counterexample
+// reproduces the original verdict bit for bit — the fuzz failure is a
+// permanent regression test, not a flake.
+func Replay(m *scenario.Manifest) *Verdict { return Check(m) }
+
+// ReplayJSON parses a saved manifest (strictly, but without validation
+// — counterexamples may deliberately violate validation, e.g. an
+// over-budget adversary) and replays it.
+func ReplayJSON(data []byte) (*Verdict, error) {
+	m, err := scenario.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return Replay(m), nil
+}
+
+// ReplayFile reads and replays a saved counterexample manifest.
+func ReplayFile(path string) (*Verdict, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzer: %w", err)
+	}
+	return ReplayJSON(data)
+}

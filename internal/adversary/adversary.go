@@ -10,6 +10,7 @@
 package adversary
 
 import (
+	"fmt"
 	"strings"
 
 	"repro/internal/sim"
@@ -36,8 +37,26 @@ func NewController() *Controller {
 }
 
 // Set assigns a behaviour to party i, returning the controller for
-// chaining.
+// chaining. Assigning a party twice panics: a second Set used to
+// silently discard the first behaviour (so e.g. a silent-and-garbling
+// party quietly became garbling-only); composition must be explicit via
+// Compose.
 func (c *Controller) Set(i int, b Behavior) *Controller {
+	if _, dup := c.perParty[i]; dup {
+		panic(fmt.Sprintf("adversary: party %d already has a behaviour; use Compose to stack behaviours", i))
+	}
+	c.perParty[i] = b
+	return c
+}
+
+// Compose stacks b onto party i's existing behaviour (Chain semantics:
+// drops propagate, extra delays accumulate); on a fresh party it is
+// equivalent to Set.
+func (c *Controller) Compose(i int, b Behavior) *Controller {
+	if prev, ok := c.perParty[i]; ok {
+		c.perParty[i] = Chain(prev, b)
+		return c
+	}
 	c.perParty[i] = b
 	return c
 }
@@ -132,6 +151,25 @@ func GarbleMatching(match func(inst string) bool) Behavior {
 		copy(out.Body, env.Body)
 		for i := range out.Body {
 			out.Body[i] ^= 0xa5
+		}
+		return pass(out)
+	}
+}
+
+// Equivocate flips the payload bytes of messages to the recipients
+// selected by split, leaving the other recipients' copies untouched:
+// the classic tell-half-the-parties-something-else equivocation, built
+// so that both halves still receive *a* message (contrast ToSubset,
+// which silences one half).
+func Equivocate(split func(to int) bool) Behavior {
+	return func(_ sim.Time, env sim.Envelope) []sim.Delivery {
+		if !split(env.To) || len(env.Body) == 0 {
+			return pass(env)
+		}
+		out := env
+		out.Body = make([]byte, len(env.Body))
+		for i, b := range env.Body {
+			out.Body[i] = b ^ 0x5a
 		}
 		return pass(out)
 	}

@@ -147,3 +147,57 @@ func TestChainComposition(t *testing.T) {
 		t.Fatal("chained silent leaked a message")
 	}
 }
+
+func TestSetDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Set on the same party did not panic")
+		}
+	}()
+	NewController().Set(1, Silent()).Set(1, Honest())
+}
+
+func TestComposeChainsBehaviours(t *testing.T) {
+	// delay(vss, 50) then drop(ba): both behaviours stay active, which
+	// Set used to silently lose (last assignment won).
+	c := NewController().
+		Compose(1, DelayMatching(InstanceHasPrefix("vss/"), 50)).
+		Compose(1, DropMatching(InstanceHasPrefix("ba/")))
+	if got := c.Intercept(0, env(1, 2, "ba/1", nil)); len(got) != 0 {
+		t.Fatalf("drop stage lost after composition: %+v", got)
+	}
+	got := c.Intercept(0, env(1, 2, "vss/1", nil))
+	if len(got) != 1 || got[0].DelayExtra != 50 {
+		t.Fatalf("delay stage lost after composition: %+v", got)
+	}
+	if got := c.Intercept(0, env(1, 2, "acs/1", nil)); len(got) != 1 || got[0].DelayExtra != 0 {
+		t.Fatalf("unmatched traffic mangled: %+v", got)
+	}
+}
+
+func TestComposeSilentWins(t *testing.T) {
+	// A party that is both silent and garbling must stay silent — the
+	// exact combination the old Set overwrote to garbling-only.
+	c := NewController().
+		Compose(3, Silent()).
+		Compose(3, GarbleMatching(func(string) bool { return true }))
+	if got := c.Intercept(0, env(3, 1, "x", []byte{7})); len(got) != 0 {
+		t.Fatalf("silent party delivered after composing garble: %+v", got)
+	}
+}
+
+func TestEquivocate(t *testing.T) {
+	b := Equivocate(func(to int) bool { return to > 2 })
+	hi := b(0, env(1, 3, "x", []byte{0x00, 0xff}))
+	if len(hi) != 1 || hi[0].Env.Body[0] != 0x5a || hi[0].Env.Body[1] != 0xa5 {
+		t.Fatalf("selected recipient got unflipped payload: %+v", hi)
+	}
+	orig := []byte{0x00, 0xff}
+	lo := b(0, env(1, 2, "x", orig))
+	if len(lo) != 1 || lo[0].Env.Body[0] != 0x00 || lo[0].Env.Body[1] != 0xff {
+		t.Fatalf("unselected recipient's payload mutated: %+v", lo)
+	}
+	if orig[0] != 0x00 {
+		t.Fatal("Equivocate mutated the original payload in place")
+	}
+}

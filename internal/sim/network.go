@@ -92,6 +92,38 @@ func (p StarvePolicy) Delay(rng *rand.Rand, from, to int, now Time) Time {
 	return d
 }
 
+// BurstPolicy wraps a base policy with periodic network outages: time
+// is divided into windows of Period ticks, and any message whose base
+// delivery would land in the first Down ticks of a window is pushed
+// past the outage (plus a tick of jitter so releases do not all collide
+// on one instant). Eventual delivery is preserved — the adversarial
+// scheduler may batch deliveries into bursts but never withhold
+// forever — which makes this an asynchronous-model policy: during an
+// outage the Δ bound is exceeded by construction.
+type BurstPolicy struct {
+	Base   Policy
+	Period Time // window length (> 0)
+	Down   Time // outage prefix of each window (0 <= Down < Period)
+}
+
+// Delay implements Policy.
+func (p BurstPolicy) Delay(rng *rand.Rand, from, to int, now Time) Time {
+	d := p.Base.Delay(rng, from, to, now)
+	if p.Period <= 0 || p.Down <= 0 {
+		return d
+	}
+	if phase := (now + d) % p.Period; phase < p.Down {
+		// Jitter stays below Period - Down so the release cannot wrap
+		// into the next window's outage prefix.
+		jitter := p.Period - p.Down
+		if jitter > 4 {
+			jitter = 4
+		}
+		d += p.Down - phase + Time(rng.Int64N(int64(jitter)))
+	}
+	return d
+}
+
 // Delivery is an adversarially controlled message delivery decision.
 type Delivery struct {
 	Env        Envelope

@@ -266,3 +266,32 @@ func TestDeterminism(t *testing.T) {
 type DispatcherFunc func(Envelope)
 
 func (f DispatcherFunc) Dispatch(env Envelope) { f(env) }
+
+func TestBurstPolicyAvoidsOutages(t *testing.T) {
+	// Down=98 leaves only a 2-tick live window: the release jitter must
+	// not wrap the delivery into the next window's outage prefix.
+	for _, down := range []Time{30, 98} {
+		r := rng(4)
+		p := BurstPolicy{Base: SyncPolicy{Delta: 10}, Period: 100, Down: down}
+		for now := Time(0); now < 500; now += 7 {
+			d := p.Delay(r, 1, 2, now)
+			if d < 1 {
+				t.Fatalf("down=%d: non-positive delay %d at t=%d", down, d, now)
+			}
+			if phase := (now + d) % 100; phase < down {
+				t.Fatalf("down=%d: delivery at t=%d lands at phase %d, inside the outage", down, now+d, phase)
+			}
+		}
+	}
+}
+
+func TestBurstPolicyZeroDownIsTransparent(t *testing.T) {
+	base := SyncPolicy{Delta: 10}
+	p := BurstPolicy{Base: base, Period: 100, Down: 0}
+	ra, rb := rng(9), rng(9)
+	for now := Time(0); now < 200; now += 13 {
+		if got, want := p.Delay(ra, 1, 2, now), base.Delay(rb, 1, 2, now); got != want {
+			t.Fatalf("t=%d: burst with Down=0 changed delay %d -> %d", now, want, got)
+		}
+	}
+}

@@ -58,6 +58,11 @@ type Config struct {
 	// Tail, with the Async network, overrides the heavy-tail
 	// probability of the delay distribution (default 0.15).
 	Tail float64
+	// BurstPeriod/BurstDown, with the Async network, add periodic
+	// outages: deliveries landing in the first BurstDown ticks of each
+	// BurstPeriod-tick window are pushed past the outage
+	// (sim.BurstPolicy). Zero disables bursts.
+	BurstPeriod, BurstDown int64
 	// CoinRounds is the ABA round constant k (default 8).
 	CoinRounds int
 	// SyncOnly disables every asynchronous fallback path, turning the
@@ -92,10 +97,26 @@ type Adversary struct {
 	Garble []int
 	// CrashAt stops a party's sends from the given virtual time.
 	CrashAt map[int]int64
+	// Drop makes a party withhold every message whose instance path
+	// contains the given substring ("" drops everything).
+	Drop map[int]string
+	// Delay makes a party withhold matching messages for extra ticks.
+	Delay map[int]DelayRule
+	// Equivocate parties send byte-flipped payloads to the upper half
+	// of recipients (party index > n/2) and honest payloads to the
+	// rest.
+	Equivocate []int
 	// StarveFrom, with the Async network, starves every link out of
 	// the listed parties until StarveUntil (an adversarial schedule).
 	StarveFrom  []int
 	StarveUntil int64
+}
+
+// DelayRule is one targeted-delay behaviour: messages whose instance
+// path contains Match ("" matches all) are withheld for Extra ticks.
+type DelayRule struct {
+	Match string
+	Extra int64
 }
 
 func (a *Adversary) corrupt() []int {
@@ -115,7 +136,14 @@ func (a *Adversary) corrupt() []int {
 	add(a.Passive...)
 	add(a.Silent...)
 	add(a.Garble...)
+	add(a.Equivocate...)
 	for p := range a.CrashAt {
+		add(p)
+	}
+	for p := range a.Drop {
+		add(p)
+	}
+	for p := range a.Delay {
 		add(p)
 	}
 	return out
@@ -218,23 +246,40 @@ func Run(cfg Config, circ *circuit.Circuit, inputs []field.Element, adv *Adversa
 	if len(corrupt) > max(cfg.Ts, cfg.Ta) {
 		return nil, fmt.Errorf("mpc: %d corruptions exceed max(ts, ta) = %d", len(corrupt), max(cfg.Ts, cfg.Ta))
 	}
+	// Behaviours stack via Compose: a party named in several adversary
+	// fields runs all of them chained (e.g. silent-and-garbling stays
+	// silent, crash-then-delay accumulates), instead of the last field
+	// silently winning.
 	ctrl := adversary.NewController()
 	silent := map[int]bool{}
 	if adv != nil {
 		for _, p := range adv.Silent {
-			ctrl.Set(p, adversary.Silent())
+			ctrl.Compose(p, adversary.Silent())
 			silent[p] = true
 		}
 		for _, p := range adv.Garble {
-			ctrl.Set(p, adversary.GarbleMatching(func(string) bool { return true }))
+			ctrl.Compose(p, adversary.GarbleMatching(func(string) bool { return true }))
 		}
 		for p, t := range adv.CrashAt {
-			ctrl.Set(p, adversary.CrashAt(sim.Time(t)))
+			ctrl.Compose(p, adversary.CrashAt(sim.Time(t)))
+		}
+		for p, sub := range adv.Drop {
+			ctrl.Compose(p, adversary.DropMatching(adversary.InstanceContains(sub)))
+		}
+		for p, rule := range adv.Delay {
+			ctrl.Compose(p, adversary.DelayMatching(adversary.InstanceContains(rule.Match), sim.Time(rule.Extra)))
+		}
+		half := cfg.N / 2
+		for _, p := range adv.Equivocate {
+			ctrl.Compose(p, adversary.Equivocate(func(to int) bool { return to > half }))
 		}
 	}
 	var policy sim.Policy = sim.AsyncPolicy{Delta: pcfg.Delta, Tail: cfg.Tail}
 	if kind == proto.Sync {
 		policy = sim.SyncPolicy{Delta: pcfg.Delta}
+	}
+	if cfg.BurstPeriod > 0 {
+		policy = sim.BurstPolicy{Base: policy, Period: sim.Time(cfg.BurstPeriod), Down: sim.Time(cfg.BurstDown)}
 	}
 	if adv != nil && len(adv.StarveFrom) > 0 {
 		starved := map[int]bool{}

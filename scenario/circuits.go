@@ -7,20 +7,30 @@ import (
 	"repro/field"
 )
 
-// CircuitSpec names a workload from the circuit gadget catalogue.
+// CircuitSpec names a workload from the circuit gadget catalogue, or —
+// family "random" — a generated circuit that is a pure function of its
+// generator parameters, so fuzz counterexamples replay from a handful
+// of integers instead of a serialized gate list.
 type CircuitSpec struct {
 	// Family is one of Families: "sum", "product", "dot", "stats",
-	// "membership", "polyeval", "matmul", "depth".
+	// "membership", "polyeval", "matmul", "depth", "random".
 	Family string `json:"family"`
 	// Depth is the multiplicative depth for the "depth" family.
 	Depth int `json:"depth,omitempty"`
 	// Coeffs are the ascending public coefficients for "polyeval".
 	Coeffs []uint64 `json:"coeffs,omitempty"`
+	// Layers/Width/MulPct/Outs/GenSeed parameterise the "random"
+	// family (see circuit.RandSpec and circuit.Random).
+	Layers  int    `json:"layers,omitempty"`
+	Width   int    `json:"width,omitempty"`
+	MulPct  int    `json:"mulPct,omitempty"`
+	Outs    int    `json:"outs,omitempty"`
+	GenSeed uint64 `json:"genSeed,omitempty"`
 }
 
 // Families lists the supported circuit families in display order.
 func Families() []string {
-	return []string{"sum", "product", "dot", "stats", "membership", "polyeval", "matmul", "depth"}
+	return []string{"sum", "product", "dot", "stats", "membership", "polyeval", "matmul", "depth", "random"}
 }
 
 // check validates the spec against an n-party run without building.
@@ -43,6 +53,19 @@ func (c CircuitSpec) check(n int) error {
 		if c.Depth < 1 {
 			return fmt.Errorf("family %q needs depth >= 1, have %d", c.Family, c.Depth)
 		}
+	case "random":
+		if c.Layers < 1 || c.Layers > 16 {
+			return fmt.Errorf("family %q needs layers in 1..16, have %d", c.Family, c.Layers)
+		}
+		if c.Width < 1 || c.Width > 64 {
+			return fmt.Errorf("family %q needs width in 1..64, have %d", c.Family, c.Width)
+		}
+		if c.MulPct < 0 || c.MulPct > 100 {
+			return fmt.Errorf("family %q needs mulPct in 0..100, have %d", c.Family, c.MulPct)
+		}
+		if c.Outs < 1 || c.Outs > 16 {
+			return fmt.Errorf("family %q needs outs in 1..16, have %d", c.Family, c.Outs)
+		}
 	case "":
 		return fmt.Errorf("family is required (one of %v)", Families())
 	default:
@@ -53,6 +76,9 @@ func (c CircuitSpec) check(n int) error {
 	}
 	if len(c.Coeffs) != 0 && c.Family != "polyeval" {
 		return fmt.Errorf("coeffs only apply to family %q", "polyeval")
+	}
+	if c.Family != "random" && (c.Layers != 0 || c.Width != 0 || c.MulPct != 0 || c.Outs != 0 || c.GenSeed != 0) {
+		return fmt.Errorf("layers/width/mulPct/outs/genSeed only apply to family %q", "random")
 	}
 	return nil
 }
@@ -83,17 +109,24 @@ func (c CircuitSpec) Build(n int) (*circuit.Circuit, error) {
 		return circuit.MatMul2x2(), nil
 	case "depth":
 		return circuit.DepthChain(n, c.Depth), nil
+	case "random":
+		return circuit.Random(n, circuit.RandSpec{
+			Layers: c.Layers, Width: c.Width, MulPct: c.MulPct, Outs: c.Outs,
+		}, c.GenSeed), nil
 	}
 	panic("unreachable: check covers all families")
 }
 
-// String renders the spec compactly, e.g. "depth(4)" or "polyeval[3]".
+// String renders the spec compactly, e.g. "depth(4)", "polyeval[3]" or
+// "random(3x4,40%)".
 func (c CircuitSpec) String() string {
 	switch c.Family {
 	case "depth":
 		return fmt.Sprintf("depth(%d)", c.Depth)
 	case "polyeval":
 		return fmt.Sprintf("polyeval[%d]", len(c.Coeffs))
+	case "random":
+		return fmt.Sprintf("random(%dx%d,%d%%)", c.Layers, c.Width, c.MulPct)
 	default:
 		return c.Family
 	}

@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// FuzzLoadManifest throws mutated JSON at the strict manifest loader:
+// it must never panic, and anything it accepts must survive a
+// marshal → reload round trip unchanged in meaning (same JSON) — the
+// property the fuzzer's counterexample export path depends on.
+func FuzzLoadManifest(f *testing.F) {
+	for i, m := range Builtin() {
+		if i%5 == 0 { // a spread of shapes without bloating the corpus
+			f.Add(m.JSON())
+		}
+	}
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"name":"x","parties":{"n":5,"ts":1,"ta":1},"network":{"kind":"sync"},"circuit":{"family":"sum"},"seed":1,"expect":{}}`))
+	f.Add([]byte(`{"name":"x","parties":{"n":5,"ts":1,"ta":1},"network":{"kind":"async","burstPeriod":100,"burstDown":30},"adversary":{"drop":{"2":"vss"},"delay":{"3":{"match":"mpc/out","extra":50}},"equivocate":[4]},"circuit":{"family":"random","layers":2,"width":3,"mulPct":40,"outs":1,"genSeed":7},"seed":1,"expect":{}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(data)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		re, err := Load(m.JSON())
+		if err != nil {
+			t.Fatalf("accepted manifest does not reload: %v\n%s", err, m.JSON())
+		}
+		if string(re.JSON()) != string(m.JSON()) {
+			t.Fatalf("manifest changed across a marshal round trip:\n%s\nvs\n%s", m.JSON(), re.JSON())
+		}
+		// Parse (the non-validating replay path) must accept at least
+		// everything Load accepts.
+		if _, err := Parse(data); err != nil {
+			t.Fatalf("Parse rejected what Load accepted: %v", err)
+		}
+	})
+}

@@ -80,13 +80,21 @@ type NetworkSpec struct {
 	// Tail, for async networks, overrides the heavy-tail probability
 	// of the delay distribution (default 0.15).
 	Tail float64 `json:"tail,omitempty"`
+	// BurstPeriod/BurstDown, for async networks, add periodic outages:
+	// deliveries landing in the first BurstDown ticks of each
+	// BurstPeriod-tick window are pushed past the outage. Zero
+	// disables bursts; 0 < BurstDown < BurstPeriod otherwise.
+	BurstPeriod int64 `json:"burstPeriod,omitempty"`
+	BurstDown   int64 `json:"burstDown,omitempty"`
 }
 
 // AdversarySpec describes the static corruption strategy. Passive,
-// Silent, Garble and CrashAt parties count against the corruption
-// budget max(Ts, Ta); StarveFrom parties do not — starvation is
-// adversarial network scheduling of honest parties' links (the paper's
-// asynchronous scheduler), not a corruption (see Corrupt).
+// Silent, Garble, CrashAt, Drop, Delay and Equivocate parties count
+// against the corruption budget max(Ts, Ta); StarveFrom parties do not
+// — starvation is adversarial network scheduling of honest parties'
+// links (the paper's asynchronous scheduler), not a corruption (see
+// Corrupt). A party named in several fields runs all those behaviours
+// chained.
 type AdversarySpec struct {
 	// Passive parties follow the protocol; the adversary only reads
 	// their state.
@@ -97,16 +105,34 @@ type AdversarySpec struct {
 	Garble []int `json:"garble,omitempty"`
 	// CrashAt stops a party's sends from the given virtual tick.
 	CrashAt map[int]int64 `json:"crashAt,omitempty"`
+	// Drop makes a party withhold every message whose instance path
+	// contains the given substring ("" drops everything).
+	Drop map[int]string `json:"drop,omitempty"`
+	// Delay makes a party withhold matching messages for extra ticks.
+	Delay map[int]DelayRule `json:"delay,omitempty"`
+	// Equivocate parties send byte-flipped payloads to the upper half
+	// of recipients (party index > n/2) and honest payloads to the
+	// rest.
+	Equivocate []int `json:"equivocate,omitempty"`
 	// StarveFrom starves every link out of the listed parties until
 	// StarveUntil (default 500·Δ), modelling the adversarial scheduler.
 	StarveFrom  []int `json:"starveFrom,omitempty"`
 	StarveUntil int64 `json:"starveUntil,omitempty"`
 }
 
+// DelayRule is one targeted-delay behaviour: messages whose instance
+// path contains Match ("" matches all) are withheld for Extra extra
+// virtual ticks.
+type DelayRule struct {
+	Match string `json:"match,omitempty"`
+	Extra int64  `json:"extra"`
+}
+
 // IsZero reports whether the spec describes an all-honest run.
 func (a AdversarySpec) IsZero() bool {
 	return len(a.Passive) == 0 && len(a.Silent) == 0 && len(a.Garble) == 0 &&
-		len(a.CrashAt) == 0 && len(a.StarveFrom) == 0
+		len(a.CrashAt) == 0 && len(a.Drop) == 0 && len(a.Delay) == 0 &&
+		len(a.Equivocate) == 0 && len(a.StarveFrom) == 0
 }
 
 // Corrupt returns the deduplicated set of corrupted parties (parties
@@ -114,12 +140,18 @@ func (a AdversarySpec) IsZero() bool {
 // corrupt: starvation is a property of the network schedule.
 func (a AdversarySpec) Corrupt() []int {
 	seen := map[int]bool{}
-	for _, ps := range [][]int{a.Passive, a.Silent, a.Garble} {
+	for _, ps := range [][]int{a.Passive, a.Silent, a.Garble, a.Equivocate} {
 		for _, p := range ps {
 			seen[p] = true
 		}
 	}
 	for p := range a.CrashAt {
+		seen[p] = true
+	}
+	for p := range a.Drop {
+		seen[p] = true
+	}
+	for p := range a.Delay {
 		seen[p] = true
 	}
 	out := make([]int, 0, len(seen))
@@ -147,16 +179,25 @@ func (a AdversarySpec) Summary() string {
 	add("passive", a.Passive)
 	add("silent", a.Silent)
 	add("garble", a.Garble)
-	if len(a.CrashAt) > 0 {
-		ps := make([]int, 0, len(a.CrashAt))
-		for p := range a.CrashAt {
-			ps = append(ps, p)
-		}
-		sort.Ints(ps)
-		add("crash", ps)
-	}
+	add("crash", sortedKeys(a.CrashAt))
+	add("drop", sortedKeys(a.Drop))
+	add("delay", sortedKeys(a.Delay))
+	add("equiv", a.Equivocate)
 	add("starve", a.StarveFrom)
 	return s
+}
+
+// sortedKeys returns the sorted party keys of a per-party map.
+func sortedKeys[V any](m map[int]V) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Expect holds the expected-outcome assertions of a scenario. Zero
@@ -233,6 +274,15 @@ func (m *Manifest) Validate() error {
 	if m.Network.Tail != 0 && m.Network.Kind != "async" {
 		return bad("network.tail only applies to the async network")
 	}
+	if m.Network.BurstPeriod != 0 || m.Network.BurstDown != 0 {
+		if m.Network.Kind != "async" {
+			return bad("network.burstPeriod/burstDown only apply to the async network (outages break the sync Δ bound)")
+		}
+		if m.Network.BurstPeriod <= 0 || m.Network.BurstDown <= 0 || m.Network.BurstDown >= m.Network.BurstPeriod {
+			return bad("network bursts need 0 < burstDown < burstPeriod, have down=%d period=%d",
+				m.Network.BurstDown, m.Network.BurstPeriod)
+		}
+	}
 	if err := m.validateAdversary(); err != nil {
 		return err
 	}
@@ -262,7 +312,8 @@ func (m *Manifest) validateAdversary() error {
 	for _, fp := range []struct {
 		name string
 		ps   []int
-	}{{"passive", a.Passive}, {"silent", a.Silent}, {"garble", a.Garble}, {"starveFrom", a.StarveFrom}} {
+	}{{"passive", a.Passive}, {"silent", a.Silent}, {"garble", a.Garble},
+		{"equivocate", a.Equivocate}, {"starveFrom", a.StarveFrom}} {
 		if err := checkRange(fp.name, fp.ps); err != nil {
 			return err
 		}
@@ -275,12 +326,25 @@ func (m *Manifest) validateAdversary() error {
 			return bad("adversary.crashAt[%d]: tick must be >= 0, have %d", p, t)
 		}
 	}
+	for p := range a.Drop {
+		if p < 1 || p > n {
+			return bad("adversary.drop: party %d out of range 1..%d", p, n)
+		}
+	}
+	for p, rule := range a.Delay {
+		if p < 1 || p > n {
+			return bad("adversary.delay: party %d out of range 1..%d", p, n)
+		}
+		if rule.Extra < 1 {
+			return bad("adversary.delay[%d]: extra must be >= 1, have %d", p, rule.Extra)
+		}
+	}
 	budget := m.Parties.Ts
 	if m.Parties.Ta > budget {
 		budget = m.Parties.Ta
 	}
 	if c := a.Corrupt(); len(c) > budget {
-		return bad("adversary corrupts %d parties %v (passive/silent/garble/crashAt; starveFrom is network scheduling, not corruption), exceeding the budget max(ts, ta) = %d", len(c), c, budget)
+		return bad("adversary corrupts %d parties %v (passive/silent/garble/crashAt/drop/delay/equivocate; starveFrom is network scheduling, not corruption), exceeding the budget max(ts, ta) = %d", len(c), c, budget)
 	}
 	if a.StarveUntil != 0 && len(a.StarveFrom) == 0 {
 		return bad("adversary.starveUntil set without adversary.starveFrom")
@@ -328,6 +392,16 @@ func (m *Manifest) validateExpect() error {
 		return bad("expect.withinDeadline requires the sync network (the deadline is a synchronous-run bound)")
 	}
 	return nil
+}
+
+// Parse decodes one manifest from JSON, rejecting unknown fields but
+// NOT validating it. It exists for the fuzzing replay path: a minimized
+// counterexample may deliberately violate validation (e.g. an
+// over-budget adversary), yet must still round-trip through JSON so the
+// violation reproduces from the saved file. Everything else should use
+// Load.
+func Parse(data []byte) (*Manifest, error) {
+	return decode(data)
 }
 
 // Load parses one manifest from JSON, rejecting unknown fields, and

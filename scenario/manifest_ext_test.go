@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFuzzSchemaFields covers the manifest fields added for the
+// fuzzing subsystem: targeted drop/delay/equivocate behaviours, burst
+// delivery windows, and the generated "random" circuit family.
+func TestValidateFuzzSchemaFields(t *testing.T) {
+	valid := func() Manifest {
+		return Manifest{
+			Name:    "probe",
+			Parties: Parties{N: 8, Ts: 2, Ta: 1},
+			Network: NetworkSpec{Kind: "sync"},
+			Circuit: CircuitSpec{Family: "sum"},
+		}
+	}
+	bad := []struct {
+		name string
+		mut  func(*Manifest)
+		want string
+	}{
+		{"drop range", func(m *Manifest) { m.Adversary.Drop = map[int]string{9: "vss"} }, "adversary.drop: party 9 out of range"},
+		{"delay range", func(m *Manifest) { m.Adversary.Delay = map[int]DelayRule{0: {Extra: 5}} }, "adversary.delay: party 0 out of range"},
+		{"delay extra", func(m *Manifest) { m.Adversary.Delay = map[int]DelayRule{3: {Match: "x", Extra: 0}} }, "extra must be >= 1"},
+		{"equivocate range", func(m *Manifest) { m.Adversary.Equivocate = []int{42} }, "adversary.equivocate: party 42 out of range"},
+		{"new fields count against budget", func(m *Manifest) {
+			m.Adversary.Drop = map[int]string{1: "vss"}
+			m.Adversary.Delay = map[int]DelayRule{2: {Extra: 9}}
+			m.Adversary.Equivocate = []int{3}
+		}, "exceeding the budget"},
+		{"burst on sync", func(m *Manifest) { m.Network.BurstPeriod, m.Network.BurstDown = 100, 30 }, "only apply to the async network"},
+		{"burst down >= period", func(m *Manifest) {
+			m.Network.Kind = "async"
+			m.Network.BurstPeriod, m.Network.BurstDown = 100, 100
+		}, "0 < burstDown < burstPeriod"},
+		{"burst down alone", func(m *Manifest) {
+			m.Network.Kind = "async"
+			m.Network.BurstDown = 10
+		}, "0 < burstDown < burstPeriod"},
+		{"random needs layers", func(m *Manifest) { m.Circuit = CircuitSpec{Family: "random", Width: 2, Outs: 1} }, "layers in 1..16"},
+		{"random needs width", func(m *Manifest) { m.Circuit = CircuitSpec{Family: "random", Layers: 2, Outs: 1} }, "width in 1..64"},
+		{"random needs outs", func(m *Manifest) { m.Circuit = CircuitSpec{Family: "random", Layers: 2, Width: 2} }, "outs in 1..16"},
+		{"random mulPct range", func(m *Manifest) {
+			m.Circuit = CircuitSpec{Family: "random", Layers: 2, Width: 2, MulPct: 101, Outs: 1}
+		}, "mulPct in 0..100"},
+		{"stray generator params", func(m *Manifest) { m.Circuit.GenSeed = 7 }, "only apply to family \"random\""},
+	}
+	for _, tc := range bad {
+		m := valid()
+		tc.mut(&m)
+		err := m.Validate()
+		if err == nil {
+			t.Errorf("%s: expected an error mentioning %q, got nil", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// And the happy path: all new fields together, in budget, on async.
+	m := valid()
+	m.Parties = Parties{N: 9, Ts: 2, Ta: 2}
+	m.Network = NetworkSpec{Kind: "async", BurstPeriod: 400, BurstDown: 100}
+	m.Adversary = AdversarySpec{
+		Drop:       map[int]string{1: "mpc/pp"},
+		Delay:      map[int]DelayRule{1: {Match: "mpc/out", Extra: 50}},
+		Equivocate: []int{2},
+		StarveFrom: []int{5}, StarveUntil: 2000,
+	}
+	m.Circuit = CircuitSpec{Family: "random", Layers: 2, Width: 3, MulPct: 50, Outs: 1, GenSeed: 11}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("combined new-field manifest should validate, got %v", err)
+	}
+	if c := m.Adversary.Corrupt(); len(c) != 2 || c[0] != 1 || c[1] != 2 {
+		t.Fatalf("Corrupt() = %v, want [1 2] (drop+delay on one party dedup, starve not corrupt)", c)
+	}
+	if s := m.Adversary.Summary(); !strings.Contains(s, "drop[1]") || !strings.Contains(s, "equiv[2]") {
+		t.Fatalf("Summary() = %q missing new behaviours", s)
+	}
+
+	// New fields must survive the JSON round trip Load depends on.
+	re, err := Load(m.JSON())
+	if err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if string(re.JSON()) != string(m.JSON()) {
+		t.Fatalf("JSON round trip changed the manifest:\n%s\nvs\n%s", m.JSON(), re.JSON())
+	}
+}

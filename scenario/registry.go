@@ -364,6 +364,47 @@ func init() {
 			MinAgreement: 4, AllHonestTerminate: true,
 		},
 	})
+	// --- Generated workloads and fuzz-style adversaries: the random
+	// circuit family and the targeted drop/delay/equivocate behaviours
+	// the fuzzer composes, pinned here as always-run regressions (this
+	// is also where minimized fuzz counterexamples get promoted — see
+	// docs/fuzzing.md).
+	register(&Manifest{
+		Name:        "sync-random-circuit",
+		Description: "seeded random circuit (3 layers x 4 gates, 40% muls): the fuzzer's generated workload family",
+		Parties:     boundaryN5, Network: syncNet(), Seed: 28,
+		Circuit: CircuitSpec{Family: "random", Layers: 3, Width: 4, MulPct: 40, Outs: 2, GenSeed: 7},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 5, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "sync-drop-and-delay",
+		Description: "targeted suppression: one party drops preprocessing traffic, another delays output reconstruction",
+		Parties:     flagship, Network: syncNet(), Seed: 29,
+		Adversary: AdversarySpec{
+			Drop:  map[int]string{2: "mpc/pp"},
+			Delay: map[int]DelayRule{5: {Match: "mpc/out", Extra: 120}},
+		},
+		Circuit: CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 6, AllHonestTerminate: true, WithinDeadline: true,
+		},
+	})
+	register(&Manifest{
+		Name:        "async-equivocate-burst",
+		Description: "equivocating sender under asynchrony with periodic network outages (burst delivery policy)",
+		Parties:     boundaryN5, Network: NetworkSpec{Kind: "async", Delta: 10, BurstPeriod: 400, BurstDown: 120}, Seed: 30,
+		Adversary: AdversarySpec{Equivocate: []int{3}},
+		Circuit:   CircuitSpec{Family: "sum"},
+		Expect: Expect{
+			Consistent:   true,
+			MinAgreement: 4, AllHonestTerminate: true,
+			MaxTicks: 20000,
+		},
+	})
 	register(&Manifest{
 		Name:        "async-starve-and-garble",
 		Description: "combined attack: one garbler plus starved links under asynchrony",

@@ -44,6 +44,7 @@ func Build(m *Manifest) (*RunArtifacts, error) {
 			Passive:     m.Adversary.Passive,
 			Silent:      m.Adversary.Silent,
 			Garble:      m.Adversary.Garble,
+			Equivocate:  m.Adversary.Equivocate,
 			StarveFrom:  m.Adversary.StarveFrom,
 			StarveUntil: m.Adversary.StarveUntil,
 		}
@@ -53,16 +54,30 @@ func Build(m *Manifest) (*RunArtifacts, error) {
 				adv.CrashAt[p] = t
 			}
 		}
+		if len(m.Adversary.Drop) > 0 {
+			adv.Drop = make(map[int]string, len(m.Adversary.Drop))
+			for p, sub := range m.Adversary.Drop {
+				adv.Drop[p] = sub
+			}
+		}
+		if len(m.Adversary.Delay) > 0 {
+			adv.Delay = make(map[int]mpc.DelayRule, len(m.Adversary.Delay))
+			for p, rule := range m.Adversary.Delay {
+				adv.Delay[p] = mpc.DelayRule{Match: rule.Match, Extra: rule.Extra}
+			}
+		}
 	}
 	return &RunArtifacts{
 		Cfg: mpc.Config{
 			N: m.Parties.N, Ts: m.Parties.Ts, Ta: m.Parties.Ta,
-			Network:    mpc.Network(m.Network.Kind),
-			Delta:      m.Network.Delta,
-			Seed:       m.Seed,
-			Tail:       m.Network.Tail,
-			SyncOnly:   m.SyncOnly,
-			EventLimit: m.EventLimit,
+			Network:     mpc.Network(m.Network.Kind),
+			Delta:       m.Network.Delta,
+			Seed:        m.Seed,
+			Tail:        m.Network.Tail,
+			BurstPeriod: m.Network.BurstPeriod,
+			BurstDown:   m.Network.BurstDown,
+			SyncOnly:    m.SyncOnly,
+			EventLimit:  m.EventLimit,
 		},
 		Circuit:   circ,
 		Inputs:    inputs,
