@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race scenarios fuzz-smoke fuzz-native bench-smoke bench-msgs bench-json ci
+.PHONY: build vet test test-short test-race scenarios workload-smoke fuzz-smoke fuzz-native bench-smoke bench-msgs bench-json ci
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,14 @@ fuzz-native:
 scenarios:
 	$(GO) run ./cmd/scenario run --all -parallel 4
 
+# workload-smoke runs the fixed-seed amortization workload (8
+# evaluations over one session engine) and fails unless the amortized
+# per-evaluation message cost beats the one-shot cost (deterministic;
+# CI guard for the session-engine refactor).
+workload-smoke:
+	$(GO) run ./cmd/scenario workload workload-amortize-sync workload-refill-sync workload-adversarial-sync
+	$(GO) run ./cmd/scenario workload -require-savings workload-amortize-sync
+
 # bench-smoke compiles and single-shots every benchmark (CI guard; no
 # stable timing intended).
 bench-smoke:
@@ -48,10 +56,11 @@ bench-smoke:
 bench-msgs:
 	$(GO) test -run 'TestMulDeepMessageBudget' -v ./internal/bench
 
-# bench-json regenerates BENCH_PR3.json: the tracked wall-clock
+# bench-json regenerates BENCH_PR3.json (the tracked wall-clock
 # trajectory against the recorded pre-PR2 baseline plus the PR 3
-# per-gate vs per-layer message-complexity rows (docs/performance.md).
+# per-gate vs per-layer message-complexity rows) and BENCH_PR5.json
+# (the E14 session-engine amortization rows); see docs/performance.md.
 bench-json:
-	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json
+	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json -out5 BENCH_PR5.json
 
-ci: build vet test-short bench-smoke bench-msgs fuzz-smoke
+ci: build vet test-short bench-smoke bench-msgs workload-smoke fuzz-smoke

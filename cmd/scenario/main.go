@@ -8,9 +8,10 @@
 //	scenario validate [-f file.json] [name ...]
 //	scenario run      [-f file.json] [-parallel N] [-json] [--all | name ...]
 //	scenario sweep    [-seeds A..B] [-parallel N] [-json] [--all | name ...]
+//	scenario workload [-f file.json] [-json] [-compare] [-require-savings] [--all | name ...]
 //	scenario fuzz     [-trials N] [-seed S] [-parallel N] [-json] [-out dir]
 //	scenario fuzz     -replay counterexample.json
-//	scenario bench    [-out BENCH_PR3.json]
+//	scenario bench    [-out BENCH_PR3.json] [-out5 BENCH_PR5.json]
 //
 // Examples:
 //
@@ -18,6 +19,8 @@
 //	scenario run sync-garble-ts async-starved-links
 //	scenario validate -f examples/scenarios/async-starvation.json
 //	scenario sweep -seeds 1..16 sync-sum-honest
+//	scenario workload --all -require-savings
+//	scenario workload workload-amortize-sync -json
 //	scenario fuzz -trials 200 -seed 1 -out /tmp/ce
 //	scenario fuzz -replay /tmp/ce/fuzz-s1-t4-min.json
 package main
@@ -26,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -49,6 +53,8 @@ func main() {
 		cmdRun(os.Args[2:])
 	case "sweep":
 		cmdSweep(os.Args[2:])
+	case "workload":
+		cmdWorkload(os.Args[2:])
 	case "fuzz":
 		cmdFuzz(os.Args[2:])
 	case "bench":
@@ -56,14 +62,104 @@ func main() {
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
-		fatal("unknown subcommand %q (want list, validate, run, sweep, fuzz or bench)", os.Args[1])
+		fatal("unknown subcommand %q (want list, validate, run, sweep, workload, fuzz or bench)", os.Args[1])
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep|fuzz|bench> [flags] [--all | name ...]")
+	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep|workload|fuzz|bench> [flags] [--all | name ...]")
 	fmt.Fprintln(os.Stderr, "run 'scenario <subcommand> -h' for subcommand flags")
 	os.Exit(2)
+}
+
+// cmdWorkload runs session-engine workload manifests: one mpc.Engine
+// per manifest, one amortized preprocessing, the steps' evaluations in
+// sequence, with per-evaluation and amortized message/tick costs (see
+// docs/architecture.md).
+func cmdWorkload(args []string) {
+	fs := flag.NewFlagSet("scenario workload", flag.ExitOnError)
+	file := fs.String("f", "", "run workload manifests from a JSON `file` instead of builtins")
+	all := fs.Bool("all", false, "run every builtin workload")
+	compare := fs.Bool("compare", true, "also run each step as an independent one-shot mpc.Run and report the amortization ratio")
+	requireSavings := fs.Bool("require-savings", false, "fail unless amortized msgs/eval beats the one-shot msgs/eval (implies -compare)")
+	jsonOut := fs.Bool("json", false, "emit reports as JSON")
+	fs.Parse(args)
+	var ms []*scenario.Manifest
+	switch {
+	case *file != "":
+		if *all || fs.NArg() > 0 {
+			fatal("-f cannot be combined with --all or workload names")
+		}
+		loaded, err := scenario.LoadFile(*file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		ms = loaded
+	case *all:
+		if fs.NArg() > 0 {
+			fatal("--all cannot be combined with workload names")
+		}
+		ms = scenario.BuiltinWorkloads()
+	case fs.NArg() == 0:
+		fs.Usage()
+		os.Exit(2)
+	default:
+		for _, name := range fs.Args() {
+			m, err := scenario.LookupWorkload(name)
+			if err != nil {
+				fatal("%v", err)
+			}
+			ms = append(ms, m)
+		}
+	}
+	doCompare := *compare || *requireSavings
+	var reps []*scenario.WorkloadReport
+	failed := 0
+	for _, m := range ms {
+		rep, err := scenario.RunWorkload(m, doCompare)
+		if err != nil {
+			fatal("%s: %v", m.Name, err)
+		}
+		reps = append(reps, rep)
+		bad := !rep.Pass
+		if *requireSavings && rep.Savings <= 1 {
+			bad = true
+			fmt.Fprintf(os.Stderr, "%s: amortized %.0f msgs/eval is not below the one-shot %.0f msgs/eval\n",
+				rep.Name, rep.AmortizedMsgsPerEval, rep.OneShotMsgsPerEval)
+		}
+		if bad {
+			failed++
+		}
+	}
+	if *jsonOut {
+		emitJSON(reps)
+	} else {
+		for _, rep := range reps {
+			status := "PASS"
+			if !rep.Pass {
+				status = "FAIL"
+			}
+			fmt.Printf("%-4s %-28s %d evals  pool %d/%d used  amortized %.0f msgs/eval",
+				status, rep.Name, len(rep.Steps), rep.TriplesConsumed, rep.TriplesGenerated, rep.AmortizedMsgsPerEval)
+			if doCompare {
+				fmt.Printf("  one-shot %.0f (%.2fx)", rep.OneShotMsgsPerEval, rep.Savings)
+			}
+			fmt.Println()
+			for _, s := range rep.Steps {
+				fmt.Printf("     step %d %-12s t=%-6d %8d msgs |CS|=%d\n",
+					s.Index, s.Circuit, s.Ticks, s.HonestMessages, len(s.CS))
+				for _, f := range s.Failures {
+					fmt.Printf("         assertion failed: %s\n", f)
+				}
+			}
+		}
+	}
+	if failed > 0 {
+		fatal("%d workload(s) failed", failed)
+	}
+	if !*jsonOut {
+		fmt.Printf("%d workload(s) passed\n", len(reps))
+	}
 }
 
 // cmdFuzz runs a property-based fuzzing campaign (or replays one saved
@@ -159,23 +255,37 @@ func cmdFuzz(args []string) {
 // docs/performance.md.
 func cmdBench(args []string) {
 	fs := flag.NewFlagSet("scenario bench", flag.ExitOnError)
-	out := fs.String("out", "", "write the JSON report to `file` (default stdout)")
+	out := fs.String("out", "", "write the perf JSON report to `file` (default stdout)")
+	out5 := fs.String("out5", "", "write the E14 amortization JSON report to `file` (default stdout)")
 	fs.Parse(args)
 	report, err := bench.RunPerf()
 	if err != nil {
 		fatal("%v", err)
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal("%v", err)
+	amort := bench.RunAmortization()
+	if *out == "" && *out5 == "" {
+		// Keep stdout a single JSON document: combine the two reports.
+		emitJSON(struct {
+			Perf  *bench.PerfReport  `json:"perf"`
+			Amort *bench.AmortReport `json:"amortization"`
+		}{report, amort})
+	} else {
+		writeReport := func(path string, write func(io.Writer) error) {
+			w := io.Writer(os.Stdout)
+			if path != "" {
+				f, err := os.Create(path)
+				if err != nil {
+					fatal("%v", err)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := write(w); err != nil {
+				fatal("%v", err)
+			}
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := bench.WritePerf(w, report); err != nil {
-		fatal("%v", err)
+		writeReport(*out, func(w io.Writer) error { return bench.WritePerf(w, report) })
+		writeReport(*out5, func(w io.Writer) error { return bench.WriteAmort(w, amort) })
 	}
 	if !report.Invariant {
 		fatal("protocol metrics diverged from the recorded baseline — the perf work changed behaviour")
@@ -188,6 +298,12 @@ func cmdBench(args []string) {
 	for _, row := range report.LayerBatching {
 		fmt.Fprintf(os.Stderr, "%-24s %6d -> %5d msgs (%.1fx fewer)\n",
 			row.Name, row.PerGateMsgs, row.LayeredMsgs, row.MsgRatio)
+	}
+	for _, row := range amort.Rows {
+		fmt.Fprintln(os.Stderr, bench.FormatAmortRow(row))
+	}
+	if !amort.OK {
+		fatal("E14 amortization gate failed: a session engine row diverged from one-shot outputs or did not amortize")
 	}
 }
 
@@ -248,6 +364,14 @@ func cmdList(args []string) {
 			m.Name, parties, net, m.Circuit, m.Adversary.Summary(), m.Description)
 	}
 	fmt.Printf("\n%d scenarios; * marks threshold-boundary configs (3ts+ta=n-1), ! marks the SyncOnly ablation\n", len(ms))
+	wl := scenario.BuiltinWorkloads()
+	fmt.Printf("\n%-32s %-10s %-7s %-6s %s\n", "WORKLOAD", "PARTIES", "NET", "STEPS", "DESCRIPTION")
+	for _, m := range wl {
+		parties := fmt.Sprintf("n=%d,%d/%d", m.Parties.N, m.Parties.Ts, m.Parties.Ta)
+		fmt.Printf("%-32s %-10s %-7s %-6d %s\n",
+			m.Name, parties, m.Network.Kind, len(m.Workload.Steps), m.Description)
+	}
+	fmt.Printf("\n%d workloads (run with 'scenario workload')\n", len(wl))
 }
 
 func cmdValidate(args []string) {

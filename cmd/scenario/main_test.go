@@ -67,6 +67,10 @@ func TestVerbDispatch(t *testing.T) {
 		{"fuzz rejects positional args", []string{"fuzz", "extra"}, 1, "", "no positional arguments"},
 		{"fuzz bad inject", []string{"fuzz", "-inject", "nope"}, 1, "", "unknown -inject mode"},
 		{"fuzz replay missing file", []string{"fuzz", "-replay", "/no/such/file.json"}, 1, "", "no such file"},
+		{"workload needs names", []string{"workload"}, 2, "", "Usage of scenario workload"},
+		{"workload unknown name", []string{"workload", "no-such-workload"}, 1, "", "no builtin workload named"},
+		{"workload all-and-names conflict", []string{"workload", "--all", "workload-refill-sync"}, 1, "", "cannot be combined"},
+		{"list shows workloads", []string{"list"}, 0, "workload-amortize-sync", ""},
 	}
 	for _, tt := range tests {
 		tt := tt
@@ -83,6 +87,47 @@ func TestVerbDispatch(t *testing.T) {
 				t.Errorf("stderr missing %q:\n%s", tt.wantErr, stderr)
 			}
 		})
+	}
+}
+
+// TestWorkloadVerbEndToEnd drives the session-engine workload verb:
+// the fixed-seed amortization builtin passes -require-savings, a
+// workload file with an impossible step budget fails with exit 1, and
+// JSON output carries the amortization summary.
+func TestWorkloadVerbEndToEnd(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "workload", "-require-savings", "workload-amortize-sync")
+	if code != 0 {
+		t.Fatalf("amortization workload exited %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "PASS workload-amortize-sync") || !strings.Contains(stdout, "one-shot") {
+		t.Fatalf("amortization summary missing:\n%s", stdout)
+	}
+
+	stdout, _, code = runCLI(t, "workload", "-compare=false", "-json", "workload-refill-sync")
+	if code != 0 {
+		t.Fatalf("json workload exited %d\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, `"amortizedMsgsPerEval"`) || !strings.Contains(stdout, `"triplesGenerated"`) {
+		t.Fatalf("JSON report missing amortization fields:\n%s", stdout)
+	}
+
+	failing := filepath.Join(t.TempDir(), "wl.json")
+	manifest := `{
+  "name": "wl-too-slow",
+  "parties": {"n": 5, "ts": 1, "ta": 1},
+  "network": {"kind": "sync", "delta": 10},
+  "seed": 1,
+  "workload": {"steps": [{"circuit": {"family": "sum"}, "expect": {"maxTicks": 1}}]}
+}`
+	if err := os.WriteFile(failing, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code = runCLI(t, "workload", "-f", failing, "-compare=false")
+	if code != 1 {
+		t.Fatalf("failing workload exited %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "maxTicks") {
+		t.Fatalf("step assertion failure not reported:\n%s", stdout)
 	}
 }
 

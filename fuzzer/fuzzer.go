@@ -93,6 +93,12 @@ type Summary struct {
 	Trials  int    `json:"trials"`
 	Passed  int    `json:"passed"`
 	Inject  Inject `json:"inject,omitempty"`
+	// HonestMessages/HonestBytes total the honest-origin traffic of the
+	// trials' primary runs (shrink re-runs excluded), making a campaign
+	// cost-comparable against scenario sweeps and workload reports; the
+	// per-run figures are on each trial's Verdict.
+	HonestMessages uint64 `json:"honestMessages"`
+	HonestBytes    uint64 `json:"honestBytes"`
 	// Failed holds one minimized counterexample per failing trial, in
 	// trial order.
 	Failed []*Counterexample `json:"failed,omitempty"`
@@ -106,7 +112,7 @@ func Fuzz(opts Options) *Summary {
 	opts = opts.withDefaults()
 	sum := &Summary{Seed: opts.Seed, Trials: opts.Trials, Inject: opts.Inject}
 
-	slots := make([]*Counterexample, opts.Trials)
+	slots := make([]trialResult, opts.Trials)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	workers := opts.Parallel
@@ -128,34 +134,45 @@ func Fuzz(opts Options) *Summary {
 	close(jobs)
 	wg.Wait()
 
-	for _, ce := range slots {
-		if ce == nil {
+	for _, tr := range slots {
+		sum.HonestMessages += tr.msgs
+		sum.HonestBytes += tr.bytes
+		if tr.ce == nil {
 			sum.Passed++
 			continue
 		}
-		sum.Failed = append(sum.Failed, ce)
+		sum.Failed = append(sum.Failed, tr.ce)
 	}
 	return sum
 }
 
-// runTrial generates, checks and (on failure) shrinks trial i,
-// returning nil when every oracle held.
-func runTrial(opts Options, i int) *Counterexample {
+// trialResult carries one trial's counterexample (nil when the oracles
+// held) plus the primary run's honest traffic.
+type trialResult struct {
+	ce          *Counterexample
+	msgs, bytes uint64
+}
+
+// runTrial generates, checks and (on failure) shrinks trial i; the
+// counterexample is nil when every oracle held.
+func runTrial(opts Options, i int) trialResult {
 	m := Generate(opts.Seed, i)
 	applyInject(m, opts.Inject)
 	v := Check(m)
+	tr := trialResult{msgs: v.HonestMessages, bytes: v.HonestBytes}
 	if v.OK() {
-		return nil
+		return tr
 	}
 	minimized, runs := Shrink(m, v.Primary(), opts.MaxShrinkRuns)
 	minimized.Name = m.Name + "-min"
-	return &Counterexample{
+	tr.ce = &Counterexample{
 		Trial:      i,
 		Violations: Check(minimized).Violations,
 		Manifest:   minimized,
 		Original:   m,
 		ShrinkRuns: runs,
 	}
+	return tr
 }
 
 // applyInject plants the requested violation into a generated trial.

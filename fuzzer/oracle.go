@@ -56,6 +56,11 @@ type Verdict struct {
 	CS       []int    `json:"cs,omitempty"`
 	Outputs  []uint64 `json:"outputs,omitempty"`
 	Events   uint64   `json:"events,omitempty"`
+	// HonestMessages/HonestBytes count the run's honest-origin traffic,
+	// making fuzz trials cost-comparable against scenario sweeps and
+	// workload amortization reports.
+	HonestMessages uint64 `json:"honestMessages,omitempty"`
+	HonestBytes    uint64 `json:"honestBytes,omitempty"`
 }
 
 // OK reports whether every oracle held.
@@ -101,6 +106,8 @@ func Check(m *scenario.Manifest) *Verdict {
 	res, runErr := runRecovered(art.Cfg, art)
 	if res != nil {
 		v.Events = res.Events
+		v.HonestMessages = res.HonestMessages
+		v.HonestBytes = res.HonestBytes
 		corrupt := map[int]bool{}
 		for _, p := range m.Adversary.Corrupt() {
 			corrupt[p] = true

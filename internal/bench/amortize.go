@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/circuit"
+	"repro/field"
+	"repro/internal/proto"
+	"repro/mpc"
+)
+
+// AmortRow is one E14 amortization measurement: K sequential
+// evaluations of one circuit served by a single session Engine (one
+// pool preprocessing) against K independent one-shot runs.
+type AmortRow struct {
+	Name string `json:"name"`
+	// K is the evaluation count; CM the per-evaluation triple need.
+	K  int `json:"evaluations"`
+	CM int `json:"c_m_per_eval"`
+	// PreprocessMsgs and EvalMsgs are the engine's honest traffic,
+	// split offline/online; EngineMsgsPerEval their amortized sum.
+	PreprocessMsgs    uint64  `json:"preprocess_msgs"`
+	EvalMsgs          uint64  `json:"eval_msgs"`
+	EngineMsgsPerEval float64 `json:"engine_msgs_per_eval"`
+	// OneShotMsgs is the honest traffic of one full mpc.Run of the same
+	// circuit; Amortization = OneShotMsgs / EngineMsgsPerEval.
+	OneShotMsgs  uint64  `json:"one_shot_msgs"`
+	Amortization float64 `json:"amortization"`
+	// OutputsOK requires every engine evaluation to reproduce the
+	// one-shot outputs (the differential invariant of the session
+	// refactor: amortization may change traffic, never results).
+	OutputsOK bool `json:"outputs_ok"`
+}
+
+// AmortReport is the E14 section written to BENCH_PR5.json.
+type AmortReport struct {
+	Note string     `json:"note"`
+	Rows []AmortRow `json:"amortization_pr5"`
+	// OK is the gate: every row reproduces one-shot outputs and
+	// amortizes (Amortization > 1).
+	OK bool `json:"ok"`
+}
+
+// E14Amortized measures one amortization row: a session engine
+// preprocesses k·cM triples once and serves k evaluations; the one-shot
+// reference is a full mpc.Run at the same seed.
+func E14Amortized(cfg proto.Config, name string, circ *circuit.Circuit, k int, seed uint64) AmortRow {
+	mcfg := mpc.Config{
+		N: cfg.N, Ts: cfg.Ts, Ta: cfg.Ta,
+		Network: mpc.Sync, Delta: int64(cfg.Delta), Seed: seed,
+	}
+	inputs := make([]field.Element, cfg.N)
+	for i := range inputs {
+		inputs[i] = field.New(uint64(i + 1))
+	}
+	row := AmortRow{Name: name, K: k, CM: circ.MulCount}
+	ref, err := mpc.Run(mcfg, circ, inputs, nil)
+	if err != nil {
+		return row
+	}
+	row.OneShotMsgs = ref.HonestMessages
+
+	eng, err := mpc.NewEngine(mcfg)
+	if err != nil {
+		return row
+	}
+	budget := k * circ.MulCount
+	if budget < 1 {
+		budget = 1
+	}
+	if _, err := eng.Preprocess(budget); err != nil {
+		return row
+	}
+	ok := true
+	for round := 0; round < k; round++ {
+		res, err := eng.Evaluate(circ, inputs)
+		if err != nil {
+			return row
+		}
+		if len(res.Outputs) != len(ref.Outputs) {
+			ok = false
+			break
+		}
+		for i := range ref.Outputs {
+			if res.Outputs[i] != ref.Outputs[i] {
+				ok = false
+			}
+		}
+	}
+	st := eng.Stats()
+	row.PreprocessMsgs = st.PreprocessMessages
+	row.EvalMsgs = st.EvalMessages
+	row.EngineMsgsPerEval = float64(st.PreprocessMessages+st.EvalMessages) / float64(k)
+	if row.EngineMsgsPerEval > 0 {
+		row.Amortization = float64(row.OneShotMsgs) / row.EngineMsgsPerEval
+	}
+	row.OutputsOK = ok
+	return row
+}
+
+// amortCases enumerates the tracked E14 workloads (K = 8, seed 1 — the
+// acceptance floor of the session-engine refactor).
+func amortCases() []struct {
+	name string
+	cfg  proto.Config
+	circ *circuit.Circuit
+} {
+	return []struct {
+		name string
+		cfg  proto.Config
+		circ *circuit.Circuit
+	}{
+		{"E14Amort/product/n5", Config5(), circuit.Product(5)},
+		{"E14Amort/product/n8", Config8(), circuit.Product(8)},
+		{"E14Amort/matmul/n8", Config8(), circuit.MatMul2x2()},
+	}
+}
+
+// RunAmortization measures every tracked E14 row at K = 8, seed 1.
+func RunAmortization() *AmortReport {
+	report := &AmortReport{
+		Note: "E14: one session Engine (single pool preprocessing) serving K=8 evaluations vs " +
+			"8 independent one-shot runs; outputs must match bit-for-bit and engine_msgs_per_eval " +
+			"must be below one_shot_msgs (amortization > 1)",
+		OK: true,
+	}
+	for _, c := range amortCases() {
+		row := E14Amortized(c.cfg, c.name, c.circ, 8, 1)
+		report.Rows = append(report.Rows, row)
+		if !row.OutputsOK || row.Amortization <= 1 {
+			report.OK = false
+		}
+	}
+	return report
+}
+
+// WriteAmort renders the report as indented JSON.
+func WriteAmort(w io.Writer, report *AmortReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// FormatAmortRow renders a row for the stderr summary.
+func FormatAmortRow(r AmortRow) string {
+	return fmt.Sprintf("%-22s %8.0f msgs/eval vs %8d one-shot (%.2fx amortized)",
+		r.Name, r.EngineMsgsPerEval, r.OneShotMsgs, r.Amortization)
+}

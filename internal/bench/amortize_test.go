@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/circuit"
+)
+
+// TestE14Amortization is the PR 5 acceptance gate behind
+// `make bench-json`: every tracked session-engine row must reproduce
+// the one-shot outputs bit-for-bit and amortize (engine msgs/eval
+// strictly below the one-shot cost).
+func TestE14Amortization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E14 runs 8 evaluations per row; skipped under -short")
+	}
+	report := RunAmortization()
+	for _, row := range report.Rows {
+		if !row.OutputsOK {
+			t.Errorf("%s: engine outputs diverged from one-shot outputs", row.Name)
+		}
+		if row.Amortization <= 1 {
+			t.Errorf("%s: %.0f engine msgs/eval does not beat the %d one-shot msgs",
+				row.Name, row.EngineMsgsPerEval, row.OneShotMsgs)
+		}
+		t.Log(FormatAmortRow(row))
+	}
+	if !report.OK {
+		t.Error("report gate is false")
+	}
+}
+
+// TestE14SmallRow keeps a cheap fixed row under plain `go test`: K=2
+// on the smallest config, outputs identical and amortized.
+func TestE14SmallRow(t *testing.T) {
+	row := E14Amortized(Config5(), "E14Amort/product/n5/k2", circuit.Product(5), 2, 1)
+	if !row.OutputsOK {
+		t.Fatal("engine outputs diverged from one-shot outputs")
+	}
+	if row.Amortization <= 1 {
+		t.Fatalf("no amortization at K=2: %+v", row)
+	}
+}

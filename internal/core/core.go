@@ -76,6 +76,14 @@ func PaperDeadline(cfg proto.Config, dm int) sim.Time {
 	return timing.PaperCirEval(cfg.N, dm, cfg.CoinRounds, cfg.Delta)
 }
 
+// SessionDeadline returns the synchronous bound of one engine session
+// relative to its start: TACS + (DM + 2)·Δ. A session's triples come
+// pre-generated from a pool, so the input ΠACS — not ΠPreProcessing —
+// is the session's slowest agreement component.
+func SessionDeadline(cfg proto.Config, dm int) sim.Time {
+	return acs.Deadline(cfg) + sim.Time(dm+2)*cfg.Delta
+}
+
 // CirEval is one party's instance of the MPC engine.
 type CirEval struct {
 	rt    *proto.Runtime
@@ -156,6 +164,30 @@ func NewWithMode(rt *proto.Runtime, inst string, circ *circuit.Circuit, cfg prot
 // and differential testing.
 func NewOnline(rt *proto.Runtime, inst string, circ *circuit.Circuit, cfg proto.Config, start sim.Time, mode EvalMode, onOutput func([]field.Element)) *CirEval {
 	return newEval(rt, inst, circ, cfg, start, mode, onOutput)
+}
+
+// NewSession registers a session-mode ΠCirEval: the evaluation shares
+// its inputs through its own ΠACS (a real agreement round, unlike
+// NewOnline's trusted dealer) but consumes an externally owned triple
+// reservation — this party's shares of circ.MulCount pool triples, in
+// generation order — instead of spawning a per-evaluation
+// ΠPreProcessing. One amortized pool fill thus serves many sequential
+// sessions on one World, each in its own epoch namespace (inst must be
+// unique per session; see proto.World.BeginEpoch). The party calls
+// Start with its private input at the structural start time.
+func NewSession(rt *proto.Runtime, inst string, circ *circuit.Circuit, cfg proto.Config, coin aba.CoinSource, start sim.Time, mode EvalMode, trips []triples.Triple, onOutput func([]field.Element)) *CirEval {
+	if len(trips) != circ.MulCount {
+		panic(fmt.Sprintf("core: session holds %d reserved triples, circuit needs %d", len(trips), circ.MulCount))
+	}
+	e := newEval(rt, inst, circ, cfg, start, mode, onOutput)
+	e.trips = trips
+	e.inputACS = acs.New(rt, proto.Join(inst, "in"), 1, cfg, coin, start,
+		func(cs []int, shares map[int][]field.Element) {
+			e.cs = cs
+			e.inShares = shares
+			e.tryEvaluate()
+		})
+	return e
 }
 
 // newEval builds the evaluator core shared by the full-protocol and

@@ -1,0 +1,56 @@
+package proto
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestEpochNamespaces: epochs are monotone and their namespaces keep
+// the family label on top (so metrics aggregate per family).
+func TestEpochNamespaces(t *testing.T) {
+	w := NewWorld(WorldOpts{Cfg: Config{N: 5, Ts: 1, Ta: 1, Delta: 10, CoinRounds: 8}, Network: Sync, Seed: 1})
+	e0 := w.BeginEpoch()
+	e1 := w.BeginEpoch()
+	if e0.Seq() != 0 || e1.Seq() != 1 || w.Epochs() != 2 {
+		t.Fatalf("epoch sequence broken: %d, %d (epochs=%d)", e0.Seq(), e1.Seq(), w.Epochs())
+	}
+	if got := e1.Namespace("mpc"); got != "mpc/e1" {
+		t.Fatalf("namespace %q, want mpc/e1", got)
+	}
+	if sim.TopLabel(e1.Namespace("mpc")+"/lay/1") != "mpc" {
+		t.Fatal("epoch namespace changed the metrics family label")
+	}
+}
+
+// TestDropPrefix: retiring an epoch removes its exact handlers and
+// buffered traffic, and only them.
+func TestDropPrefix(t *testing.T) {
+	w := NewWorld(WorldOpts{Cfg: Config{N: 5, Ts: 1, Ta: 1, Delta: 10, CoinRounds: 8}, Network: Sync, Seed: 1})
+	rt := w.Runtimes[1]
+	noop := HandlerFunc(func(int, uint8, []byte) {})
+	rt.Register("mpc/e0", noop)
+	rt.Register("mpc/e0/in", noop)
+	rt.Register("mpc/e1", noop)
+	rt.Register("mpc/e10", noop) // shares the string prefix, not the path prefix
+	// Buffered traffic for an unregistered epoch-0 instance.
+	rt.Dispatch(sim.Envelope{From: 2, To: 1, Inst: "mpc/e0/lay/1", Type: 1, Body: []byte{1}})
+
+	if got := rt.DropPrefix("mpc/e0"); got != 2 {
+		t.Fatalf("dropped %d handlers, want 2", got)
+	}
+	if rt.Registered("mpc/e0") || rt.Registered("mpc/e0/in") {
+		t.Fatal("epoch-0 handlers survived DropPrefix")
+	}
+	if !rt.Registered("mpc/e1") || !rt.Registered("mpc/e10") {
+		t.Fatal("DropPrefix removed foreign instances")
+	}
+	// Re-registering the dropped path must not panic (the duplicate
+	// guard is what DropPrefix exists to clear) and must not replay the
+	// dropped buffer.
+	seen := 0
+	rt.Register("mpc/e0/lay/1", HandlerFunc(func(int, uint8, []byte) { seen++ }))
+	if seen != 0 {
+		t.Fatalf("dropped buffer replayed %d messages", seen)
+	}
+}

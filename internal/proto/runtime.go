@@ -145,6 +145,30 @@ func (rt *Runtime) Registered(inst string) bool {
 	return ok
 }
 
+// DropPrefix removes every exact handler and every buffered message
+// whose instance path is prefix or lies under prefix+"/", returning
+// the number of handlers dropped. A long-lived World hosting many
+// session epochs retires each finished epoch's namespace this way so
+// handler tables do not grow without bound; late traffic for a dropped
+// instance is re-buffered and eventually discarded by the flood cap.
+// Prefix factories (RegisterPrefix) are not affected.
+func (rt *Runtime) DropPrefix(prefix string) int {
+	sub := prefix + "/"
+	dropped := 0
+	for inst := range rt.exact {
+		if inst == prefix || strings.HasPrefix(inst, sub) {
+			delete(rt.exact, inst)
+			dropped++
+		}
+	}
+	for inst := range rt.buffer {
+		if inst == prefix || strings.HasPrefix(inst, sub) {
+			delete(rt.buffer, inst)
+		}
+	}
+	return dropped
+}
+
 // RegisterPrefix installs a factory creating handlers on demand for any
 // instance path beginning with prefix (which should end in "/"). The
 // factory is invoked at most once per distinct instance path. It may

@@ -37,7 +37,43 @@ type World struct {
 	Runtimes []*Runtime
 
 	corrupt map[int]bool
+	epochs  int
 }
+
+// Epoch is one session slot on a long-lived World. A World originally
+// hosted exactly one protocol run, so instance paths ("mpc/lay/1"),
+// timers and metrics were implicitly namespaced by the World itself;
+// an engine that serves many sequential evaluations over one World
+// needs an explicit per-evaluation dimension so the k-th online phase
+// cannot collide with the (k-1)-th (Runtime.Register panics on
+// duplicate instance paths — by design). BeginEpoch hands out that
+// dimension: a monotone sequence number that Namespace folds into the
+// instance path *below* the top-level family label, so per-family
+// traffic metrics (sim.TopLabel) still aggregate across epochs.
+type Epoch struct{ seq int }
+
+// Seq returns the epoch's sequence number (0-based).
+func (e Epoch) Seq() int { return e.seq }
+
+// Namespace returns the instance namespace of family for this epoch,
+// e.g. Namespace("mpc") of epoch 3 is "mpc/e3". The epoch component
+// sits below the family label so metrics family breakdowns are stable
+// across epochs.
+func (e Epoch) Namespace(family string) string {
+	return fmt.Sprintf("%s/e%d", family, e.seq)
+}
+
+// BeginEpoch allocates the next session epoch on this world. Every
+// party of the world shares the returned epoch: the caller drives all
+// runtimes through the same deterministic epoch sequence.
+func (w *World) BeginEpoch() Epoch {
+	e := Epoch{seq: w.epochs}
+	w.epochs++
+	return e
+}
+
+// Epochs returns the number of epochs begun so far.
+func (w *World) Epochs() int { return w.epochs }
 
 // NewWorld builds a world. It panics on invalid configuration: worlds
 // are constructed by tests and harnesses where a bad config is a

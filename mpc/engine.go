@@ -1,0 +1,457 @@
+package mpc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/circuit"
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/triples"
+)
+
+// Engine lifecycle errors. ErrTriplesExhausted is recoverable: the
+// engine and its World are fully usable after a refill Preprocess; the
+// other two are caller mistakes in the Preprocess → Evaluate lifecycle.
+var (
+	// ErrNotPreprocessed is returned by Evaluate before the first
+	// Preprocess: the engine has no triple pool to reserve from.
+	ErrNotPreprocessed = errors.New("mpc: Evaluate before Preprocess: the engine has no triple pool yet (call Preprocess first)")
+	// ErrDoublePreprocess is returned by a Preprocess that follows
+	// another Preprocess with no evaluation in between: budget the
+	// first call higher instead of stacking pool fills back to back.
+	ErrDoublePreprocess = errors.New("mpc: double Preprocess: no evaluation has run since the last Preprocess (budget the first call higher instead)")
+	// ErrTriplesExhausted is wrapped by an Evaluate whose circuit needs
+	// more triples than the pool holds. Nothing is consumed and the
+	// World is untouched: Preprocess a refill batch and retry.
+	ErrTriplesExhausted = errors.New("mpc: triple pool exhausted")
+)
+
+// Engine is a long-lived n-party MPC session: one simulated World whose
+// preprocessing is amortized over many circuit evaluations.
+//
+// The paper's offline/online split makes ΠPreProcessing a producer of
+// circuit-independent Beaver triples that the online phase merely
+// consumes — yet the one-shot Run tears its World down after a single
+// evaluation, re-paying VSS/ACS-heavy preprocessing per request. An
+// Engine keeps the World: Preprocess runs one budgeted ΠPreProcessing
+// batch filling a per-party triple Pool, and each Evaluate reserves
+// just the cM triples its circuit needs, runs an input ΠACS plus the
+// batched online phase in a fresh epoch namespace ("mpc/e<k>"), and
+// retires that namespace on completion. Honest traffic per evaluation
+// drops from the full TCirEval cost to the input-sharing + online cost,
+// which is what request-serving scale needs.
+//
+// An Engine is not safe for concurrent use: like the World it wraps,
+// it is a single-threaded deterministic simulation. Config.EventLimit
+// is a lifetime budget across all epochs (default 200M events).
+type Engine struct {
+	cfg    Config
+	pcfg   proto.Config
+	world  *proto.World
+	coin   aba.CoinSource
+	silent map[int]bool
+	// pools is 1-based: pools[i] is party i's share store; slot k of
+	// every pool holds one party's share of the same ts-shared triple.
+	pools []*triples.Pool
+
+	preprocessed  bool
+	evalSinceFill bool
+	evals         int
+
+	ppMsgs, ppBytes     uint64
+	evalMsgs, evalBytes uint64
+}
+
+// EngineStats is the engine's cumulative amortization accounting.
+type EngineStats struct {
+	// Evaluations counts completed Evaluate calls; Batches counts
+	// Preprocess fills.
+	Evaluations, Batches int
+	// TriplesGenerated / TriplesConsumed / TriplesAvailable account the
+	// pool: Generated = Consumed + Available.
+	TriplesGenerated, TriplesConsumed, TriplesAvailable int
+	// PreprocessMessages/Bytes is the honest traffic of every
+	// Preprocess; EvalMessages/Bytes the honest traffic of every
+	// Evaluate. Their ratio against Evaluations is the amortization
+	// headline (see the scenario `workload` verb and BENCH_PR5.json).
+	PreprocessMessages, PreprocessBytes uint64
+	EvalMessages, EvalBytes             uint64
+}
+
+// NewEngine assembles an all-honest session engine. The engine world is
+// deterministic in cfg.Seed across the whole session: the same sequence
+// of Preprocess and Evaluate calls replays bit-for-bit.
+func NewEngine(cfg Config) (*Engine, error) { return NewEngineAdv(cfg, nil) }
+
+// NewEngineAdv is NewEngine with a static adversary, corrupting the
+// session's world exactly as Run's adversary corrupts a one-shot run.
+func NewEngineAdv(cfg Config, adv *Adversary) (*Engine, error) {
+	return newEngine(cfg, adv)
+}
+
+// newEngine validates cfg and assembles the world shared by the session
+// API and the one-shot Run wrapper.
+func newEngine(cfg Config, adv *Adversary) (*Engine, error) {
+	pcfg := proto.Config{
+		N: cfg.N, Ts: cfg.Ts, Ta: cfg.Ta,
+		Delta:      sim.Time(cfg.Delta),
+		CoinRounds: cfg.CoinRounds,
+		SyncOnly:   cfg.SyncOnly,
+	}
+	if pcfg.Delta == 0 {
+		pcfg.Delta = 10
+	}
+	if pcfg.CoinRounds == 0 {
+		pcfg.CoinRounds = 8
+	}
+	if err := pcfg.Validate(); err != nil {
+		return nil, err
+	}
+	var kind proto.NetKind
+	switch cfg.Network {
+	case Sync:
+		kind = proto.Sync
+	case Async:
+		kind = proto.Async
+	default:
+		return nil, fmt.Errorf("mpc: unknown network %q", cfg.Network)
+	}
+
+	corrupt := adv.corrupt()
+	if len(corrupt) > max(cfg.Ts, cfg.Ta) {
+		return nil, fmt.Errorf("mpc: %d corruptions exceed max(ts, ta) = %d", len(corrupt), max(cfg.Ts, cfg.Ta))
+	}
+	// Behaviours stack via Compose: a party named in several adversary
+	// fields runs all of them chained (e.g. silent-and-garbling stays
+	// silent, crash-then-delay accumulates), instead of the last field
+	// silently winning.
+	ctrl := adversary.NewController()
+	silent := map[int]bool{}
+	if adv != nil {
+		for _, p := range adv.Silent {
+			ctrl.Compose(p, adversary.Silent())
+			silent[p] = true
+		}
+		for _, p := range adv.Garble {
+			ctrl.Compose(p, adversary.GarbleMatching(func(string) bool { return true }))
+		}
+		for p, t := range adv.CrashAt {
+			ctrl.Compose(p, adversary.CrashAt(sim.Time(t)))
+		}
+		for p, sub := range adv.Drop {
+			ctrl.Compose(p, adversary.DropMatching(adversary.InstanceContains(sub)))
+		}
+		for p, rule := range adv.Delay {
+			ctrl.Compose(p, adversary.DelayMatching(adversary.InstanceContains(rule.Match), sim.Time(rule.Extra)))
+		}
+		half := cfg.N / 2
+		for _, p := range adv.Equivocate {
+			ctrl.Compose(p, adversary.Equivocate(func(to int) bool { return to > half }))
+		}
+	}
+	var policy sim.Policy = sim.AsyncPolicy{Delta: pcfg.Delta, Tail: cfg.Tail}
+	if kind == proto.Sync {
+		policy = sim.SyncPolicy{Delta: pcfg.Delta}
+	}
+	if cfg.BurstPeriod > 0 {
+		policy = sim.BurstPolicy{Base: policy, Period: sim.Time(cfg.BurstPeriod), Down: sim.Time(cfg.BurstDown)}
+	}
+	if adv != nil && len(adv.StarveFrom) > 0 {
+		starved := map[int]bool{}
+		for _, p := range adv.StarveFrom {
+			starved[p] = true
+		}
+		until := sim.Time(adv.StarveUntil)
+		if until == 0 {
+			until = 500 * pcfg.Delta
+		}
+		policy = sim.StarvePolicy{Base: policy, Until: until,
+			Starve: func(from, to int) bool { return starved[from] }}
+	}
+
+	limit := cfg.EventLimit
+	if limit == 0 {
+		limit = 200_000_000
+	}
+	w := proto.NewWorld(proto.WorldOpts{
+		Cfg:         pcfg,
+		Network:     kind,
+		Policy:      policy,
+		Seed:        cfg.Seed,
+		Corrupt:     corrupt,
+		Interceptor: ctrl,
+		EventLimit:  limit,
+	})
+	coin := aba.DefaultCoin(cfg.Seed ^ 0xc01c01)
+	e := &Engine{
+		cfg:    cfg,
+		pcfg:   pcfg,
+		world:  w,
+		coin:   coin,
+		silent: silent,
+		pools:  make([]*triples.Pool, cfg.N+1),
+	}
+	for i := 1; i <= cfg.N; i++ {
+		e.pools[i] = triples.NewPool(w.Runtimes[i], "pool", pcfg, coin)
+	}
+	return e, nil
+}
+
+// Preprocess runs one budgeted ΠPreProcessing batch across all parties
+// and appends its triples to the engine's pool. The batch is rounded up
+// to whole Fig 9 extractions, so the returned count — the triples
+// actually generated — can exceed budget. Call it once up front with a
+// budget covering the expected workload, and again only to refill after
+// evaluations have drained the pool (a back-to-back second call returns
+// ErrDoublePreprocess).
+func (e *Engine) Preprocess(budget int) (int, error) {
+	if budget < 1 {
+		return 0, fmt.Errorf("mpc: Preprocess budget must be >= 1, have %d", budget)
+	}
+	if e.preprocessed && !e.evalSinceFill {
+		return 0, ErrDoublePreprocess
+	}
+	msgs0, bytes0 := e.world.Metrics().HonestMessages(), e.world.Metrics().HonestBytes()
+	start := e.gridStart()
+	want := 0
+	for i := 1; i <= e.cfg.N; i++ {
+		got, err := e.pools[i].Fill(budget, start, !e.silent[i], nil)
+		if err != nil {
+			return 0, err
+		}
+		want = got
+	}
+	e.world.RunToQuiescence()
+	for _, i := range e.world.Honest() {
+		if e.pools[i].Filling() {
+			return 0, fmt.Errorf("mpc: preprocessing batch incomplete after %d events (raise Config.EventLimit)",
+				e.world.Sched.Processed())
+		}
+	}
+	e.preprocessed = true
+	e.evalSinceFill = false
+	e.ppMsgs += e.world.Metrics().HonestMessages() - msgs0
+	e.ppBytes += e.world.Metrics().HonestBytes() - bytes0
+	return want, nil
+}
+
+// Available returns the number of unconsumed pool triples (measured on
+// the first honest party; all honest pools agree).
+func (e *Engine) Available() int {
+	for _, i := range e.world.Honest() {
+		return e.pools[i].Available()
+	}
+	return 0
+}
+
+// Evaluations returns the number of completed Evaluate calls.
+func (e *Engine) Evaluations() int { return e.evals }
+
+// Stats returns the engine's cumulative amortization accounting.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{
+		Evaluations:        e.evals,
+		PreprocessMessages: e.ppMsgs,
+		PreprocessBytes:    e.ppBytes,
+		EvalMessages:       e.evalMsgs,
+		EvalBytes:          e.evalBytes,
+	}
+	for _, i := range e.world.Honest() {
+		ps := e.pools[i].Stats()
+		s.Batches = ps.Batches
+		s.TriplesGenerated = ps.Generated
+		s.TriplesConsumed = ps.Reserved
+		s.TriplesAvailable = ps.Available
+		break
+	}
+	return s
+}
+
+// Evaluate runs one circuit evaluation as a session epoch: it reserves
+// circ.MulCount pool triples per party, shares the parties' inputs
+// through a fresh ΠACS, evaluates the circuit with the batched online
+// phase (or the per-gate reference under Config.PerGateEval), publicly
+// reconstructs the outputs, and retires the epoch's instance namespace.
+// The Result's traffic/event figures are this evaluation's deltas, so
+// they compare directly against a one-shot Run of the same circuit.
+//
+// On ErrTriplesExhausted nothing has been consumed and the engine
+// remains fully usable: Preprocess a refill and call Evaluate again.
+func (e *Engine) Evaluate(circ *circuit.Circuit, inputs []field.Element) (*Result, error) {
+	if !e.preprocessed {
+		return nil, ErrNotPreprocessed
+	}
+	if len(inputs) != e.cfg.N {
+		return nil, fmt.Errorf("mpc: %d inputs for %d parties", len(inputs), e.cfg.N)
+	}
+	if circ.N != e.cfg.N {
+		return nil, fmt.Errorf("mpc: circuit has %d input slots, engine has %d parties", circ.N, e.cfg.N)
+	}
+	if have := e.Available(); circ.MulCount > have {
+		// An evaluation tried (and failed) to consume the pool: that
+		// re-arms Preprocess, so the documented recovery — refill and
+		// retry — is never blocked by the double-Preprocess guard.
+		e.evalSinceFill = true
+		return nil, fmt.Errorf("mpc: evaluation needs %d triples, pool holds %d: %w", circ.MulCount, have, ErrTriplesExhausted)
+	}
+
+	// Reserve every party's shares. A corrupt party whose own pool fill
+	// never completed (it is running honest code on a sabotaged world)
+	// gets zero-share stand-ins: its traffic is adversarial anyway, and
+	// honest liveness/correctness never depends on it.
+	reserved := make([][]triples.Triple, e.cfg.N+1)
+	for i := 1; i <= e.cfg.N; i++ {
+		if r, err := e.pools[i].Reserve(circ.MulCount); err == nil {
+			reserved[i] = r.Triples()
+		} else {
+			reserved[i] = make([]triples.Triple, circ.MulCount)
+		}
+	}
+
+	epoch := e.world.BeginEpoch()
+	inst := epoch.Namespace("mpc")
+	w := e.world
+	start := e.gridStart()
+	msgs0, bytes0 := w.Metrics().HonestMessages(), w.Metrics().HonestBytes()
+	events0 := w.Sched.Processed()
+	famBase := make(map[string]FamilyCounts, len(w.Metrics().ByFamily))
+	for fam, c := range w.Metrics().ByFamily {
+		famBase[fam] = FamilyCounts{Messages: c.Messages, Bytes: c.Bytes}
+	}
+
+	res := &Result{
+		PerParty:      make([][]field.Element, e.cfg.N+1),
+		TerminatedAt:  make([]int64, e.cfg.N+1),
+		StartedAt:     int64(start),
+		Deadline:      int64(start + core.SessionDeadline(e.pcfg, circ.MulDepth)),
+		PaperDeadline: int64(start + core.PaperDeadline(e.pcfg, circ.MulDepth)),
+	}
+	mode := core.EvalLayered
+	if e.cfg.PerGateEval {
+		mode = core.EvalPerGate
+	}
+	engines := make([]*core.CirEval, e.cfg.N+1)
+	for i := 1; i <= e.cfg.N; i++ {
+		i := i
+		engines[i] = core.NewSession(w.Runtimes[i], inst, circ, e.pcfg, e.coin, start, mode, reserved[i],
+			func(out []field.Element) {
+				res.PerParty[i] = out
+				res.TerminatedAt[i] = int64(w.Sched.Now())
+			})
+	}
+	for i := 1; i <= e.cfg.N; i++ {
+		if e.silent[i] {
+			continue
+		}
+		i := i
+		w.Runtimes[i].At(start, func() { engines[i].Start(inputs[i-1]) })
+	}
+	w.RunToQuiescence()
+
+	res.HonestMessages = w.Metrics().HonestMessages() - msgs0
+	res.HonestBytes = w.Metrics().HonestBytes() - bytes0
+	res.Events = w.Sched.Processed() - events0
+	res.ByFamily = make(map[string]FamilyCounts, len(w.Metrics().ByFamily))
+	for fam, c := range w.Metrics().ByFamily {
+		d := FamilyCounts{Messages: c.Messages - famBase[fam].Messages, Bytes: c.Bytes - famBase[fam].Bytes}
+		if d.Messages > 0 || d.Bytes > 0 {
+			res.ByFamily[fam] = d
+		}
+	}
+
+	e.evals++
+	e.evalSinceFill = true
+	e.evalMsgs += res.HonestMessages
+	e.evalBytes += res.HonestBytes
+	// Retire the epoch: the session's handlers (and any stray buffered
+	// traffic for them) are dropped so a long-lived engine's handler
+	// tables stay proportional to the live epoch, not the history.
+	for i := 1; i <= e.cfg.N; i++ {
+		w.Runtimes[i].DropPrefix(inst)
+	}
+	return e.collect(res, engines)
+}
+
+// gridStart returns the structural anchor of the next session phase:
+// the smallest multiple of Δ at or after the current virtual time. The
+// paper's synchronous sub-protocols advance on the absolute Δ-grid
+// (vss/wps gridNext), so a phase anchored off-grid would silently lose
+// up to Δ-1 ticks of deadline slack — enough to break boundary-tight
+// adversarial runs. Every pool fill and every evaluation therefore
+// begins on the grid, like round k of a round-based protocol.
+func (e *Engine) gridStart() sim.Time {
+	now := e.world.Sched.Now()
+	d := e.pcfg.Delta
+	return ((now + d - 1) / d) * d
+}
+
+// runOneShot is Run's legacy body: the full ΠCirEval (input ACS and
+// per-evaluation ΠPreProcessing together) at instance "mpc", time 0, on
+// the engine's freshly assembled world — bit-identical to the pre-
+// engine mpc.Run.
+func (e *Engine) runOneShot(circ *circuit.Circuit, inputs []field.Element) (*Result, error) {
+	w := e.world
+	res := &Result{
+		PerParty:      make([][]field.Element, e.cfg.N+1),
+		TerminatedAt:  make([]int64, e.cfg.N+1),
+		Deadline:      int64(core.Deadline(e.pcfg, circ.MulDepth)),
+		PaperDeadline: int64(core.PaperDeadline(e.pcfg, circ.MulDepth)),
+	}
+	mode := core.EvalLayered
+	if e.cfg.PerGateEval {
+		mode = core.EvalPerGate
+	}
+	engines := make([]*core.CirEval, e.cfg.N+1)
+	for i := 1; i <= e.cfg.N; i++ {
+		i := i
+		engines[i] = core.NewWithMode(w.Runtimes[i], "mpc", circ, e.pcfg, e.coin, 0, mode, func(out []field.Element) {
+			res.PerParty[i] = out
+			res.TerminatedAt[i] = int64(w.Sched.Now())
+		})
+	}
+	for i := 1; i <= e.cfg.N; i++ {
+		if e.silent[i] {
+			continue
+		}
+		engines[i].Start(inputs[i-1])
+	}
+	w.RunToQuiescence()
+
+	res.HonestMessages = w.Metrics().HonestMessages()
+	res.HonestBytes = w.Metrics().HonestBytes()
+	res.ByFamily = make(map[string]FamilyCounts, len(w.Metrics().ByFamily))
+	for fam, c := range w.Metrics().ByFamily {
+		res.ByFamily[fam] = FamilyCounts{Messages: c.Messages, Bytes: c.Bytes}
+	}
+	res.Events = w.Sched.Processed()
+	return e.collect(res, engines)
+}
+
+// collect extracts the agreed outputs from the honest parties'
+// terminated engines, verifying honest agreement.
+func (e *Engine) collect(res *Result, engines []*core.CirEval) (*Result, error) {
+	for i := 1; i <= e.cfg.N; i++ {
+		if e.world.IsCorrupt(i) || res.PerParty[i] == nil {
+			continue
+		}
+		if res.Outputs == nil {
+			res.Outputs = res.PerParty[i]
+			res.CS = engines[i].CS()
+			continue
+		}
+		for k := range res.Outputs {
+			if res.Outputs[k] != res.PerParty[i][k] {
+				return res, ErrDisagreement
+			}
+		}
+	}
+	if res.Outputs == nil {
+		return res, ErrNoHonestOutput
+	}
+	return res, nil
+}

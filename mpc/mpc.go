@@ -2,19 +2,34 @@
 // best-of-both-worlds perfectly-secure multi-party computation engine
 // reproducing Appan, Chandramouli and Choudhury (PODC 2022).
 //
-// A single protocol run evaluates an arithmetic circuit over
-// GF(2^61-1) among n simulated parties connected by a synchronous or
-// asynchronous network, tolerating up to Ts Byzantine corruptions in
-// the former and Ta in the latter, provided 3·Ts + Ta < n — without the
-// parties knowing which network they are on.
+// A protocol run evaluates an arithmetic circuit over GF(2^61-1) among
+// n simulated parties connected by a synchronous or asynchronous
+// network, tolerating up to Ts Byzantine corruptions in the former and
+// Ta in the latter, provided 3·Ts + Ta < n — without the parties
+// knowing which network they are on.
 //
-// Quickstart:
+// Two entry points share one protocol stack. The session Engine is the
+// primary API: one long-lived World whose triple pool is filled by an
+// amortized ΠPreProcessing batch (Preprocess) and then drained by many
+// sequential circuit evaluations (Evaluate), each an epoch-namespaced
+// input-ΠACS + online phase — the offline/online split the paper's
+// preprocessing exists for. Run is the retained one-shot convenience
+// wrapper: it evaluates a single circuit on a fresh world, paying the
+// full preprocessing cost for that one evaluation.
+//
+// Engine quickstart:
 //
 //	cfg := mpc.Config{N: 8, Ts: 2, Ta: 1, Network: mpc.Sync, Seed: 1}
+//	eng, _ := mpc.NewEngine(cfg)
+//	eng.Preprocess(64) // one amortized triple-pool fill
 //	circ := circuit.Sum(8)
 //	inputs := []field.Element{1, 2, 3, 4, 5, 6, 7, 8}
-//	res, err := mpc.Run(cfg, circ, inputs, nil)
+//	res, err := eng.Evaluate(circ, inputs) // repeat per request
 //	// res.Outputs[0] == 36
+//
+// One-shot:
+//
+//	res, err := mpc.Run(cfg, circ, inputs, nil)
 package mpc
 
 import (
@@ -23,11 +38,6 @@ import (
 
 	"repro/circuit"
 	"repro/field"
-	"repro/internal/aba"
-	"repro/internal/adversary"
-	"repro/internal/core"
-	"repro/internal/proto"
-	"repro/internal/sim"
 )
 
 // Network selects the simulated network model.
@@ -163,7 +173,14 @@ type Result struct {
 	// CS is the agreed input-provider set (from the first honest
 	// party).
 	CS []int
-	// Deadline is the derived synchronous-run bound TCirEval in ticks.
+	// StartedAt is the virtual time the evaluation began: 0 for a
+	// one-shot Run, the session's start tick for Engine.Evaluate (whose
+	// Deadline and TerminatedAt are absolute on the engine's clock, so
+	// the evaluation's tick cost is TerminatedAt[i] - StartedAt).
+	StartedAt int64
+	// Deadline is the derived synchronous-run bound in ticks: TCirEval
+	// for a one-shot Run, StartedAt + TSession (input ACS + online
+	// phase; preprocessing is amortized away) for Engine.Evaluate.
 	Deadline int64
 	// PaperDeadline is the paper's (120n + DM + 6k - 20)·Δ bound.
 	PaperDeadline int64
@@ -209,162 +226,25 @@ var ErrDisagreement = errors.New("mpc: honest parties disagree on the output")
 // Run executes one MPC evaluation of circ where party i's private
 // input is inputs[i-1]. adv may be nil for an all-honest run.
 //
+// Run is the one-shot convenience wrapper around the session Engine:
+// it assembles a fresh engine World, runs the full ΠCirEval (input
+// ΠACS and ΠPreProcessing together) once, and tears everything down.
+// A service evaluating many circuits should hold an Engine instead and
+// amortize one Preprocess over its evaluations (see NewEngine).
+//
 // Inputs of corrupt parties are still fed to their (honest-code)
 // protocol instances unless the party is Silent; byzantine *protocol*
 // behaviour comes from the Adversary's traffic rewriting, and the
 // network schedule is adversarial under Async.
 func Run(cfg Config, circ *circuit.Circuit, inputs []field.Element, adv *Adversary) (*Result, error) {
-	pcfg := proto.Config{
-		N: cfg.N, Ts: cfg.Ts, Ta: cfg.Ta,
-		Delta:      sim.Time(cfg.Delta),
-		CoinRounds: cfg.CoinRounds,
-		SyncOnly:   cfg.SyncOnly,
-	}
-	if pcfg.Delta == 0 {
-		pcfg.Delta = 10
-	}
-	if pcfg.CoinRounds == 0 {
-		pcfg.CoinRounds = 8
-	}
-	if err := pcfg.Validate(); err != nil {
+	eng, err := newEngine(cfg, adv)
+	if err != nil {
 		return nil, err
 	}
 	if len(inputs) != cfg.N {
 		return nil, fmt.Errorf("mpc: %d inputs for %d parties", len(inputs), cfg.N)
 	}
-	var kind proto.NetKind
-	switch cfg.Network {
-	case Sync:
-		kind = proto.Sync
-	case Async:
-		kind = proto.Async
-	default:
-		return nil, fmt.Errorf("mpc: unknown network %q", cfg.Network)
-	}
-
-	corrupt := adv.corrupt()
-	if len(corrupt) > max(cfg.Ts, cfg.Ta) {
-		return nil, fmt.Errorf("mpc: %d corruptions exceed max(ts, ta) = %d", len(corrupt), max(cfg.Ts, cfg.Ta))
-	}
-	// Behaviours stack via Compose: a party named in several adversary
-	// fields runs all of them chained (e.g. silent-and-garbling stays
-	// silent, crash-then-delay accumulates), instead of the last field
-	// silently winning.
-	ctrl := adversary.NewController()
-	silent := map[int]bool{}
-	if adv != nil {
-		for _, p := range adv.Silent {
-			ctrl.Compose(p, adversary.Silent())
-			silent[p] = true
-		}
-		for _, p := range adv.Garble {
-			ctrl.Compose(p, adversary.GarbleMatching(func(string) bool { return true }))
-		}
-		for p, t := range adv.CrashAt {
-			ctrl.Compose(p, adversary.CrashAt(sim.Time(t)))
-		}
-		for p, sub := range adv.Drop {
-			ctrl.Compose(p, adversary.DropMatching(adversary.InstanceContains(sub)))
-		}
-		for p, rule := range adv.Delay {
-			ctrl.Compose(p, adversary.DelayMatching(adversary.InstanceContains(rule.Match), sim.Time(rule.Extra)))
-		}
-		half := cfg.N / 2
-		for _, p := range adv.Equivocate {
-			ctrl.Compose(p, adversary.Equivocate(func(to int) bool { return to > half }))
-		}
-	}
-	var policy sim.Policy = sim.AsyncPolicy{Delta: pcfg.Delta, Tail: cfg.Tail}
-	if kind == proto.Sync {
-		policy = sim.SyncPolicy{Delta: pcfg.Delta}
-	}
-	if cfg.BurstPeriod > 0 {
-		policy = sim.BurstPolicy{Base: policy, Period: sim.Time(cfg.BurstPeriod), Down: sim.Time(cfg.BurstDown)}
-	}
-	if adv != nil && len(adv.StarveFrom) > 0 {
-		starved := map[int]bool{}
-		for _, p := range adv.StarveFrom {
-			starved[p] = true
-		}
-		until := sim.Time(adv.StarveUntil)
-		if until == 0 {
-			until = 500 * pcfg.Delta
-		}
-		policy = sim.StarvePolicy{Base: policy, Until: until,
-			Starve: func(from, to int) bool { return starved[from] }}
-	}
-
-	limit := cfg.EventLimit
-	if limit == 0 {
-		limit = 200_000_000
-	}
-	w := proto.NewWorld(proto.WorldOpts{
-		Cfg:         pcfg,
-		Network:     kind,
-		Policy:      policy,
-		Seed:        cfg.Seed,
-		Corrupt:     corrupt,
-		Interceptor: ctrl,
-		EventLimit:  limit,
-	})
-
-	res := &Result{
-		PerParty:      make([][]field.Element, cfg.N+1),
-		TerminatedAt:  make([]int64, cfg.N+1),
-		Deadline:      int64(core.Deadline(pcfg, circ.MulDepth)),
-		PaperDeadline: int64(core.PaperDeadline(pcfg, circ.MulDepth)),
-	}
-	coin := aba.DefaultCoin(cfg.Seed ^ 0xc01c01)
-	mode := core.EvalLayered
-	if cfg.PerGateEval {
-		mode = core.EvalPerGate
-	}
-	engines := make([]*core.CirEval, cfg.N+1)
-	for i := 1; i <= cfg.N; i++ {
-		i := i
-		engines[i] = core.NewWithMode(w.Runtimes[i], "mpc", circ, pcfg, coin, 0, mode, func(out []field.Element) {
-			res.PerParty[i] = out
-			res.TerminatedAt[i] = int64(w.Sched.Now())
-		})
-	}
-	for i := 1; i <= cfg.N; i++ {
-		if silent[i] {
-			continue
-		}
-		engines[i].Start(inputs[i-1])
-	}
-	w.RunToQuiescence()
-
-	res.HonestMessages = w.Metrics().HonestMessages()
-	res.HonestBytes = w.Metrics().HonestBytes()
-	res.ByFamily = make(map[string]FamilyCounts, len(w.Metrics().ByFamily))
-	for fam, c := range w.Metrics().ByFamily {
-		res.ByFamily[fam] = FamilyCounts{Messages: c.Messages, Bytes: c.Bytes}
-	}
-	res.Events = w.Sched.Processed()
-	corruptSet := map[int]bool{}
-	for _, p := range corrupt {
-		corruptSet[p] = true
-	}
-	for i := 1; i <= cfg.N; i++ {
-		if corruptSet[i] || res.PerParty[i] == nil {
-			continue
-		}
-		if res.Outputs == nil {
-			res.Outputs = res.PerParty[i]
-			res.CS = engines[i].CS()
-			continue
-		}
-		for k := range res.Outputs {
-			if res.Outputs[k] != res.PerParty[i][k] {
-				return res, ErrDisagreement
-			}
-		}
-	}
-	if res.Outputs == nil {
-		return res, ErrNoHonestOutput
-	}
-	return res, nil
+	return eng.runOneShot(circ, inputs)
 }
 
 // ExpectedOutputs evaluates circ in the clear with the inputs of

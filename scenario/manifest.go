@@ -50,10 +50,19 @@ type Manifest struct {
 	// SMPC-style ablation baseline).
 	SyncOnly bool `json:"syncOnly,omitempty"`
 	// EventLimit caps scheduler events; 0 uses the engine default.
-	// Scenarios that expect a liveness failure must set it.
+	// Scenarios that expect a liveness failure must set it. For a
+	// workload manifest the limit is the engine's lifetime budget
+	// across preprocessing and every evaluation.
 	EventLimit uint64 `json:"eventLimit,omitempty"`
 	// Expect holds the assertions evaluated against the run's result.
 	Expect Expect `json:"expect"`
+	// Workload, when present, turns the manifest into a session-engine
+	// workload: one mpc.Engine preprocesses a triple budget and then
+	// serves the steps' evaluations in sequence (RunWorkload, the
+	// `scenario workload` verb). Circuits, inputs and assertions move
+	// into the steps; the top-level Circuit, Inputs and Expect must be
+	// absent.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
 }
 
 // Parties carries the resilience parameters of a manifest.
@@ -286,13 +295,16 @@ func (m *Manifest) Validate() error {
 	if err := m.validateAdversary(); err != nil {
 		return err
 	}
+	if m.Workload != nil {
+		return m.validateWorkload()
+	}
 	if err := m.Circuit.check(p.N); err != nil {
 		return bad("circuit: %v", err)
 	}
 	if len(m.Inputs) != 0 && len(m.Inputs) != p.N {
 		return bad("inputs: have %d values, need 0 (default 1..n) or exactly n = %d", len(m.Inputs), p.N)
 	}
-	return m.validateExpect()
+	return m.validateExpectBlock(m.Expect, "expect")
 }
 
 func (m *Manifest) validateAdversary() error {
@@ -355,41 +367,43 @@ func (m *Manifest) validateAdversary() error {
 	return nil
 }
 
-func (m *Manifest) validateExpect() error {
+// validateExpectBlock checks one Expect block; label names the block in
+// error messages ("expect" for the top level, "workload.steps[k].expect"
+// for a workload step).
+func (m *Manifest) validateExpectBlock(e Expect, label string) error {
 	bad := func(format string, args ...any) error {
 		return fmt.Errorf("scenario %q: %s", m.Name, fmt.Sprintf(format, args...))
 	}
-	e := m.Expect
 	switch e.Error {
 	case "", ErrNameNoHonestOutput, ErrNameDisagreement:
 	default:
-		return bad("expect.error %q is not %q or %q", e.Error, ErrNameNoHonestOutput, ErrNameDisagreement)
+		return bad("%s.error %q is not %q or %q", label, e.Error, ErrNameNoHonestOutput, ErrNameDisagreement)
 	}
 	if e.Error != "" {
 		if len(e.Outputs) > 0 || e.Consistent || e.AllHonestTerminate || e.WithinDeadline ||
 			e.MinAgreement > 0 || e.MaxAgreement > 0 || e.MaxTicks > 0 ||
 			e.MaxHonestBytes > 0 || e.MaxHonestMessages > 0 {
-			return bad("expect.error %q cannot be combined with success assertions", e.Error)
+			return bad("%s.error %q cannot be combined with success assertions", label, e.Error)
 		}
 		if e.Error == ErrNameNoHonestOutput && m.EventLimit == 0 {
-			return bad("expect.error %q requires an eventLimit so a non-terminating run is cut off", e.Error)
+			return bad("%s.error %q requires an eventLimit so a non-terminating run is cut off", label, e.Error)
 		}
 	}
 	n := m.Parties.N
 	if e.MinAgreement < 0 || e.MinAgreement > n {
-		return bad("expect.minAgreement %d out of range 0..%d", e.MinAgreement, n)
+		return bad("%s.minAgreement %d out of range 0..%d", label, e.MinAgreement, n)
 	}
 	if e.MaxAgreement < 0 || e.MaxAgreement > n {
-		return bad("expect.maxAgreement %d out of range 0..%d", e.MaxAgreement, n)
+		return bad("%s.maxAgreement %d out of range 0..%d", label, e.MaxAgreement, n)
 	}
 	if e.MaxAgreement != 0 && e.MinAgreement > e.MaxAgreement {
-		return bad("expect.minAgreement %d exceeds expect.maxAgreement %d", e.MinAgreement, e.MaxAgreement)
+		return bad("%s.minAgreement %d exceeds %s.maxAgreement %d", label, e.MinAgreement, label, e.MaxAgreement)
 	}
 	if e.MaxTicks < 0 {
-		return bad("expect.maxTicks must be >= 0, have %d", e.MaxTicks)
+		return bad("%s.maxTicks must be >= 0, have %d", label, e.MaxTicks)
 	}
 	if e.WithinDeadline && m.Network.Kind != "sync" {
-		return bad("expect.withinDeadline requires the sync network (the deadline is a synchronous-run bound)")
+		return bad("%s.withinDeadline requires the sync network (the deadline is a synchronous-run bound)", label)
 	}
 	return nil
 }

@@ -26,18 +26,39 @@ func Build(m *Manifest) (*RunArtifacts, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	if m.Workload != nil {
+		return nil, fmt.Errorf("scenario %q: workload manifest: run it with RunWorkload (the `scenario workload` verb), not Run", m.Name)
+	}
 	circ, err := m.Circuit.Build(m.Parties.N)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: circuit: %w", m.Name, err)
 	}
-	inputs := make([]field.Element, m.Parties.N)
+	cfg, adv := m.engineConfig()
+	return &RunArtifacts{
+		Cfg:       cfg,
+		Circuit:   circ,
+		Inputs:    buildInputs(m.Inputs, m.Parties.N),
+		Adversary: adv,
+	}, nil
+}
+
+// buildInputs materialises a manifest input list (empty = default 1..n).
+func buildInputs(raw []uint64, n int) []field.Element {
+	inputs := make([]field.Element, n)
 	for i := range inputs {
-		if len(m.Inputs) > 0 {
-			inputs[i] = field.New(m.Inputs[i])
+		if len(raw) > 0 {
+			inputs[i] = field.New(raw[i])
 		} else {
 			inputs[i] = field.New(uint64(i + 1))
 		}
 	}
+	return inputs
+}
+
+// engineConfig assembles the manifest's mpc.Config and Adversary — the
+// circuit-independent engine parameters shared by the one-shot runner
+// and the session-workload runner.
+func (m *Manifest) engineConfig() (mpc.Config, *mpc.Adversary) {
 	var adv *mpc.Adversary
 	if !m.Adversary.IsZero() {
 		adv = &mpc.Adversary{
@@ -67,22 +88,17 @@ func Build(m *Manifest) (*RunArtifacts, error) {
 			}
 		}
 	}
-	return &RunArtifacts{
-		Cfg: mpc.Config{
-			N: m.Parties.N, Ts: m.Parties.Ts, Ta: m.Parties.Ta,
-			Network:     mpc.Network(m.Network.Kind),
-			Delta:       m.Network.Delta,
-			Seed:        m.Seed,
-			Tail:        m.Network.Tail,
-			BurstPeriod: m.Network.BurstPeriod,
-			BurstDown:   m.Network.BurstDown,
-			SyncOnly:    m.SyncOnly,
-			EventLimit:  m.EventLimit,
-		},
-		Circuit:   circ,
-		Inputs:    inputs,
-		Adversary: adv,
-	}, nil
+	return mpc.Config{
+		N: m.Parties.N, Ts: m.Parties.Ts, Ta: m.Parties.Ta,
+		Network:     mpc.Network(m.Network.Kind),
+		Delta:       m.Network.Delta,
+		Seed:        m.Seed,
+		Tail:        m.Network.Tail,
+		BurstPeriod: m.Network.BurstPeriod,
+		BurstDown:   m.Network.BurstDown,
+		SyncOnly:    m.SyncOnly,
+		EventLimit:  m.EventLimit,
+	}, adv
 }
 
 // Report is the outcome of one scenario run: the observed figures plus
@@ -170,11 +186,19 @@ func errName(err error) string {
 // and returns the violated assertions. lastHonest is the virtual time
 // of the last honest termination (Report.LastTick).
 func assert(m *Manifest, art *RunArtifacts, res *mpc.Result, runErr error, lastHonest int64) []string {
+	return assertExpect(m.Expect, m.Adversary, art, res, runErr, lastHonest, lastHonest)
+}
+
+// assertExpect evaluates one Expect block. lastAbs is the absolute
+// virtual time of the last honest termination (the deadline check);
+// lastRel is the tick cost attributed to the evaluation (the maxTicks
+// budget) — the two differ for workload steps running late on a
+// long-lived engine clock.
+func assertExpect(e Expect, advSpec AdversarySpec, art *RunArtifacts, res *mpc.Result, runErr error, lastAbs, lastRel int64) []string {
 	var fails []string
 	failf := func(format string, args ...any) {
 		fails = append(fails, fmt.Sprintf(format, args...))
 	}
-	e := m.Expect
 
 	if e.Error != "" {
 		switch {
@@ -223,7 +247,7 @@ func assert(m *Manifest, art *RunArtifacts, res *mpc.Result, runErr error, lastH
 	if e.AllHonestTerminate && !res.AllHonestTerminated(art.Adversary) {
 		var missing []int
 		corrupt := map[int]bool{}
-		for _, p := range m.Adversary.Corrupt() {
+		for _, p := range advSpec.Corrupt() {
 			corrupt[p] = true
 		}
 		for i := 1; i < len(res.PerParty); i++ {
@@ -233,11 +257,11 @@ func assert(m *Manifest, art *RunArtifacts, res *mpc.Result, runErr error, lastH
 		}
 		failf("honest parties %v did not terminate", missing)
 	}
-	if e.MaxTicks > 0 && lastHonest > e.MaxTicks {
-		failf("last honest termination at tick %d exceeds maxTicks %d", lastHonest, e.MaxTicks)
+	if e.MaxTicks > 0 && lastRel > e.MaxTicks {
+		failf("last honest termination at tick %d exceeds maxTicks %d", lastRel, e.MaxTicks)
 	}
-	if e.WithinDeadline && lastHonest > res.Deadline {
-		failf("last honest termination at tick %d exceeds the derived deadline %d", lastHonest, res.Deadline)
+	if e.WithinDeadline && lastAbs > res.Deadline {
+		failf("last honest termination at tick %d exceeds the derived deadline %d", lastAbs, res.Deadline)
 	}
 	if e.MaxHonestBytes > 0 && res.HonestBytes > e.MaxHonestBytes {
 		failf("honest traffic %d bytes exceeds maxHonestBytes %d", res.HonestBytes, e.MaxHonestBytes)

@@ -1,0 +1,361 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/mpc"
+)
+
+// WorkloadSpec is the session-engine section of a manifest: one
+// mpc.Engine is built from the manifest's parties/network/adversary,
+// preprocesses Budget triples once, and then serves the Steps'
+// evaluations in sequence — the amortized offline/online split the
+// paper's ΠPreProcessing exists for, measured end to end.
+type WorkloadSpec struct {
+	// Budget is the number of triples the engine preprocesses up front;
+	// 0 derives it from the steps (the sum of their multiplication
+	// counts). The pool rounds the budget up to whole extraction
+	// batches, so refills are only needed when a budget is set smaller
+	// than the workload consumes.
+	Budget int `json:"budget,omitempty"`
+	// Steps are the evaluations, served in order over the one engine.
+	Steps []WorkloadStep `json:"steps"`
+}
+
+// WorkloadStep is one evaluation of a workload: a circuit, the
+// parties' inputs (empty = default 1..n) and the step's assertions.
+type WorkloadStep struct {
+	Circuit CircuitSpec `json:"circuit"`
+	Inputs  []uint64    `json:"inputs,omitempty"`
+	// Expect is asserted against this evaluation alone. MaxTicks
+	// budgets the evaluation's own duration (ticks since the step
+	// started), not the engine's absolute clock.
+	Expect Expect `json:"expect,omitempty"`
+}
+
+// isZero reports whether no assertion is set (the zero Expect asserts
+// plain success).
+func (e Expect) isZero() bool {
+	return e.Error == "" && len(e.Outputs) == 0 && !e.Consistent &&
+		e.MinAgreement == 0 && e.MaxAgreement == 0 && !e.AllHonestTerminate &&
+		e.MaxTicks == 0 && !e.WithinDeadline && e.MaxHonestBytes == 0 && e.MaxHonestMessages == 0
+}
+
+// validateWorkload checks the workload section; the shared
+// parties/network/adversary fields were already validated.
+func (m *Manifest) validateWorkload() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %q: %s", m.Name, fmt.Sprintf(format, args...))
+	}
+	w := m.Workload
+	if m.Circuit.Family != "" {
+		return bad("workload manifests define circuits per step; drop the top-level circuit")
+	}
+	if len(m.Inputs) != 0 {
+		return bad("workload manifests define inputs per step; drop the top-level inputs")
+	}
+	if !m.Expect.isZero() {
+		return bad("workload manifests assert per step; drop the top-level expect")
+	}
+	if w.Budget < 0 {
+		return bad("workload.budget must be >= 0, have %d", w.Budget)
+	}
+	if len(w.Steps) == 0 {
+		return bad("workload needs at least one step")
+	}
+	for i, s := range w.Steps {
+		if err := s.Circuit.check(m.Parties.N); err != nil {
+			return bad("workload.steps[%d].circuit: %v", i, err)
+		}
+		if len(s.Inputs) != 0 && len(s.Inputs) != m.Parties.N {
+			return bad("workload.steps[%d].inputs: have %d values, need 0 (default 1..n) or exactly n = %d",
+				i, len(s.Inputs), m.Parties.N)
+		}
+		if err := m.validateExpectBlock(s.Expect, fmt.Sprintf("workload.steps[%d].expect", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WorkloadStepReport is one evaluation's outcome and cost.
+type WorkloadStepReport struct {
+	Index   int    `json:"index"`
+	Circuit string `json:"circuit"`
+	Pass    bool   `json:"pass"`
+	// Failures lists the violated step assertions (empty when Pass).
+	Failures []string `json:"failures,omitempty"`
+	// Err is the engine error, "" on success. A pool-exhaustion error
+	// triggers one refill and a retry before it is reported.
+	Err     string   `json:"err,omitempty"`
+	Outputs []uint64 `json:"outputs,omitempty"`
+	CS      []int    `json:"cs,omitempty"`
+	// Triples is the number of pool triples the step consumed.
+	Triples int `json:"triples"`
+	// HonestMessages/HonestBytes are this evaluation's traffic deltas;
+	// Ticks is its duration on the engine clock.
+	HonestMessages uint64 `json:"honestMessages"`
+	HonestBytes    uint64 `json:"honestBytes"`
+	Ticks          int64  `json:"ticks"`
+	// OneShotMessages is the honest traffic of an independent mpc.Run
+	// of the same step (0 when the comparison was not requested).
+	OneShotMessages uint64 `json:"oneShotMessages,omitempty"`
+}
+
+// WorkloadReport is the outcome of RunWorkload: per-step reports plus
+// the amortization summary the workload exists to measure.
+type WorkloadReport struct {
+	Name string `json:"name"`
+	// Pass is true when every step ran and all its assertions held.
+	Pass  bool                 `json:"pass"`
+	Steps []WorkloadStepReport `json:"steps"`
+	// Budget is the preprocessed triple budget (after defaulting);
+	// TriplesGenerated/Consumed the pool accounting at the end.
+	Budget           int `json:"budget"`
+	TriplesGenerated int `json:"triplesGenerated"`
+	TriplesConsumed  int `json:"triplesConsumed"`
+	// PreprocessMessages/Bytes is the honest traffic of all pool fills;
+	// EvalMessages/Bytes the honest traffic of all evaluations.
+	PreprocessMessages uint64 `json:"preprocessMessages"`
+	PreprocessBytes    uint64 `json:"preprocessBytes"`
+	EvalMessages       uint64 `json:"evalMessages"`
+	EvalBytes          uint64 `json:"evalBytes"`
+	// AmortizedMsgsPerEval is (preprocess + eval traffic) / steps;
+	// AmortizedTicksPerEval the mean step duration.
+	AmortizedMsgsPerEval  float64 `json:"amortizedMsgsPerEval"`
+	AmortizedTicksPerEval float64 `json:"amortizedTicksPerEval"`
+	// OneShotMsgsPerEval is the mean one-shot cost of the same steps
+	// and Savings the ratio OneShotMsgsPerEval/AmortizedMsgsPerEval
+	// (only set when the comparison was requested).
+	OneShotMsgsPerEval float64 `json:"oneShotMsgsPerEval,omitempty"`
+	Savings            float64 `json:"savings,omitempty"`
+}
+
+// RunWorkload executes a workload manifest: one engine, one (or more,
+// on exhaustion) preprocessing batches, the steps in order. compare
+// additionally runs every step as an independent one-shot mpc.Run and
+// reports the amortization ratio. The returned error covers
+// manifest/assembly problems; engine errors and assertion failures are
+// reported per step.
+func RunWorkload(m *Manifest, compare bool) (*WorkloadReport, error) {
+	if m.Workload == nil {
+		return nil, fmt.Errorf("scenario %q: not a workload manifest (no workload section)", m.Name)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	type step struct {
+		spec WorkloadStep
+		art  *RunArtifacts
+	}
+	cfg, adv := m.engineConfig()
+	steps := make([]step, len(m.Workload.Steps))
+	budget := m.Workload.Budget
+	autoBudget := budget == 0
+	for i, s := range m.Workload.Steps {
+		circ, err := s.Circuit.Build(m.Parties.N)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: workload.steps[%d]: circuit: %w", m.Name, i, err)
+		}
+		steps[i] = step{spec: s, art: &RunArtifacts{
+			Cfg:       cfg,
+			Circuit:   circ,
+			Inputs:    buildInputs(s.Inputs, m.Parties.N),
+			Adversary: adv,
+		}}
+		if autoBudget {
+			budget += circ.MulCount
+		}
+	}
+	if budget == 0 {
+		budget = 1 // all-linear workload: the engine still preprocesses once
+	}
+
+	eng, err := mpc.NewEngineAdv(cfg, adv)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", m.Name, err)
+	}
+	if _, err := eng.Preprocess(budget); err != nil {
+		return nil, fmt.Errorf("scenario %q: preprocess: %w", m.Name, err)
+	}
+
+	rep := &WorkloadReport{Name: m.Name, Pass: true, Budget: budget}
+	var totalTicks int64
+	var oneShotTotal uint64
+	for i, s := range steps {
+		sr := WorkloadStepReport{Index: i, Circuit: s.spec.Circuit.String(), Triples: s.art.Circuit.MulCount}
+		res, runErr := eng.Evaluate(s.art.Circuit, s.art.Inputs)
+		if runErr != nil && isExhausted(runErr) {
+			// The budgeted pool ran dry mid-workload: refill one batch
+			// sized for this step and retry — the recoverable path the
+			// typed exhaustion error exists for.
+			if _, ferr := eng.Preprocess(max(1, s.art.Circuit.MulCount)); ferr == nil {
+				res, runErr = eng.Evaluate(s.art.Circuit, s.art.Inputs)
+			}
+		}
+		if runErr != nil {
+			sr.Err = errName(runErr)
+		}
+		var lastAbs, lastRel int64
+		if res != nil {
+			corrupt := map[int]bool{}
+			for _, p := range m.Adversary.Corrupt() {
+				corrupt[p] = true
+			}
+			for idx, t := range res.TerminatedAt {
+				if !corrupt[idx] && t > lastAbs {
+					lastAbs = t
+				}
+			}
+			if lastAbs > 0 {
+				lastRel = lastAbs - res.StartedAt
+			}
+			sr.CS = res.CS
+			sr.HonestMessages = res.HonestMessages
+			sr.HonestBytes = res.HonestBytes
+			sr.Ticks = lastRel
+			if runErr == nil {
+				sr.Outputs = make([]uint64, len(res.Outputs))
+				for k, o := range res.Outputs {
+					sr.Outputs[k] = o.Uint64()
+				}
+			}
+		}
+		sr.Failures = assertExpect(s.spec.Expect, m.Adversary, s.art, res, runErr, lastAbs, lastRel)
+		sr.Pass = len(sr.Failures) == 0
+		if !sr.Pass {
+			rep.Pass = false
+		}
+		totalTicks += sr.Ticks
+		if compare {
+			ref, _ := mpc.Run(s.art.Cfg, s.art.Circuit, s.art.Inputs, s.art.Adversary)
+			if ref != nil {
+				sr.OneShotMessages = ref.HonestMessages
+				oneShotTotal += ref.HonestMessages
+			}
+		}
+		rep.Steps = append(rep.Steps, sr)
+	}
+
+	st := eng.Stats()
+	rep.TriplesGenerated = st.TriplesGenerated
+	rep.TriplesConsumed = st.TriplesConsumed
+	rep.PreprocessMessages = st.PreprocessMessages
+	rep.PreprocessBytes = st.PreprocessBytes
+	rep.EvalMessages = st.EvalMessages
+	rep.EvalBytes = st.EvalBytes
+	k := float64(len(steps))
+	rep.AmortizedMsgsPerEval = float64(st.PreprocessMessages+st.EvalMessages) / k
+	rep.AmortizedTicksPerEval = float64(totalTicks) / k
+	if compare {
+		rep.OneShotMsgsPerEval = float64(oneShotTotal) / k
+		if rep.AmortizedMsgsPerEval > 0 {
+			rep.Savings = rep.OneShotMsgsPerEval / rep.AmortizedMsgsPerEval
+		}
+	}
+	return rep, nil
+}
+
+// isExhausted reports a pool-exhaustion engine error.
+func isExhausted(err error) bool {
+	return errors.Is(err, mpc.ErrTriplesExhausted)
+}
+
+// builtinWorkloads is the registry of named built-in workloads, kept
+// separate from the one-shot scenario registry: workload manifests run
+// through RunWorkload, not Run.
+var builtinWorkloads = map[string]*Manifest{}
+
+func registerWorkload(m *Manifest) {
+	if _, dup := builtinWorkloads[m.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate builtin workload %q", m.Name))
+	}
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: invalid builtin workload: %v", err))
+	}
+	builtinWorkloads[m.Name] = m
+}
+
+// WorkloadNames returns the sorted names of the built-in workloads.
+func WorkloadNames() []string {
+	out := make([]string, 0, len(builtinWorkloads))
+	for name := range builtinWorkloads {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuiltinWorkloads returns the built-in workloads sorted by name.
+func BuiltinWorkloads() []*Manifest {
+	out := make([]*Manifest, 0, len(builtinWorkloads))
+	for _, name := range WorkloadNames() {
+		out = append(out, builtinWorkloads[name])
+	}
+	return out
+}
+
+// LookupWorkload returns the built-in workload with the given name.
+func LookupWorkload(name string) (*Manifest, error) {
+	m, ok := builtinWorkloads[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: no builtin workload named %q (see WorkloadNames)", name)
+	}
+	return m, nil
+}
+
+func init() {
+	honestStep := func(c CircuitSpec, minAgree int) WorkloadStep {
+		return WorkloadStep{Circuit: c, Expect: Expect{
+			Consistent: true, AllHonestTerminate: true, MinAgreement: minAgree,
+		}}
+	}
+	// workload-amortize-sync is the acceptance workload: eight mixed
+	// evaluations over one engine, all honest, auto budget — the
+	// fixed-seed manifest behind `make workload-smoke`.
+	registerWorkload(&Manifest{
+		Name:        "workload-amortize-sync",
+		Description: "8 mixed evaluations over one engine, n=5, auto triple budget (amortization headline)",
+		Parties:     boundaryN5, Network: syncNet(), Seed: 1,
+		Workload: &WorkloadSpec{Steps: []WorkloadStep{
+			honestStep(CircuitSpec{Family: "product"}, 5),
+			honestStep(CircuitSpec{Family: "sum"}, 5),
+			honestStep(CircuitSpec{Family: "stats"}, 5),
+			honestStep(CircuitSpec{Family: "polyeval", Coeffs: []uint64{7, 3, 1}}, 5),
+			honestStep(CircuitSpec{Family: "membership"}, 5),
+			honestStep(CircuitSpec{Family: "depth", Depth: 2}, 5),
+			honestStep(CircuitSpec{Family: "product"}, 5),
+			honestStep(CircuitSpec{Family: "stats"}, 5),
+		}},
+	})
+	// workload-refill-sync deliberately under-budgets the pool so the
+	// engine hits the typed exhaustion error mid-workload and recovers
+	// through a refill batch.
+	registerWorkload(&Manifest{
+		Name:        "workload-refill-sync",
+		Description: "under-budgeted pool: exhaustion mid-workload, refill batch, service continues",
+		Parties:     boundaryN5, Network: syncNet(), Seed: 2,
+		Workload: &WorkloadSpec{Budget: 4, Steps: []WorkloadStep{
+			honestStep(CircuitSpec{Family: "product"}, 5),
+			honestStep(CircuitSpec{Family: "product"}, 5),
+			honestStep(CircuitSpec{Family: "product"}, 5),
+		}},
+	})
+	// workload-adversarial-sync keeps the engine serving under a
+	// full-budget adversary (one garbler, one crash) at the flagship
+	// configuration.
+	registerWorkload(&Manifest{
+		Name:        "workload-adversarial-sync",
+		Description: "n=8 engine serving 4 evaluations with a garbling and a silent corruption",
+		Parties:     flagship, Network: syncNet(), Seed: 3,
+		Adversary:   AdversarySpec{Garble: []int{3}, Silent: []int{6}},
+		Workload: &WorkloadSpec{Steps: []WorkloadStep{
+			{Circuit: CircuitSpec{Family: "sum"}, Expect: Expect{Consistent: true, MinAgreement: 6}},
+			{Circuit: CircuitSpec{Family: "product"}, Expect: Expect{Consistent: true, MinAgreement: 6}},
+			{Circuit: CircuitSpec{Family: "stats"}, Expect: Expect{Consistent: true, MinAgreement: 6}},
+			{Circuit: CircuitSpec{Family: "matmul"}, Expect: Expect{Consistent: true, MinAgreement: 6}},
+		}},
+	})
+}
