@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race scenarios workload-smoke fuzz-smoke fuzz-native bench-smoke bench-msgs bench-json ci
+.PHONY: build vet test test-short test-race scenarios workload-smoke fuzz-smoke fuzz-native trace-smoke bench-smoke bench-msgs bench-json ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,15 @@ workload-smoke:
 	$(GO) run ./cmd/scenario workload workload-amortize-sync workload-refill-sync workload-adversarial-sync
 	$(GO) run ./cmd/scenario workload -require-savings workload-amortize-sync
 
+# trace-smoke runs one builtin with the PR 6 trace layer on, then
+# validates the exported Chrome trace (well-formed JSON, non-empty,
+# monotone timestamps). The zero-alloc nil-tracer guard and the
+# trace-on/off differential run as part of the normal test suite
+# (internal/sim, scenario); this checks the end-to-end export path.
+trace-smoke:
+	$(GO) run ./cmd/scenario trace -out /tmp/repro-trace-smoke.json sync-product-honest
+	$(GO) run ./cmd/scenario trace -validate /tmp/repro-trace-smoke.json
+
 # bench-smoke compiles and single-shots every benchmark (CI guard; no
 # stable timing intended).
 bench-smoke:
@@ -58,9 +67,11 @@ bench-msgs:
 
 # bench-json regenerates BENCH_PR3.json (the tracked wall-clock
 # trajectory against the recorded pre-PR2 baseline plus the PR 3
-# per-gate vs per-layer message-complexity rows) and BENCH_PR5.json
-# (the E14 session-engine amortization rows); see docs/performance.md.
+# per-gate vs per-layer message-complexity rows), BENCH_PR5.json
+# (the E14 session-engine amortization rows) and BENCH_PR6.json (the
+# E15 trace-overhead rows); see docs/performance.md and
+# docs/observability.md.
 bench-json:
-	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json -out5 BENCH_PR5.json
+	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json -out5 BENCH_PR5.json -out6 BENCH_PR6.json
 
-ci: build vet test-short bench-smoke bench-msgs workload-smoke fuzz-smoke
+ci: build vet test-short bench-smoke bench-msgs workload-smoke fuzz-smoke trace-smoke

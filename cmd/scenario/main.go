@@ -6,12 +6,14 @@
 //
 //	scenario list     [-json]
 //	scenario validate [-f file.json] [name ...]
-//	scenario run      [-f file.json] [-parallel N] [-json] [--all | name ...]
+//	scenario run      [-f file.json] [-parallel N] [-json] [-trace] [-trace-out dir] [--all | name ...]
 //	scenario sweep    [-seeds A..B] [-parallel N] [-json] [--all | name ...]
-//	scenario workload [-f file.json] [-json] [-compare] [-require-savings] [--all | name ...]
+//	scenario workload [-f file.json] [-json] [-compare] [-require-savings] [-trace] [-trace-out dir] [--all | name ...]
 //	scenario fuzz     [-trials N] [-seed S] [-parallel N] [-json] [-out dir]
-//	scenario fuzz     -replay counterexample.json
-//	scenario bench    [-out BENCH_PR3.json] [-out5 BENCH_PR5.json]
+//	scenario fuzz     -replay counterexample.json [-trace] [-trace-out dir]
+//	scenario trace    [-f file.json] [-out chrome.json] [-jsonl events.jsonl] [name]
+//	scenario trace    -validate chrome.json
+//	scenario bench    [-out BENCH_PR3.json] [-out5 BENCH_PR5.json] [-out6 BENCH_PR6.json]
 //
 // Examples:
 //
@@ -23,6 +25,8 @@
 //	scenario workload workload-amortize-sync -json
 //	scenario fuzz -trials 200 -seed 1 -out /tmp/ce
 //	scenario fuzz -replay /tmp/ce/fuzz-s1-t4-min.json
+//	scenario trace -out /tmp/trace.json workload-amortize-sync
+//	scenario trace -validate /tmp/trace.json
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 
 	"repro/fuzzer"
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/scenario"
 )
 
@@ -57,19 +62,153 @@ func main() {
 		cmdWorkload(os.Args[2:])
 	case "fuzz":
 		cmdFuzz(os.Args[2:])
+	case "trace":
+		cmdTrace(os.Args[2:])
 	case "bench":
 		cmdBench(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
-		fatal("unknown subcommand %q (want list, validate, run, sweep, workload, fuzz or bench)", os.Args[1])
+		fatal("unknown subcommand %q (want list, validate, run, sweep, workload, fuzz, trace or bench)", os.Args[1])
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep|workload|fuzz|bench> [flags] [--all | name ...]")
+	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep|workload|fuzz|trace|bench> [flags] [--all | name ...]")
 	fmt.Fprintln(os.Stderr, "run 'scenario <subcommand> -h' for subcommand flags")
 	os.Exit(2)
+}
+
+// traceDelta returns the manifest's Δ for trace annotation (the
+// engine's default when unset).
+func traceDelta(m *scenario.Manifest) int64 {
+	if m.Network.Delta != 0 {
+		return m.Network.Delta
+	}
+	return 10
+}
+
+// writeTraceFiles exports a collected event stream: Chrome trace JSON
+// to chromePath and/or raw JSONL to jsonlPath ("" skips either).
+func writeTraceFiles(col *obs.Collector, n int, chromePath, jsonlPath string) {
+	write := func(path string, fn func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			fatal("%s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%s: %v", path, err)
+		}
+	}
+	if chromePath != "" {
+		write(chromePath, func(w io.Writer) error { return obs.WriteChromeTrace(w, col.Events(), n) })
+	}
+	if jsonlPath != "" {
+		write(jsonlPath, func(w io.Writer) error { return obs.WriteJSONL(w, col.Events()) })
+	}
+}
+
+// traceOutPaths derives the per-manifest export paths under dir ("" =
+// no file export requested).
+func traceOutPaths(dir, name string) (chromePath, jsonlPath string) {
+	if dir == "" {
+		return "", ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal("%v", err)
+	}
+	return filepath.Join(dir, name+".trace.json"), filepath.Join(dir, name+".jsonl")
+}
+
+// cmdTrace runs one builtin scenario or workload (or a single-manifest
+// file) with tracing on and renders the text timeline summary:
+// per-family round-latency histograms, pool-depth timeline, phase
+// spans. -out/-jsonl additionally export the trace; -validate instead
+// checks an existing Chrome trace file and exits.
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("scenario trace", flag.ExitOnError)
+	file := fs.String("f", "", "trace the manifest in a JSON `file` (exactly one) instead of a builtin")
+	out := fs.String("out", "", "write Chrome trace-event JSON (Perfetto-loadable) to `file`")
+	jsonl := fs.String("jsonl", "", "write the raw event stream as JSONL to `file`")
+	validate := fs.String("validate", "", "validate an existing Chrome trace `file` and exit (runs nothing)")
+	fs.Parse(args)
+
+	if *validate != "" {
+		if *file != "" || *out != "" || *jsonl != "" || fs.NArg() > 0 {
+			fatal("-validate takes no other flags or arguments")
+		}
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := obs.ValidateChromeTrace(data); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("%s: valid Chrome trace\n", *validate)
+		return
+	}
+
+	var m *scenario.Manifest
+	switch {
+	case *file != "":
+		if fs.NArg() > 0 {
+			fatal("-f cannot be combined with a builtin name")
+		}
+		ms, err := scenario.LoadFile(*file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if len(ms) != 1 {
+			fatal("trace runs exactly one manifest; %s holds %d", *file, len(ms))
+		}
+		m = ms[0]
+	case fs.NArg() == 1:
+		name := fs.Arg(0)
+		var err error
+		if m, err = scenario.Lookup(name); err != nil {
+			var werr error
+			if m, werr = scenario.LookupWorkload(name); werr != nil {
+				fatal("no builtin scenario or workload named %q", name)
+			}
+		}
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	col := obs.NewCollector()
+	pass := true
+	if m.Workload != nil {
+		rep, err := scenario.RunWorkloadTraced(m, false, col)
+		if err != nil {
+			fatal("%v", err)
+		}
+		pass = rep.Pass
+		fmt.Printf("workload %s: %d evals, pool %d/%d used\n",
+			rep.Name, len(rep.Steps), rep.TriplesConsumed, rep.TriplesGenerated)
+	} else {
+		rep, err := scenario.RunTraced(m, col)
+		if err != nil {
+			fatal("%v", err)
+		}
+		pass = rep.Pass
+		fmt.Printf("scenario %s: t=%d |CS|=%d\n", rep.Name, rep.LastTick, len(rep.CS))
+	}
+	fmt.Print(obs.Summarize(col.Events(), traceDelta(m)).String())
+	writeTraceFiles(col, m.Parties.N, *out, *jsonl)
+	if *out != "" {
+		fmt.Printf("chrome trace: %s (load at ui.perfetto.dev)\n", *out)
+	}
+	if *jsonl != "" {
+		fmt.Printf("jsonl trace: %s\n", *jsonl)
+	}
+	if !pass {
+		fatal("%s: assertions failed (trace still written)", m.Name)
+	}
 }
 
 // cmdWorkload runs session-engine workload manifests: one mpc.Engine
@@ -83,6 +222,8 @@ func cmdWorkload(args []string) {
 	compare := fs.Bool("compare", true, "also run each step as an independent one-shot mpc.Run and report the amortization ratio")
 	requireSavings := fs.Bool("require-savings", false, "fail unless amortized msgs/eval beats the one-shot msgs/eval (implies -compare)")
 	jsonOut := fs.Bool("json", false, "emit reports as JSON")
+	trace := fs.Bool("trace", false, "trace each workload and print its timeline summary")
+	traceOut := fs.String("trace-out", "", "write per-workload Chrome trace + JSONL files into `dir` (implies tracing)")
 	fs.Parse(args)
 	var ms []*scenario.Manifest
 	switch {
@@ -113,12 +254,26 @@ func cmdWorkload(args []string) {
 		}
 	}
 	doCompare := *compare || *requireSavings
+	doTrace := *trace || *traceOut != ""
 	var reps []*scenario.WorkloadReport
 	failed := 0
 	for _, m := range ms {
-		rep, err := scenario.RunWorkload(m, doCompare)
+		var col *obs.Collector
+		var tr obs.Tracer
+		if doTrace {
+			col = obs.NewCollector()
+			tr = col
+		}
+		rep, err := scenario.RunWorkloadTraced(m, doCompare, tr)
 		if err != nil {
 			fatal("%s: %v", m.Name, err)
+		}
+		if doTrace {
+			if *trace && !*jsonOut {
+				fmt.Print(obs.Summarize(col.Events(), traceDelta(m)).String())
+			}
+			chromePath, jsonlPath := traceOutPaths(*traceOut, m.Name)
+			writeTraceFiles(col, m.Parties.N, chromePath, jsonlPath)
 		}
 		reps = append(reps, rep)
 		bad := !rep.Pass
@@ -176,15 +331,38 @@ func cmdFuzz(args []string) {
 	outDir := fs.String("out", "", "write minimized counterexample manifests into `dir`")
 	inject := fs.String("inject", "", `plant a deliberate violation in every trial ("over-budget"; pipeline self-test)`)
 	replay := fs.String("replay", "", "replay a saved counterexample manifest `file` instead of fuzzing")
+	trace := fs.Bool("trace", false, "with -replay: trace the primary run and print its timeline summary")
+	traceOut := fs.String("trace-out", "", "with -replay: write Chrome trace + JSONL files into `dir`")
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		fatal("fuzz takes no positional arguments, got %v", fs.Args())
 	}
+	if (*trace || *traceOut != "") && *replay == "" {
+		fatal("-trace/-trace-out require -replay (campaign trials run in parallel and are not traced)")
+	}
 
 	if *replay != "" {
-		v, err := fuzzer.ReplayFile(*replay)
+		var col *obs.Collector
+		var tr obs.Tracer
+		if *trace || *traceOut != "" {
+			col = obs.NewCollector()
+			tr = col
+		}
+		data, err := os.ReadFile(*replay)
 		if err != nil {
 			fatal("%v", err)
+		}
+		m, err := scenario.Parse(data)
+		if err != nil {
+			fatal("%v", err)
+		}
+		v := fuzzer.ReplayTraced(m, tr)
+		if col != nil {
+			if *trace && !*jsonOut {
+				fmt.Print(obs.Summarize(col.Events(), traceDelta(m)).String())
+			}
+			chromePath, jsonlPath := traceOutPaths(*traceOut, v.Name)
+			writeTraceFiles(col, m.Parties.N, chromePath, jsonlPath)
 		}
 		if *jsonOut {
 			emitJSON(v)
@@ -257,18 +435,21 @@ func cmdBench(args []string) {
 	fs := flag.NewFlagSet("scenario bench", flag.ExitOnError)
 	out := fs.String("out", "", "write the perf JSON report to `file` (default stdout)")
 	out5 := fs.String("out5", "", "write the E14 amortization JSON report to `file` (default stdout)")
+	out6 := fs.String("out6", "", "write the E15 trace-overhead JSON report to `file` (default stdout)")
 	fs.Parse(args)
 	report, err := bench.RunPerf()
 	if err != nil {
 		fatal("%v", err)
 	}
 	amort := bench.RunAmortization()
-	if *out == "" && *out5 == "" {
-		// Keep stdout a single JSON document: combine the two reports.
+	trace := bench.RunTraceOverhead()
+	if *out == "" && *out5 == "" && *out6 == "" {
+		// Keep stdout a single JSON document: combine the reports.
 		emitJSON(struct {
 			Perf  *bench.PerfReport  `json:"perf"`
 			Amort *bench.AmortReport `json:"amortization"`
-		}{report, amort})
+			Trace *bench.TraceReport `json:"trace_overhead"`
+		}{report, amort, trace})
 	} else {
 		writeReport := func(path string, write func(io.Writer) error) {
 			w := io.Writer(os.Stdout)
@@ -286,6 +467,7 @@ func cmdBench(args []string) {
 		}
 		writeReport(*out, func(w io.Writer) error { return bench.WritePerf(w, report) })
 		writeReport(*out5, func(w io.Writer) error { return bench.WriteAmort(w, amort) })
+		writeReport(*out6, func(w io.Writer) error { return bench.WriteTrace(w, trace) })
 	}
 	if !report.Invariant {
 		fatal("protocol metrics diverged from the recorded baseline — the perf work changed behaviour")
@@ -302,8 +484,14 @@ func cmdBench(args []string) {
 	for _, row := range amort.Rows {
 		fmt.Fprintln(os.Stderr, bench.FormatAmortRow(row))
 	}
+	for _, row := range trace.Rows {
+		fmt.Fprintln(os.Stderr, bench.FormatTraceRow(row))
+	}
 	if !amort.OK {
 		fatal("E14 amortization gate failed: a session engine row diverged from one-shot outputs or did not amortize")
+	}
+	if !trace.OK {
+		fatal("E15 trace gate failed: a traced run diverged from its untraced twin")
 	}
 }
 
@@ -404,8 +592,28 @@ func cmdRun(args []string) {
 	all := fs.Bool("all", false, "run the whole builtin corpus")
 	parallel := fs.Int("parallel", 1, "worker-pool size (0 = GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "emit reports as JSON")
+	trace := fs.Bool("trace", false, "trace each run and print its timeline summary (forces serial execution)")
+	traceOut := fs.String("trace-out", "", "write per-run Chrome trace + JSONL files into `dir` (implies tracing)")
 	fs.Parse(args)
 	ms := selectManifests(fs, *file, *all, fs.Args())
+	if *trace || *traceOut != "" {
+		results := make([]scenario.SweepResult, 0, len(ms))
+		for _, m := range ms {
+			col := obs.NewCollector()
+			rep, err := scenario.RunTraced(m, col)
+			results = append(results, scenario.SweepResult{Manifest: m, Report: rep, Err: err})
+			if err != nil {
+				continue
+			}
+			if *trace && !*jsonOut {
+				fmt.Print(obs.Summarize(col.Events(), traceDelta(m)).String())
+			}
+			chromePath, jsonlPath := traceOutPaths(*traceOut, m.Name)
+			writeTraceFiles(col, m.Parties.N, chromePath, jsonlPath)
+		}
+		report(results, *jsonOut)
+		return
+	}
 	results := scenario.Sweep(ms, *parallel)
 	report(results, *jsonOut)
 }

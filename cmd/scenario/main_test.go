@@ -71,6 +71,10 @@ func TestVerbDispatch(t *testing.T) {
 		{"workload unknown name", []string{"workload", "no-such-workload"}, 1, "", "no builtin workload named"},
 		{"workload all-and-names conflict", []string{"workload", "--all", "workload-refill-sync"}, 1, "", "cannot be combined"},
 		{"list shows workloads", []string{"list"}, 0, "workload-amortize-sync", ""},
+		{"trace needs a name", []string{"trace"}, 2, "", "Usage of scenario trace"},
+		{"trace unknown name", []string{"trace", "no-such-thing"}, 1, "", "no builtin scenario or workload"},
+		{"trace validate is exclusive", []string{"trace", "-validate", "x.json", "sync-sum-honest"}, 1, "", "-validate takes no other"},
+		{"fuzz trace needs replay", []string{"fuzz", "-trace"}, 1, "", "-trace/-trace-out require -replay"},
 	}
 	for _, tt := range tests {
 		tt := tt
@@ -128,6 +132,33 @@ func TestWorkloadVerbEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "maxTicks") {
 		t.Fatalf("step assertion failure not reported:\n%s", stdout)
+	}
+}
+
+// TestTraceVerbEndToEnd drives the trace verb: a traced builtin run
+// prints the timeline summary, exports Chrome + JSONL files, and the
+// exported Chrome trace passes the verb's own validator.
+func TestTraceVerbEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "trace.json")
+	jsonl := filepath.Join(dir, "events.jsonl")
+	stdout, stderr, code := runCLI(t, "trace", "-out", chrome, "-jsonl", jsonl, "sync-sum-honest")
+	if code != 0 {
+		t.Fatalf("trace exited %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, want := range []string{"per-family delivery latency", "phases:", "activity timeline"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("summary missing %q:\n%s", want, stdout)
+		}
+	}
+	for _, path := range []string{chrome, jsonl} {
+		if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+			t.Fatalf("export %s missing or empty (%v)", path, err)
+		}
+	}
+	stdout, stderr, code = runCLI(t, "trace", "-validate", chrome)
+	if code != 0 || !strings.Contains(stdout, "valid Chrome trace") {
+		t.Fatalf("validate exited %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
 	}
 }
 

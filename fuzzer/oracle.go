@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 
+	"repro/internal/obs"
 	"repro/mpc"
 	"repro/scenario"
 )
@@ -87,7 +88,12 @@ func (v *Verdict) violate(oracle, format string, args ...any) {
 // Unlike scenario.Run, Check ignores the manifest's Expect block: the
 // oracles are universally-quantified properties of *every* in-budget
 // run, not per-scenario expectations.
-func Check(m *scenario.Manifest) *Verdict {
+func Check(m *scenario.Manifest) *Verdict { return checkWith(m, nil) }
+
+// checkWith is Check with a trace sink on the primary (layered) run.
+// The mode-agreement reference run stays untraced: it is a separate
+// world whose events would interleave confusingly with the primary's.
+func checkWith(m *scenario.Manifest, tr obs.Tracer) *Verdict {
 	v := &Verdict{Name: m.Name}
 
 	budget := NetworkBudget(m.Parties, m.Network.Kind)
@@ -103,7 +109,7 @@ func Check(m *scenario.Manifest) *Verdict {
 		return v
 	}
 
-	res, runErr := runRecovered(art.Cfg, art)
+	res, runErr := runRecovered(art.Cfg, art, tr)
 	if res != nil {
 		v.Events = res.Events
 		v.HonestMessages = res.HonestMessages
@@ -175,7 +181,7 @@ func Check(m *scenario.Manifest) *Verdict {
 	// same outputs and agreement set as the layered default.
 	refCfg := art.Cfg
 	refCfg.PerGateEval = true
-	ref, refErr := runRecovered(refCfg, art)
+	ref, refErr := runRecovered(refCfg, art, nil)
 	switch {
 	case refErr != nil:
 		v.violate(OracleModeAgreement, "per-gate evaluator failed where layered succeeded: %v", refErr)
@@ -202,13 +208,13 @@ func Check(m *scenario.Manifest) *Verdict {
 // the campaign down.
 var errEnginePanic = errors.New("engine panicked")
 
-func runRecovered(cfg mpc.Config, art *scenario.RunArtifacts) (res *mpc.Result, err error) {
+func runRecovered(cfg mpc.Config, art *scenario.RunArtifacts, tr obs.Tracer) (res *mpc.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("%w: %v", errEnginePanic, r)
 		}
 	}()
-	return mpc.Run(cfg, art.Circuit, art.Inputs, art.Adversary)
+	return mpc.RunTraced(cfg, art.Circuit, art.Inputs, art.Adversary, tr)
 }
 
 // tickBudget is the termination deadline a trial must meet: the derived

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/scenario"
 )
 
@@ -12,6 +13,24 @@ import (
 // reproduces the original verdict bit for bit — the fuzz failure is a
 // permanent regression test, not a flake.
 func Replay(m *scenario.Manifest) *Verdict { return Check(m) }
+
+// ReplayTraced replays a manifest with a trace sink on the primary
+// run, so a counterexample's failure can be inspected on the event
+// timeline (`scenario fuzz -replay ce.json -trace`).
+func ReplayTraced(m *scenario.Manifest, tr obs.Tracer) *Verdict { return checkWith(m, tr) }
+
+// ReplayFileTraced is ReplayFile with a trace sink (see ReplayTraced).
+func ReplayFileTraced(path string, tr obs.Tracer) (*Verdict, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzer: %w", err)
+	}
+	m, err := scenario.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return ReplayTraced(m, tr), nil
+}
 
 // ReplayJSON parses a saved manifest (strictly, but without validation
 // — counterexamples may deliberately violate validation, e.g. an

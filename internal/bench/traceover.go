@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/circuit"
+	"repro/field"
+	"repro/internal/obs"
+	"repro/mpc"
+)
+
+// TraceRow is one trace-overhead measurement: the same full protocol
+// run (mpc.Run) wall-clocked untraced and traced into a fresh
+// in-memory collector. Overhead is traced/untraced; Events is the
+// event-stream length of one seed-1 run; OutputsOK requires the traced
+// and untraced runs to agree with each other and with the clear
+// circuit (tracing may never change behaviour).
+type TraceRow struct {
+	Name       string  `json:"name"`
+	UntracedNs int64   `json:"untraced_ns_per_op"`
+	TracedNs   int64   `json:"traced_ns_per_op"`
+	Overhead   float64 `json:"overhead"`
+	Events     int     `json:"events_per_run"`
+	OutputsOK  bool    `json:"outputs_ok"`
+}
+
+// TraceReport is the JSON document emitted to BENCH_PR6.json: the PR 6
+// tracing-layer overhead figures. The nil-tracer path is additionally
+// guarded by a 0-alloc test (internal/sim TestNilTracerZeroAllocDeliverPath);
+// this report quantifies the *enabled* cost.
+type TraceReport struct {
+	Note string     `json:"note"`
+	Rows []TraceRow `json:"trace_overhead_pr6"`
+	OK   bool       `json:"ok"`
+}
+
+// traceCase is the tracked workload: a full end-to-end run (ACS input
+// phase, triple preprocessing, layered online phase) so every
+// instrumented subsystem contributes events.
+func traceCase() (name string, cfg mpc.Config, circ *circuit.Circuit, inputs []field.Element) {
+	p := Config5()
+	cfg = mpc.Config{N: p.N, Ts: p.Ts, Ta: p.Ta, Network: mpc.Sync, Delta: int64(p.Delta)}
+	circ = circuit.Product(p.N)
+	inputs = make([]field.Element, p.N)
+	for i := range inputs {
+		inputs[i] = field.New(uint64(i + 1))
+	}
+	return "E15Trace/product/n5", cfg, circ, inputs
+}
+
+// RunTraceOverhead wall-clocks the tracked case untraced vs traced
+// (fresh obs.Collector per iteration, like a real `scenario trace`
+// invocation) and verifies output/metric equality between the modes.
+func RunTraceOverhead() *TraceReport {
+	name, cfg, circ, inputs := traceCase()
+	report := &TraceReport{
+		Note: "wall-clock of one full mpc.Run untraced vs traced into a fresh in-memory " +
+			"collector; outputs and honest-traffic metrics must be identical between modes " +
+			"(the nil-tracer hot path is separately guarded to 0 allocs/op)",
+		OK: true,
+	}
+
+	run := func(seed uint64, tr obs.Tracer) (*mpc.Result, error) {
+		c := cfg
+		c.Seed = seed
+		return mpc.RunTraced(c, circ, inputs, nil, tr)
+	}
+
+	// Equality check at the recorded-baseline seed.
+	refCol := obs.NewCollector()
+	plain, errP := run(1, nil)
+	traced, errT := run(1, refCol)
+	ok := errP == nil && errT == nil
+	if ok {
+		want, err := mpc.ExpectedOutputs(circ, inputs, plain.CS)
+		ok = err == nil && len(plain.Outputs) == len(want)
+		for i := 0; ok && i < len(want); i++ {
+			ok = plain.Outputs[i] == want[i] && traced.Outputs[i] == want[i]
+		}
+		ok = ok &&
+			plain.HonestMessages == traced.HonestMessages &&
+			plain.HonestBytes == traced.HonestBytes &&
+			plain.Events == traced.Events
+	}
+
+	untraced := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(uint64(i), nil)
+		}
+	})
+	withTrace := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(uint64(i), obs.NewCollector())
+		}
+	})
+
+	row := TraceRow{
+		Name:       name,
+		UntracedNs: untraced.NsPerOp(),
+		TracedNs:   withTrace.NsPerOp(),
+		Overhead:   float64(withTrace.NsPerOp()) / float64(untraced.NsPerOp()),
+		Events:     refCol.Len(),
+		OutputsOK:  ok,
+	}
+	report.Rows = append(report.Rows, row)
+	report.OK = report.OK && ok
+	return report
+}
+
+// WriteTrace renders the report as indented JSON.
+func WriteTrace(w io.Writer, report *TraceReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// FormatTraceRow renders one row for the CLI's stderr summary.
+func FormatTraceRow(r TraceRow) string {
+	return fmt.Sprintf("%-24s untraced %8.2fms traced %8.2fms (%.2fx, %d events)",
+		r.Name, float64(r.UntracedNs)/1e6, float64(r.TracedNs)/1e6, r.Overhead, r.Events)
+}

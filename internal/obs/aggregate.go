@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket 0
+// counts latency 0, bucket i counts latencies in [2^(i-1), 2^i).
+// 2^30 ticks is far beyond any simulated run.
+const histBuckets = 32
+
+// Hist is a power-of-two histogram over non-negative tick values with
+// exact min/max/mean tracking — the round-latency summary unit.
+type Hist struct {
+	Count   uint64
+	Sum     uint64
+	Min     int64
+	Max     int64
+	Buckets [histBuckets]uint64
+}
+
+// bucketOf returns the bucket index of v: 0 for v<=0, else
+// 1+floor(log2(v)).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketLo returns the inclusive lower bound of bucket i.
+func bucketLo(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1) << (i - 1)
+}
+
+// Add records one observation.
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += uint64(v)
+	h.Buckets[bucketOf(v)]++
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]),
+// resolved to bucket granularity: the smallest bucket upper bound
+// covering at least q of the observations.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	want := uint64(q * float64(h.Count))
+	if want >= h.Count {
+		return h.Max
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.Buckets[i]
+		if seen > want {
+			hi := bucketLo(i+1) - 1
+			if hi > h.Max {
+				hi = h.Max
+			}
+			return hi
+		}
+	}
+	return h.Max
+}
+
+// FamilyStats aggregates one protocol family's delivered traffic.
+type FamilyStats struct {
+	Family   string
+	Messages uint64
+	Bytes    uint64
+	// Latency is the histogram of per-message delivery latencies in
+	// ticks (send → deliver).
+	Latency Hist
+}
+
+// TickPoint is one entry of the per-tick activity timeline.
+type TickPoint struct {
+	Tick int64
+	// Delivered counts messages delivered at this tick; QueueDepth is
+	// the scheduler's pending-event count at tick entry.
+	Delivered  uint64
+	QueueDepth int64
+}
+
+// PoolPoint is one entry of the triple-pool gauge series (a single
+// representative party — honest pools are symmetric).
+type PoolPoint struct {
+	Tick int64
+	// Available is the unreserved pool depth after the operation;
+	// Reserved the cumulative net reservations.
+	Available int64
+	Reserved  int64
+	// Kind is the pool operation that produced the point.
+	Kind Kind
+}
+
+// PhaseSpan is one engine lifecycle phase (preprocess batch or
+// evaluation epoch) with its observed cost.
+type PhaseSpan struct {
+	Name  string
+	Seq   int64
+	Begin int64
+	End   int64
+	// Msgs is the phase's honest message cost as reported at phase end.
+	Msgs int64
+}
+
+// Summary is the reduction of an event stream: per-family latency
+// histograms, the per-tick activity timeline, pool gauge series and
+// phase spans — everything `scenario trace` renders and the tests
+// assert on.
+type Summary struct {
+	// Delta is the Δ the run was configured with (annotation only).
+	Delta int64
+	// Events counts the input events by kind.
+	Events [kindCount]uint64
+	// Total is the number of input events; LastTick the largest tick.
+	Total    uint64
+	LastTick int64
+	// Families holds the per-family delivered-traffic stats, sorted by
+	// family name.
+	Families []*FamilyStats
+	// Timeline is the per-tick activity series, in tick order (only
+	// ticks with scheduler activity appear).
+	Timeline []TickPoint
+	// Pool is the pool gauge series of the lowest-numbered party that
+	// emitted pool events (pools are symmetric across honest parties).
+	Pool []PoolPoint
+	// Phases lists engine lifecycle phases in begin order.
+	Phases []PhaseSpan
+}
+
+// Summarize reduces events (in emission order) to a Summary. delta is
+// the run's Δ in ticks, used only for annotation.
+func Summarize(events []Event, delta int64) *Summary {
+	s := &Summary{Delta: delta}
+	fams := map[string]*FamilyStats{}
+	var curTick *TickPoint
+	poolParty := 0
+	var poolReserved int64
+	type openPhase struct {
+		name  string
+		seq   int64
+		begin int64
+	}
+	var open []openPhase
+	for _, ev := range events {
+		s.Total++
+		if int(ev.Kind) < len(s.Events) {
+			s.Events[ev.Kind]++
+		}
+		if ev.Tick > s.LastTick {
+			s.LastTick = ev.Tick
+		}
+		switch ev.Kind {
+		case KTick:
+			s.Timeline = append(s.Timeline, TickPoint{Tick: ev.Tick, QueueDepth: ev.A})
+			curTick = &s.Timeline[len(s.Timeline)-1]
+		case KDeliver:
+			f := fams[ev.Family()]
+			if f == nil {
+				f = &FamilyStats{Family: ev.Family()}
+				fams[f.Family] = f
+			}
+			f.Messages++
+			f.Bytes += uint64(ev.Bytes)
+			f.Latency.Add(ev.A)
+			if curTick != nil && curTick.Tick == ev.Tick {
+				curTick.Delivered++
+			}
+		case KPoolFill, KPoolFillDone, KPoolReserve, KPoolRelease, KPoolExhaust:
+			if poolParty == 0 {
+				poolParty = ev.Party
+			}
+			if ev.Party != poolParty {
+				continue // symmetric siblings: track one party's gauges
+			}
+			switch ev.Kind {
+			case KPoolReserve:
+				poolReserved += ev.A
+			case KPoolRelease:
+				poolReserved -= ev.A
+			}
+			s.Pool = append(s.Pool, PoolPoint{Tick: ev.Tick, Available: ev.B, Reserved: poolReserved, Kind: ev.Kind})
+		case KPhaseBegin:
+			open = append(open, openPhase{name: ev.Inst, seq: ev.A, begin: ev.Tick})
+		case KPhaseEnd:
+			// Engine phases are sequential; match the innermost open one.
+			if n := len(open); n > 0 {
+				p := open[n-1]
+				open = open[:n-1]
+				s.Phases = append(s.Phases, PhaseSpan{Name: p.name, Seq: p.seq, Begin: p.begin, End: ev.Tick, Msgs: ev.B})
+			}
+		}
+	}
+	for _, p := range open { // unterminated phases (run aborted)
+		s.Phases = append(s.Phases, PhaseSpan{Name: p.name, Seq: p.seq, Begin: p.begin, End: -1})
+	}
+	sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Begin < s.Phases[j].Begin })
+	for _, f := range fams {
+		s.Families = append(s.Families, f)
+	}
+	sort.Slice(s.Families, func(i, j int) bool { return s.Families[i].Family < s.Families[j].Family })
+	return s
+}
+
+// timelineRows bounds the rendered timeline length: longer runs are
+// re-bucketed into at most this many tick ranges.
+const timelineRows = 24
+
+// Format renders the summary as the `scenario trace` text report:
+// totals, phase spans, per-family round-latency histograms, the pool
+// depth timeline and the queue-depth/delivery timeline.
+func (s *Summary) Format(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d events, last tick %d", s.Total, s.LastTick)
+	if s.Delta > 0 {
+		fmt.Fprintf(w, " (%d Δ of %d ticks)", (s.LastTick+s.Delta-1)/s.Delta, s.Delta)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  sends %d  delivers %d  timers %d  instances %d  ticks %d\n",
+		s.Events[KSend], s.Events[KDeliver], s.Events[KTimer], s.Events[KInstance], s.Events[KTick])
+
+	if len(s.Phases) > 0 {
+		fmt.Fprintln(w, "phases:")
+		for _, p := range s.Phases {
+			if p.End < 0 {
+				fmt.Fprintf(w, "  %-12s #%-3d t=%-8d (unterminated)\n", p.Name, p.Seq, p.Begin)
+				continue
+			}
+			fmt.Fprintf(w, "  %-12s #%-3d t=%d..%d  %6d ticks  %8d msgs\n",
+				p.Name, p.Seq, p.Begin, p.End, p.End-p.Begin, p.Msgs)
+		}
+	}
+
+	if len(s.Families) > 0 {
+		fmt.Fprintln(w, "per-family delivery latency (ticks):")
+		for _, f := range s.Families {
+			fmt.Fprintf(w, "  %-12s %8d msgs %12d bytes  min=%d p50=%d p99=%d max=%d mean=%.1f\n",
+				f.Family, f.Messages, f.Bytes,
+				f.Latency.Min, f.Latency.Quantile(0.50), f.Latency.Quantile(0.99), f.Latency.Max, f.Latency.Mean())
+			fmt.Fprint(w, histBars(&f.Latency))
+		}
+	}
+
+	if len(s.Pool) > 0 {
+		fmt.Fprintln(w, "pool depth timeline (available/reserved):")
+		for _, p := range s.Pool {
+			fmt.Fprintf(w, "  t=%-8d %-14s avail=%-6d reserved=%d\n", p.Tick, p.Kind, p.Available, p.Reserved)
+		}
+	}
+
+	if len(s.Timeline) > 0 {
+		fmt.Fprintln(w, "activity timeline (ticks × deliveries, max queue depth):")
+		fmt.Fprint(w, timelineRowsFor(s.Timeline))
+	}
+}
+
+// String renders Format to a string.
+func (s *Summary) String() string {
+	var b strings.Builder
+	s.Format(&b)
+	return b.String()
+}
+
+// histBars renders the non-empty buckets of h as indented bar rows.
+func histBars(h *Hist) string {
+	var peak uint64
+	for _, c := range h.Buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		width := int(c * 40 / peak)
+		if width == 0 {
+			width = 1
+		}
+		lo := bucketLo(i)
+		hi := bucketLo(i+1) - 1
+		if i == 0 {
+			hi = 0
+		}
+		fmt.Fprintf(&b, "    %6d..%-6d %8d %s\n", lo, hi, c, strings.Repeat("#", width))
+	}
+	return b.String()
+}
+
+// timelineRowsFor re-buckets the per-tick series into at most
+// timelineRows ranges and renders delivery counts with queue-depth
+// peaks.
+func timelineRowsFor(tl []TickPoint) string {
+	if len(tl) == 0 {
+		return ""
+	}
+	first, last := tl[0].Tick, tl[len(tl)-1].Tick
+	span := last - first + 1
+	step := (span + timelineRows - 1) / timelineRows
+	if step < 1 {
+		step = 1
+	}
+	type row struct {
+		lo, hi    int64
+		delivered uint64
+		maxDepth  int64
+	}
+	rows := []row{}
+	idx := 0
+	for lo := first; lo <= last; lo += step {
+		hi := lo + step - 1
+		r := row{lo: lo, hi: hi}
+		for idx < len(tl) && tl[idx].Tick <= hi {
+			r.delivered += tl[idx].Delivered
+			if tl[idx].QueueDepth > r.maxDepth {
+				r.maxDepth = tl[idx].QueueDepth
+			}
+			idx++
+		}
+		rows = append(rows, r)
+	}
+	var peak uint64
+	for _, r := range rows {
+		if r.delivered > peak {
+			peak = r.delivered
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		width := 0
+		if peak > 0 {
+			width = int(r.delivered * 40 / peak)
+		}
+		if r.delivered > 0 && width == 0 {
+			width = 1
+		}
+		fmt.Fprintf(&b, "  t=%6d..%-6d %8d msgs  depth<=%-6d %s\n",
+			r.lo, r.hi, r.delivered, r.maxDepth, strings.Repeat("#", width))
+	}
+	return b.String()
+}

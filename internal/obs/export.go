@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// jsonlEvent is the JSONL wire form of an Event: short stable keys,
+// zero-valued fields omitted, Kind as its wire name. The mapping is
+// k=kind, t=tick, p=party, q=peer, i=inst, m=message type, b=bytes,
+// a/v=the A/B payload slots.
+type jsonlEvent struct {
+	K string `json:"k"`
+	T int64  `json:"t"`
+	P int    `json:"p,omitempty"`
+	Q int    `json:"q,omitempty"`
+	I string `json:"i,omitempty"`
+	M uint8  `json:"m,omitempty"`
+	B int64  `json:"b,omitempty"`
+	A int64  `json:"a,omitempty"`
+	V int64  `json:"v,omitempty"`
+}
+
+// WriteJSONL writes events as one JSON object per line. The output is
+// a pure function of the event sequence, so identical runs produce
+// byte-identical files (the determinism tests pin this).
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(jsonlEvent{
+			K: ev.Kind.String(),
+			T: ev.Tick,
+			P: ev.Party,
+			Q: ev.Peer,
+			I: ev.Inst,
+			M: ev.Type,
+			B: ev.Bytes,
+			A: ev.A,
+			V: ev.B,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace back into events (the replay half of
+// WriteJSONL, used by `scenario trace -validate` tooling and tests).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	dec := json.NewDecoder(r)
+	for {
+		var je jsonlEvent
+		if err := dec.Decode(&je); err != nil {
+			if err == io.EOF {
+				return events, nil
+			}
+			return nil, err
+		}
+		k, ok := KindByName(je.K)
+		if !ok {
+			return nil, fmt.Errorf("obs: unknown event kind %q at record %d", je.K, len(events))
+		}
+		events = append(events, Event{
+			Kind: k, Tick: je.T, Party: je.P, Peer: je.Q,
+			Inst: je.I, Type: je.M, Bytes: je.B, A: je.A, B: je.V,
+		})
+	}
+}
+
+// chromeEvent is one Chrome trace-event record. The format is the
+// Google trace-event JSON consumed by Perfetto / chrome://tracing:
+// ph is the phase type ("i" instant, "C" counter, "B"/"E" duration,
+// "M" metadata), ts is microseconds, pid/tid locate the track.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level Chrome trace JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Chrome export track layout: everything lives in pid 1
+// ("simulation"); tid 0 is the scheduler/engine track and tid i is
+// party i.
+const (
+	chromePid      = 1
+	chromeSchedTid = 0
+)
+
+// WriteChromeTrace writes events as Chrome trace-event JSON loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Virtual ticks map
+// to microseconds, parties to threads, protocol families to event
+// names. n is the party count (for thread metadata); pass 0 to derive
+// it from the events.
+//
+// Mapping: KDeliver → "i" instants on the addressee's thread named by
+// family; KTick → a "C" queue-depth counter; pool events → a "C"
+// pool counter (available + reserved series, one representative
+// party); KPhaseBegin/End → "B"/"E" spans on the scheduler track;
+// epoch and exhaustion events → instants. KSend is deliberately
+// omitted (it duplicates KDeliver minus latency; the JSONL export has
+// it) to halve file size.
+func WriteChromeTrace(w io.Writer, events []Event, n int) error {
+	if n == 0 {
+		for _, ev := range events {
+			if ev.Party > n {
+				n = ev.Party
+			}
+		}
+	}
+	evs := make([]chromeEvent, 0, len(events)+n+2)
+	// Metadata first: process and thread names (ts 0, sorts before all).
+	meta := func(name, value string, tid int) {
+		evs = append(evs, chromeEvent{
+			Name: name, Ph: "M", Pid: chromePid, Tid: tid,
+			Args: map[string]any{"name": value},
+		})
+	}
+	meta("process_name", "simulation", chromeSchedTid)
+	meta("thread_name", "scheduler", chromeSchedTid)
+	for p := 1; p <= n; p++ {
+		meta("thread_name", "party "+strconv.Itoa(p), p)
+	}
+
+	poolParty := 0
+	var poolReserved int64
+	for _, ev := range events {
+		switch ev.Kind {
+		case KDeliver:
+			evs = append(evs, chromeEvent{
+				Name: ev.Family(), Ph: "i", Ts: ev.Tick, Pid: chromePid, Tid: ev.Party, S: "t",
+				Args: map[string]any{
+					"inst": ev.Inst, "from": ev.Peer, "type": ev.Type,
+					"bytes": ev.Bytes, "latency": ev.A,
+				},
+			})
+		case KTick:
+			evs = append(evs, chromeEvent{
+				Name: "queue depth", Ph: "C", Ts: ev.Tick, Pid: chromePid, Tid: chromeSchedTid,
+				Args: map[string]any{"pending": ev.A},
+			})
+		case KPhaseBegin:
+			evs = append(evs, chromeEvent{
+				Name: ev.Inst, Ph: "B", Ts: ev.Tick, Pid: chromePid, Tid: chromeSchedTid,
+				Args: map[string]any{"seq": ev.A},
+			})
+		case KPhaseEnd:
+			evs = append(evs, chromeEvent{
+				Name: ev.Inst, Ph: "E", Ts: ev.Tick, Pid: chromePid, Tid: chromeSchedTid,
+				Args: map[string]any{"ticks": ev.A, "msgs": ev.B},
+			})
+		case KEpochBegin, KEpochRetire:
+			evs = append(evs, chromeEvent{
+				Name: ev.Kind.String(), Ph: "i", Ts: ev.Tick, Pid: chromePid, Tid: chromeSchedTid, S: "p",
+				Args: map[string]any{"seq": ev.A, "ns": ev.Inst},
+			})
+		case KPoolFill, KPoolFillDone, KPoolReserve, KPoolRelease:
+			// One representative party's gauges: honest pools are symmetric,
+			// and n near-identical counter tracks would drown the view.
+			if poolParty == 0 {
+				poolParty = ev.Party
+			}
+			if ev.Party != poolParty {
+				continue
+			}
+			switch ev.Kind {
+			case KPoolReserve:
+				poolReserved += ev.A
+			case KPoolRelease:
+				poolReserved -= ev.A
+			}
+			evs = append(evs, chromeEvent{
+				Name: "triple pool", Ph: "C", Ts: ev.Tick, Pid: chromePid, Tid: chromeSchedTid,
+				Args: map[string]any{"available": ev.B, "reserved": poolReserved},
+			})
+		case KPoolExhaust:
+			evs = append(evs, chromeEvent{
+				Name: "pool exhausted", Ph: "i", Ts: ev.Tick, Pid: chromePid, Tid: ev.Party, S: "g",
+				Args: map[string]any{"need": ev.A, "have": ev.B},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// ValidateChromeTrace checks that data is a well-formed, non-empty
+// Chrome trace with monotone timestamps and known phase types — the
+// contract `make trace-smoke` enforces on emitted files.
+func ValidateChromeTrace(data []byte) error {
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no events")
+	}
+	var lastTs int64
+	seenNonMeta := false
+	for i, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue // metadata carries no timestamp
+		case "i", "C", "B", "E":
+		default:
+			return fmt.Errorf("obs: event %d has unknown phase type %q", i, ev.Ph)
+		}
+		if ev.Ts < lastTs {
+			return fmt.Errorf("obs: event %d (%s %q) breaks timestamp monotonicity: ts %d after %d",
+				i, ev.Ph, ev.Name, ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+		seenNonMeta = true
+	}
+	if !seenNonMeta {
+		return fmt.Errorf("obs: trace has only metadata events")
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "kind(") {
+			t.Fatalf("kind %d has no wire name", k)
+		}
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Fatalf("KindByName(%q) = %v, %v; want %v, true", name, got, ok, k)
+		}
+	}
+	if _, ok := KindByName("no-such-kind"); ok {
+		t.Fatal("KindByName accepted an unknown name")
+	}
+}
+
+func TestEventFamily(t *testing.T) {
+	cases := map[string]string{
+		"acs/vote/3": "acs",
+		"ba":         "ba",
+		"":           "",
+		"pool/b0/tr": "pool",
+	}
+	for inst, want := range cases {
+		if got := (Event{Inst: inst}).Family(); got != want {
+			t.Errorf("Family(%q) = %q, want %q", inst, got, want)
+		}
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	c.Emit(Event{Kind: KSend, Tick: 1})
+	c.Emit(Event{Kind: KDeliver, Tick: 2})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	evs := c.Events()
+	if evs[0].Kind != KSend || evs[1].Kind != KDeliver {
+		t.Fatalf("events out of order: %+v", evs)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", c.Len())
+	}
+}
+
+func TestHist(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []int64{0, 1, 1, 2, 3, 5, 8, 100} {
+		h.Add(v)
+	}
+	if h.Count != 8 {
+		t.Fatalf("Count = %d, want 8", h.Count)
+	}
+	if h.Min != 0 || h.Max != 100 {
+		t.Fatalf("Min/Max = %d/%d, want 0/100", h.Min, h.Max)
+	}
+	if got := h.Mean(); got != 15.0 {
+		t.Fatalf("Mean = %v, want 15", got)
+	}
+	// p50: 8 obs, want index 4 → bucket covering value 3 ⇒ upper bound 3.
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("Quantile(0.5) = %d, want 3", got)
+	}
+	// p100 clamps to max exactly.
+	if got := h.Quantile(1.0); got != 100 {
+		t.Fatalf("Quantile(1.0) = %d, want 100", got)
+	}
+	// Quantile upper bounds never exceed Max.
+	if got := h.Quantile(0.99); got > h.Max {
+		t.Fatalf("Quantile(0.99) = %d exceeds max %d", got, h.Max)
+	}
+	h.Add(-5) // negative clamps to 0
+	if h.Min != 0 || h.Buckets[0] != 2 {
+		t.Fatalf("negative add mishandled: min=%d bucket0=%d", h.Min, h.Buckets[0])
+	}
+}
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KTick, Tick: 0, A: 3},
+		{Kind: KInstance, Tick: 0, Party: 1, Inst: "acs/vote"},
+		{Kind: KPhaseBegin, Tick: 0, Inst: "preprocess", A: 0},
+		{Kind: KSend, Tick: 0, Party: 1, Peer: 2, Inst: "acs/vote", Bytes: 40, A: 2},
+		{Kind: KPoolFill, Tick: 0, Party: 1, Inst: "pool/b0", A: 4, B: 0},
+		{Kind: KTick, Tick: 2, A: 1},
+		{Kind: KDeliver, Tick: 2, Party: 2, Peer: 1, Inst: "acs/vote", Bytes: 40, A: 2},
+		{Kind: KPoolFillDone, Tick: 2, Party: 1, Inst: "pool/b0", A: 4, B: 4},
+		{Kind: KPhaseEnd, Tick: 2, Inst: "preprocess", A: 2, B: 1},
+		{Kind: KPhaseBegin, Tick: 3, Inst: "evaluate", A: 0},
+		{Kind: KPoolReserve, Tick: 3, Party: 1, A: 2, B: 2},
+		{Kind: KPoolReserve, Tick: 3, Party: 2, A: 2, B: 2}, // other party: skipped by gauges
+		{Kind: KTick, Tick: 4, A: 2},
+		{Kind: KDeliver, Tick: 4, Party: 1, Peer: 2, Inst: "ba/round", Bytes: 16, A: 1},
+		{Kind: KPoolRelease, Tick: 5, Party: 1, A: 1, B: 3},
+		{Kind: KEpochRetire, Tick: 6, Inst: "mpc/e0", A: 0},
+		{Kind: KPhaseEnd, Tick: 6, Inst: "evaluate", A: 3, B: 1},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleEvents(), 2)
+	if s.Total != 17 || s.LastTick != 6 {
+		t.Fatalf("Total/LastTick = %d/%d, want 17/6", s.Total, s.LastTick)
+	}
+	if len(s.Families) != 2 || s.Families[0].Family != "acs" || s.Families[1].Family != "ba" {
+		t.Fatalf("families = %+v", s.Families)
+	}
+	acs := s.Families[0]
+	if acs.Messages != 1 || acs.Bytes != 40 || acs.Latency.Max != 2 {
+		t.Fatalf("acs stats = %+v", acs)
+	}
+	if len(s.Phases) != 2 || s.Phases[0].Name != "preprocess" || s.Phases[1].Name != "evaluate" {
+		t.Fatalf("phases = %+v", s.Phases)
+	}
+	if s.Phases[1].Begin != 3 || s.Phases[1].End != 6 {
+		t.Fatalf("evaluate span = %+v", s.Phases[1])
+	}
+	// Pool gauges track party 1 only: fill, fill-done, reserve, release.
+	if len(s.Pool) != 4 {
+		t.Fatalf("pool points = %+v", s.Pool)
+	}
+	if s.Pool[2].Reserved != 2 || s.Pool[3].Reserved != 1 {
+		t.Fatalf("reservation gauge wrong: %+v", s.Pool)
+	}
+	if len(s.Timeline) != 3 || s.Timeline[1].Delivered != 1 {
+		t.Fatalf("timeline = %+v", s.Timeline)
+	}
+	text := s.String()
+	for _, want := range []string{"per-family delivery latency", "acs", "ba", "pool depth timeline", "phases:", "activity timeline"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSummarizeUnterminatedPhase(t *testing.T) {
+	s := Summarize([]Event{{Kind: KPhaseBegin, Tick: 1, Inst: "evaluate"}}, 0)
+	if len(s.Phases) != 1 || s.Phases[0].End != -1 {
+		t.Fatalf("phases = %+v", s.Phases)
+	}
+	if !strings.Contains(s.String(), "unterminated") {
+		t.Fatal("summary should flag unterminated phase")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	evs := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != len(evs) {
+		t.Fatalf("JSONL has %d lines, want %d", lines, len(evs))
+	}
+	back, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(evs))
+	}
+	for i := range evs {
+		if back[i] != evs[i] {
+			t.Fatalf("event %d round trip mismatch:\n got %+v\nwant %+v", i, back[i], evs[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsUnknownKind(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"k":"bogus","t":1}`)); err == nil {
+		t.Fatal("expected error on unknown kind")
+	}
+}
+
+func TestChromeTraceExportAndValidate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleEvents(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("emitted trace fails validation: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{`"process_name"`, `"party 1"`, `"queue depth"`, `"triple pool"`, `"preprocess"`, `"evaluate"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("chrome trace missing %q", want)
+		}
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"traceEvents": [`,
+		"empty":           `{"traceEvents": []}`,
+		"metadata only":   `{"traceEvents": [{"name":"process_name","ph":"M","pid":1,"tid":0}]}`,
+		"unknown phase":   `{"traceEvents": [{"name":"x","ph":"Z","ts":1,"pid":1,"tid":0}]}`,
+		"non-monotone ts": `{"traceEvents": [{"name":"a","ph":"i","ts":5,"pid":1,"tid":0},{"name":"b","ph":"i","ts":4,"pid":1,"tid":0}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: validation should have failed", name)
+		}
+	}
+}
+
+func TestWriteChromeTraceDerivesN(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleEvents(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"party 2"`) {
+		t.Fatal("n=0 should derive party count from events")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math/rand/v2"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/poly"
 )
@@ -62,6 +63,10 @@ type Runtime struct {
 	exact    map[string]Handler
 	prefixes []prefixEntry
 	buffer   map[string][]bufMsg
+
+	// tracer receives instance lifecycle events; nil (the default) means
+	// tracing is off.
+	tracer obs.Tracer
 }
 
 // NewRuntime creates the runtime for party id (1-based) and attaches it
@@ -87,6 +92,24 @@ func (rt *Runtime) SetKernelCache(c *poly.KernelCache) { rt.kernels = c }
 
 // Kernels returns the run's interpolation-kernel cache.
 func (rt *Runtime) Kernels() *poly.KernelCache { return rt.kernels }
+
+// SetTracer installs tr as this party's trace sink (nil disables
+// tracing).
+func (rt *Runtime) SetTracer(tr obs.Tracer) { rt.tracer = tr }
+
+// Tracer returns the installed trace sink (nil when tracing is off).
+// Protocol layers built on the runtime (triple pool, engine) emit
+// their own events through it.
+func (rt *Runtime) Tracer() obs.Tracer { return rt.tracer }
+
+// traceInstance records a handler installation for inst.
+func (rt *Runtime) traceInstance(inst string) {
+	if rt.tracer != nil {
+		rt.tracer.Emit(obs.Event{
+			Kind: obs.KInstance, Tick: int64(rt.sched.Now()), Party: rt.id, Inst: inst,
+		})
+	}
+}
 
 // ID returns this party's 1-based index.
 func (rt *Runtime) ID() int { return rt.id }
@@ -130,6 +153,7 @@ func (rt *Runtime) Register(inst string, h Handler) {
 	if _, dup := rt.exact[inst]; dup {
 		panic(fmt.Sprintf("proto: party %d: duplicate instance %q", rt.id, inst))
 	}
+	rt.traceInstance(inst)
 	rt.exact[inst] = h
 	if msgs, ok := rt.buffer[inst]; ok {
 		delete(rt.buffer, inst)
@@ -166,6 +190,12 @@ func (rt *Runtime) DropPrefix(prefix string) int {
 			delete(rt.buffer, inst)
 		}
 	}
+	if rt.tracer != nil {
+		rt.tracer.Emit(obs.Event{
+			Kind: obs.KInstanceDrop, Tick: int64(rt.sched.Now()),
+			Party: rt.id, Inst: prefix, A: int64(dropped),
+		})
+	}
 	return dropped
 }
 
@@ -199,6 +229,7 @@ func (rt *Runtime) RegisterPrefix(prefix string, factory func(inst string) Handl
 		}
 		msgs := rt.buffer[inst]
 		delete(rt.buffer, inst)
+		rt.traceInstance(inst)
 		rt.exact[inst] = h
 		for _, m := range msgs {
 			h.Deliver(m.from, m.msgType, m.body)
@@ -225,6 +256,7 @@ func (rt *Runtime) Dispatch(env sim.Envelope) {
 				}
 				break
 			}
+			rt.traceInstance(env.Inst)
 			rt.exact[env.Inst] = h
 			h.Deliver(env.From, env.Type, env.Body)
 			return

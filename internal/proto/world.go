@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/poly"
 )
@@ -25,6 +26,10 @@ type WorldOpts struct {
 	Interceptor sim.Interceptor
 	// EventLimit optionally caps scheduler events (runaway guard).
 	EventLimit uint64
+	// Tracer receives trace events from the scheduler, network and every
+	// party runtime. nil (the default) disables tracing; a traced run is
+	// bit-identical to an untraced one.
+	Tracer obs.Tracer
 }
 
 // World is an assembled n-party simulation.
@@ -38,6 +43,7 @@ type World struct {
 
 	corrupt map[int]bool
 	epochs  int
+	tracer  obs.Tracer
 }
 
 // Epoch is one session slot on a long-lived World. A World originally
@@ -69,6 +75,11 @@ func (e Epoch) Namespace(family string) string {
 func (w *World) BeginEpoch() Epoch {
 	e := Epoch{seq: w.epochs}
 	w.epochs++
+	if w.tracer != nil {
+		w.tracer.Emit(obs.Event{
+			Kind: obs.KEpochBegin, Tick: int64(w.Sched.Now()), A: int64(e.seq),
+		})
+	}
 	return e
 }
 
@@ -106,12 +117,18 @@ func NewWorld(opts WorldOpts) *World {
 		Net:      net,
 		Runtimes: make([]*Runtime, cfg.N+1),
 		corrupt:  make(map[int]bool),
+		tracer:   opts.Tracer,
+	}
+	if opts.Tracer != nil {
+		sched.SetTracer(opts.Tracer)
+		net.SetTracer(opts.Tracer)
 	}
 	kernels := poly.NewKernelCache()
 	for i := 1; i <= cfg.N; i++ {
 		prng := rand.New(rand.NewPCG(opts.Seed^uint64(i)*0x9e3779b97f4a7c15, uint64(i)))
 		w.Runtimes[i] = NewRuntime(i, cfg.N, sched, net, prng)
 		w.Runtimes[i].SetKernelCache(kernels)
+		w.Runtimes[i].SetTracer(opts.Tracer)
 	}
 	for _, c := range opts.Corrupt {
 		if c < 1 || c > cfg.N {
@@ -150,3 +167,6 @@ func (w *World) RunToQuiescence() { w.Sched.RunToQuiescence() }
 
 // Metrics returns the network's communication metrics.
 func (w *World) Metrics() *sim.Metrics { return w.Net.Metrics() }
+
+// Tracer returns the world's trace sink (nil when tracing is off).
+func (w *World) Tracer() obs.Tracer { return w.tracer }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,14 +9,26 @@ import (
 
 // Counts aggregates message and byte counters.
 type Counts struct {
-	Messages uint64
-	Bytes    uint64
+	Messages uint64 `json:"messages"`
+	Bytes    uint64 `json:"bytes"`
 }
 
 func (c *Counts) add(e Envelope) {
 	c.Messages++
 	c.Bytes += uint64(e.WireSize())
 }
+
+// Sub returns the element-wise difference c - prev: the traffic
+// recorded between two observations of a live counter.
+func (c Counts) Sub(prev Counts) Counts {
+	return Counts{
+		Messages: c.Messages - prev.Messages,
+		Bytes:    c.Bytes - prev.Bytes,
+	}
+}
+
+// IsZero reports whether the counter recorded nothing.
+func (c Counts) IsZero() bool { return c.Messages == 0 && c.Bytes == 0 }
 
 // Metrics records communication, separated into honest-origin and
 // corrupt-origin traffic (the paper's complexity statements count bits
@@ -26,6 +39,8 @@ type Metrics struct {
 	Honest   Counts
 	Corrupt  Counts
 	ByFamily map[string]*Counts // honest-origin only
+	// last is the virtual time of the most recent recorded send.
+	last Time
 	// lastLabel/lastCounts memoise the most recent family lookup:
 	// traffic arrives in long same-family bursts (SendAll loops), so a
 	// string compare usually replaces the map probe.
@@ -38,8 +53,11 @@ func NewMetrics(n int) *Metrics {
 	return &Metrics{n: n, ByFamily: make(map[string]*Counts)}
 }
 
-// Record accounts one sent envelope.
-func (m *Metrics) Record(e Envelope, fromCorrupt bool) {
+// Record accounts one sent envelope at virtual time now.
+func (m *Metrics) Record(e Envelope, fromCorrupt bool, now Time) {
+	if now > m.last {
+		m.last = now
+	}
 	if fromCorrupt {
 		m.Corrupt.add(e)
 		return
@@ -65,9 +83,73 @@ func (m *Metrics) HonestBytes() uint64 { return m.Honest.Bytes }
 // HonestMessages returns the total messages sent by honest parties.
 func (m *Metrics) HonestMessages() uint64 { return m.Honest.Messages }
 
-// String renders a sorted per-family breakdown.
+// LastTick returns the virtual time of the most recent recorded send.
+func (m *Metrics) LastTick() Time { return m.last }
+
+// MetricsSnapshot is a point-in-time copy of a Metrics: plain values
+// with stable JSON names, safe to retain while the live counter keeps
+// advancing. Snapshots subtract (Sub), which is how per-evaluation
+// deltas are computed against a long-lived engine's counters.
+type MetricsSnapshot struct {
+	N        int               `json:"n"`
+	LastTick int64             `json:"lastTick"`
+	Honest   Counts            `json:"honest"`
+	Corrupt  Counts            `json:"corrupt"`
+	ByFamily map[string]Counts `json:"byFamily,omitempty"`
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		N:        m.n,
+		LastTick: int64(m.last),
+		Honest:   m.Honest,
+		Corrupt:  m.Corrupt,
+	}
+	if len(m.ByFamily) > 0 {
+		s.ByFamily = make(map[string]Counts, len(m.ByFamily))
+		for k, c := range m.ByFamily {
+			s.ByFamily[k] = *c
+		}
+	}
+	return s
+}
+
+// Sub returns the traffic recorded between prev and s: element-wise
+// counter differences, with families that saw no new traffic dropped.
+// prev must be an earlier snapshot of the same Metrics.
+func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
+	d := MetricsSnapshot{
+		N:        s.N,
+		LastTick: s.LastTick,
+		Honest:   s.Honest.Sub(prev.Honest),
+		Corrupt:  s.Corrupt.Sub(prev.Corrupt),
+	}
+	for k, c := range s.ByFamily {
+		dc := c.Sub(prev.ByFamily[k])
+		if dc.IsZero() {
+			continue
+		}
+		if d.ByFamily == nil {
+			d.ByFamily = make(map[string]Counts)
+		}
+		d.ByFamily[k] = dc
+	}
+	return d
+}
+
+// MarshalJSON renders the metrics as their snapshot: a stable
+// machine-readable form with the family breakdown included, so CLI
+// consumers do not re-derive it from private state.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot())
+}
+
+// String renders the run context (parties, last send tick) and a
+// sorted per-family breakdown.
 func (m *Metrics) String() string {
 	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d parties, last send at tick %d\n", m.n, m.last)
 	fmt.Fprintf(&b, "honest: %d msgs, %d bytes; corrupt: %d msgs, %d bytes\n",
 		m.Honest.Messages, m.Honest.Bytes, m.Corrupt.Messages, m.Corrupt.Bytes)
 	keys := make([]string, 0, len(m.ByFamily))

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Envelope is a point-to-point protocol message. Inst identifies the
@@ -159,6 +161,9 @@ type Network struct {
 	corrupt     map[int]bool
 	interceptor Interceptor
 	metrics     *Metrics
+	// tracer receives send events; nil (the default) means tracing is
+	// off and the emission site reduces to one branch.
+	tracer obs.Tracer
 }
 
 // NewNetwork creates a network over n parties. Dispatchers are attached
@@ -212,6 +217,10 @@ func (nw *Network) CorruptSet() []int {
 // Metrics returns the network's communication metrics.
 func (nw *Network) Metrics() *Metrics { return nw.metrics }
 
+// SetTracer installs tr as the network's trace sink (nil disables
+// tracing).
+func (nw *Network) SetTracer(tr obs.Tracer) { nw.tracer = tr }
+
 // N returns the number of parties.
 func (nw *Network) N() int { return nw.n }
 
@@ -234,10 +243,20 @@ func (nw *Network) Send(env Envelope) {
 }
 
 func (nw *Network) deliver(env Envelope, extra Time) {
-	nw.metrics.Record(env, nw.corrupt[env.From])
-	delay := nw.policy.Delay(nw.rng, env.From, env.To, nw.sched.Now()) + extra
+	now := nw.sched.Now()
+	nw.metrics.Record(env, nw.corrupt[env.From], now)
+	delay := nw.policy.Delay(nw.rng, env.From, env.To, now) + extra
 	if delay < 1 {
 		delay = 1
+	}
+	if nw.tracer != nil {
+		nw.tracer.Emit(obs.Event{
+			Kind: obs.KSend, Tick: int64(now),
+			Party: env.From, Peer: env.To,
+			Inst: env.Inst, Type: env.Type,
+			Bytes: int64(env.WireSize()),
+			A:     int64(delay),
+		})
 	}
 	// Typed delivery event: no per-message closure, the scheduler
 	// dispatches the envelope directly.

@@ -13,6 +13,8 @@ package sim
 
 import (
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Time is a point in virtual time, in ticks.
@@ -36,6 +38,7 @@ type event struct {
 	fn   func()   // kindTimer
 	env  Envelope // kindDeliver
 	nw   *Network // kindDeliver
+	sent Time     // kindDeliver: send time, for traced delivery latency
 }
 
 // Priority classes for same-tick ordering.
@@ -99,6 +102,9 @@ type Scheduler struct {
 	processed uint64
 	// Limit aborts Run after this many events (0 = unlimited).
 	Limit uint64
+	// tracer receives scheduler trace events; nil (the default) means
+	// tracing is off and every emission site reduces to one branch.
+	tracer obs.Tracer
 }
 
 // grab appends e to the lane, drawing recycled storage for the first
@@ -128,6 +134,14 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
+
+// SetTracer installs tr as the scheduler's trace sink (nil disables
+// tracing). Tracing must be configured before the run starts; switching
+// tracers mid-run would make the event stream misleading.
+func (s *Scheduler) SetTracer(tr obs.Tracer) { s.tracer = tr }
+
+// Tracer returns the installed trace sink (nil when tracing is off).
+func (s *Scheduler) Tracer() obs.Tracer { return s.tracer }
 
 // Processed returns the number of events executed so far.
 func (s *Scheduler) Processed() uint64 { return s.processed }
@@ -171,7 +185,7 @@ func (s *Scheduler) After(d Time, fn func()) {
 // afterDeliver schedules the typed delivery of env to nw's addressee d
 // ticks from now, without allocating a callback closure.
 func (s *Scheduler) afterDeliver(d Time, nw *Network, env Envelope) {
-	s.push(event{at: s.now + d, prio: PrioDeliver, kind: kindDeliver, env: env, nw: nw})
+	s.push(event{at: s.now + d, prio: PrioDeliver, kind: kindDeliver, env: env, nw: nw, sent: s.now})
 }
 
 // migrate moves overflow events that now fall inside the ring window
@@ -241,10 +255,22 @@ func (s *Scheduler) pop() event {
 // run executes one event.
 func (s *Scheduler) run(e event) {
 	if e.kind == kindDeliver {
+		if s.tracer != nil {
+			s.tracer.Emit(obs.Event{
+				Kind: obs.KDeliver, Tick: int64(s.now),
+				Party: e.env.To, Peer: e.env.From,
+				Inst: e.env.Inst, Type: e.env.Type,
+				Bytes: int64(e.env.WireSize()),
+				A:     int64(s.now - e.sent),
+			})
+		}
 		if d := e.nw.parties[e.env.To]; d != nil {
 			d.Dispatch(e.env)
 		}
 		return
+	}
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{Kind: obs.KTimer, Tick: int64(s.now), A: int64(e.prio)})
 	}
 	e.fn()
 }
@@ -258,6 +284,11 @@ func (s *Scheduler) Step() bool {
 		return false
 	}
 	e := s.pop()
+	if s.tracer != nil && e.at != s.now {
+		// New tick: report queue depth at entry (pending() was already
+		// decremented by pop, so add the event about to run back in).
+		s.tracer.Emit(obs.Event{Kind: obs.KTick, Tick: int64(e.at), A: int64(s.pending() + 1)})
+	}
 	s.now = e.at
 	s.processed++
 	s.run(e)

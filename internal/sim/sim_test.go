@@ -212,9 +212,9 @@ func TestNetworkInterceptorDuplication(t *testing.T) {
 
 func TestMetricsByFamily(t *testing.T) {
 	m := NewMetrics(4)
-	m.Record(Envelope{From: 1, To: 2, Inst: "vss/3/wps/1", Body: make([]byte, 10)}, false)
-	m.Record(Envelope{From: 1, To: 2, Inst: "ba/7", Body: make([]byte, 5)}, false)
-	m.Record(Envelope{From: 2, To: 1, Inst: "vss/9", Body: make([]byte, 2)}, true)
+	m.Record(Envelope{From: 1, To: 2, Inst: "vss/3/wps/1", Body: make([]byte, 10)}, false, 3)
+	m.Record(Envelope{From: 1, To: 2, Inst: "ba/7", Body: make([]byte, 5)}, false, 7)
+	m.Record(Envelope{From: 2, To: 1, Inst: "vss/9", Body: make([]byte, 2)}, true, 5)
 	if m.Honest.Messages != 2 || m.Corrupt.Messages != 1 {
 		t.Fatalf("honest/corrupt split wrong: %+v", m)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/aba"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 )
@@ -73,6 +74,18 @@ func NewPool(rt *proto.Runtime, inst string, cfg proto.Config, coin aba.CoinSour
 	return &Pool{rt: rt, inst: inst, cfg: cfg, coin: coin}
 }
 
+// trace emits a pool event through the owning runtime's tracer. inst
+// carries the batch namespace for fill events and is "" elsewhere; a
+// and b are the kind-specific slots documented on the obs kinds.
+func (p *Pool) trace(kind obs.Kind, inst string, a, b int) {
+	if tr := p.rt.Tracer(); tr != nil {
+		tr.Emit(obs.Event{
+			Kind: kind, Tick: int64(p.rt.Now()), Party: p.rt.ID(),
+			Inst: inst, A: int64(a), B: int64(b),
+		})
+	}
+}
+
 // BatchSize returns the number of triples one Fill(budget) batch
 // actually generates: budget rounded up to whole ΠTripExt extractions
 // (L·(d+1-ts), Fig 9/10 geometry), so no extracted triple is wasted.
@@ -100,10 +113,12 @@ func (p *Pool) Fill(budget int, start sim.Time, launch bool, onDone func(got int
 	cM := BatchSize(p.cfg, budget)
 	inst := proto.Join(p.inst, fmt.Sprintf("b%d", p.batches))
 	p.batches++
+	p.trace(obs.KPoolFill, inst, cM, len(p.avail))
 	p.filling = NewPreprocessing(p.rt, inst, cM, p.cfg, p.coin, start, func(ts []Triple) {
 		p.filling = nil
 		p.avail = append(p.avail, ts...)
 		p.generated += len(ts)
+		p.trace(obs.KPoolFillDone, inst, len(ts), len(p.avail))
 		if onDone != nil {
 			onDone(len(ts))
 		}
@@ -147,11 +162,13 @@ func (p *Pool) Reserve(k int) (*Reservation, error) {
 		return nil, fmt.Errorf("triples: reserve of %d triples", k)
 	}
 	if k > len(p.avail) {
+		p.trace(obs.KPoolExhaust, "", k, len(p.avail))
 		return nil, &ExhaustedError{Need: k, Have: len(p.avail)}
 	}
 	r := &Reservation{pool: p, trips: p.avail[:k:k]}
 	p.avail = p.avail[k:]
 	p.reserved += k
+	p.trace(obs.KPoolReserve, "", k, len(p.avail))
 	return r, nil
 }
 
@@ -184,4 +201,5 @@ func (r *Reservation) Release() {
 	p := r.pool
 	p.avail = append(r.trips[:len(r.trips):len(r.trips)], p.avail...)
 	p.reserved -= len(r.trips)
+	p.trace(obs.KPoolRelease, "", len(r.trips), len(p.avail))
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/aba"
 	"repro/internal/adversary"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/triples"
@@ -62,9 +63,34 @@ type Engine struct {
 	preprocessed  bool
 	evalSinceFill bool
 	evals         int
+	ppCalls       int
 
 	ppMsgs, ppBytes     uint64
 	evalMsgs, evalBytes uint64
+	evalSummaries       []EvalSummary
+
+	// tracer receives engine lifecycle events (phases, epoch
+	// retirement); nil means tracing is off. The same tracer is wired
+	// through the world into the scheduler, network, runtimes and pools.
+	tracer obs.Tracer
+}
+
+// EvalSummary is the per-evaluation latency/traffic record kept by the
+// engine: one row per completed Evaluate, in order.
+type EvalSummary struct {
+	// Epoch is the evaluation's session epoch sequence number.
+	Epoch int `json:"epoch"`
+	// Triples is the pool reservation the circuit consumed.
+	Triples int `json:"triples"`
+	// StartTick/EndTick bound the evaluation on the virtual clock:
+	// StartTick is the grid-anchored phase start, EndTick the last
+	// honest termination. Ticks = EndTick - StartTick.
+	StartTick int64 `json:"startTick"`
+	EndTick   int64 `json:"endTick"`
+	Ticks     int64 `json:"ticks"`
+	// Messages/Bytes is the evaluation's honest-traffic delta.
+	Messages uint64 `json:"messages"`
+	Bytes    uint64 `json:"bytes"`
 }
 
 // EngineStats is the engine's cumulative amortization accounting.
@@ -81,6 +107,9 @@ type EngineStats struct {
 	// headline (see the scenario `workload` verb and BENCH_PR5.json).
 	PreprocessMessages, PreprocessBytes uint64
 	EvalMessages, EvalBytes             uint64
+	// Evals holds one latency/traffic summary per completed Evaluate,
+	// in epoch order.
+	Evals []EvalSummary
 }
 
 // NewEngine assembles an all-honest session engine. The engine world is
@@ -91,12 +120,21 @@ func NewEngine(cfg Config) (*Engine, error) { return NewEngineAdv(cfg, nil) }
 // NewEngineAdv is NewEngine with a static adversary, corrupting the
 // session's world exactly as Run's adversary corrupts a one-shot run.
 func NewEngineAdv(cfg Config, adv *Adversary) (*Engine, error) {
-	return newEngine(cfg, adv)
+	return newEngine(cfg, adv, nil)
+}
+
+// NewEngineTraced is NewEngineAdv with a trace sink: tr receives the
+// full typed event stream (scheduler ticks, sends/delivers, instance
+// lifecycle, pool accounting, engine phases). Tracing does not perturb
+// the simulation — a traced session replays bit-identical to an
+// untraced one. tr may be nil (equivalent to NewEngineAdv).
+func NewEngineTraced(cfg Config, adv *Adversary, tr obs.Tracer) (*Engine, error) {
+	return newEngine(cfg, adv, tr)
 }
 
 // newEngine validates cfg and assembles the world shared by the session
 // API and the one-shot Run wrapper.
-func newEngine(cfg Config, adv *Adversary) (*Engine, error) {
+func newEngine(cfg Config, adv *Adversary, tr obs.Tracer) (*Engine, error) {
 	pcfg := proto.Config{
 		N: cfg.N, Ts: cfg.Ts, Ta: cfg.Ta,
 		Delta:      sim.Time(cfg.Delta),
@@ -186,6 +224,7 @@ func newEngine(cfg Config, adv *Adversary) (*Engine, error) {
 		Corrupt:     corrupt,
 		Interceptor: ctrl,
 		EventLimit:  limit,
+		Tracer:      tr,
 	})
 	coin := aba.DefaultCoin(cfg.Seed ^ 0xc01c01)
 	e := &Engine{
@@ -195,6 +234,7 @@ func newEngine(cfg Config, adv *Adversary) (*Engine, error) {
 		coin:   coin,
 		silent: silent,
 		pools:  make([]*triples.Pool, cfg.N+1),
+		tracer: tr,
 	}
 	for i := 1; i <= cfg.N; i++ {
 		e.pools[i] = triples.NewPool(w.Runtimes[i], "pool", pcfg, coin)
@@ -216,7 +256,11 @@ func (e *Engine) Preprocess(budget int) (int, error) {
 	if e.preprocessed && !e.evalSinceFill {
 		return 0, ErrDoublePreprocess
 	}
-	msgs0, bytes0 := e.world.Metrics().HonestMessages(), e.world.Metrics().HonestBytes()
+	pre := e.world.Metrics().Snapshot()
+	begin := int64(e.world.Sched.Now())
+	seq := int64(e.ppCalls)
+	e.ppCalls++
+	e.tracePhase(obs.KPhaseBegin, "preprocess", seq, 0)
 	start := e.gridStart()
 	want := 0
 	for i := 1; i <= e.cfg.N; i++ {
@@ -235,9 +279,21 @@ func (e *Engine) Preprocess(budget int) (int, error) {
 	}
 	e.preprocessed = true
 	e.evalSinceFill = false
-	e.ppMsgs += e.world.Metrics().HonestMessages() - msgs0
-	e.ppBytes += e.world.Metrics().HonestBytes() - bytes0
+	d := e.world.Metrics().Snapshot().Sub(pre)
+	e.ppMsgs += d.Honest.Messages
+	e.ppBytes += d.Honest.Bytes
+	e.tracePhase(obs.KPhaseEnd, "preprocess", int64(e.world.Sched.Now())-begin, int64(d.Honest.Messages))
 	return want, nil
+}
+
+// tracePhase emits an engine lifecycle event; a no-op when tracing is
+// off.
+func (e *Engine) tracePhase(kind obs.Kind, name string, a, b int64) {
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{
+			Kind: kind, Tick: int64(e.world.Sched.Now()), Inst: name, A: a, B: b,
+		})
+	}
 }
 
 // Available returns the number of unconsumed pool triples (measured on
@@ -260,6 +316,7 @@ func (e *Engine) Stats() EngineStats {
 		PreprocessBytes:    e.ppBytes,
 		EvalMessages:       e.evalMsgs,
 		EvalBytes:          e.evalBytes,
+		Evals:              append([]EvalSummary(nil), e.evalSummaries...),
 	}
 	for _, i := range e.world.Honest() {
 		ps := e.pools[i].Stats()
@@ -317,12 +374,10 @@ func (e *Engine) Evaluate(circ *circuit.Circuit, inputs []field.Element) (*Resul
 	inst := epoch.Namespace("mpc")
 	w := e.world
 	start := e.gridStart()
-	msgs0, bytes0 := w.Metrics().HonestMessages(), w.Metrics().HonestBytes()
+	pre := w.Metrics().Snapshot()
 	events0 := w.Sched.Processed()
-	famBase := make(map[string]FamilyCounts, len(w.Metrics().ByFamily))
-	for fam, c := range w.Metrics().ByFamily {
-		famBase[fam] = FamilyCounts{Messages: c.Messages, Bytes: c.Bytes}
-	}
+	phaseBegin := int64(w.Sched.Now())
+	e.tracePhase(obs.KPhaseBegin, "evaluate", int64(epoch.Seq()), 0)
 
 	res := &Result{
 		PerParty:      make([][]field.Element, e.cfg.N+1),
@@ -353,26 +408,45 @@ func (e *Engine) Evaluate(circ *circuit.Circuit, inputs []field.Element) (*Resul
 	}
 	w.RunToQuiescence()
 
-	res.HonestMessages = w.Metrics().HonestMessages() - msgs0
-	res.HonestBytes = w.Metrics().HonestBytes() - bytes0
+	d := w.Metrics().Snapshot().Sub(pre)
+	res.HonestMessages = d.Honest.Messages
+	res.HonestBytes = d.Honest.Bytes
 	res.Events = w.Sched.Processed() - events0
-	res.ByFamily = make(map[string]FamilyCounts, len(w.Metrics().ByFamily))
-	for fam, c := range w.Metrics().ByFamily {
-		d := FamilyCounts{Messages: c.Messages - famBase[fam].Messages, Bytes: c.Bytes - famBase[fam].Bytes}
-		if d.Messages > 0 || d.Bytes > 0 {
-			res.ByFamily[fam] = d
-		}
+	res.ByFamily = make(map[string]FamilyCounts, len(d.ByFamily))
+	for fam, c := range d.ByFamily {
+		res.ByFamily[fam] = FamilyCounts{Messages: c.Messages, Bytes: c.Bytes}
 	}
 
 	e.evals++
 	e.evalSinceFill = true
 	e.evalMsgs += res.HonestMessages
 	e.evalBytes += res.HonestBytes
+	end := res.StartedAt
+	for i, t := range res.TerminatedAt {
+		if i >= 1 && !w.IsCorrupt(i) && t > end {
+			end = t
+		}
+	}
+	e.evalSummaries = append(e.evalSummaries, EvalSummary{
+		Epoch:     epoch.Seq(),
+		Triples:   circ.MulCount,
+		StartTick: res.StartedAt,
+		EndTick:   end,
+		Ticks:     end - res.StartedAt,
+		Messages:  res.HonestMessages,
+		Bytes:     res.HonestBytes,
+	})
 	// Retire the epoch: the session's handlers (and any stray buffered
 	// traffic for them) are dropped so a long-lived engine's handler
 	// tables stay proportional to the live epoch, not the history.
 	for i := 1; i <= e.cfg.N; i++ {
 		w.Runtimes[i].DropPrefix(inst)
+	}
+	e.tracePhase(obs.KPhaseEnd, "evaluate", int64(w.Sched.Now())-phaseBegin, int64(res.HonestMessages))
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{
+			Kind: obs.KEpochRetire, Tick: int64(w.Sched.Now()), Inst: inst, A: int64(epoch.Seq()),
+		})
 	}
 	return e.collect(res, engines)
 }
@@ -414,6 +488,8 @@ func (e *Engine) runOneShot(circ *circuit.Circuit, inputs []field.Element) (*Res
 			res.TerminatedAt[i] = int64(w.Sched.Now())
 		})
 	}
+	begin := int64(w.Sched.Now())
+	e.tracePhase(obs.KPhaseBegin, "run", 0, 0)
 	for i := 1; i <= e.cfg.N; i++ {
 		if e.silent[i] {
 			continue
@@ -422,10 +498,12 @@ func (e *Engine) runOneShot(circ *circuit.Circuit, inputs []field.Element) (*Res
 	}
 	w.RunToQuiescence()
 
-	res.HonestMessages = w.Metrics().HonestMessages()
-	res.HonestBytes = w.Metrics().HonestBytes()
-	res.ByFamily = make(map[string]FamilyCounts, len(w.Metrics().ByFamily))
-	for fam, c := range w.Metrics().ByFamily {
+	snap := w.Metrics().Snapshot()
+	e.tracePhase(obs.KPhaseEnd, "run", int64(w.Sched.Now())-begin, int64(snap.Honest.Messages))
+	res.HonestMessages = snap.Honest.Messages
+	res.HonestBytes = snap.Honest.Bytes
+	res.ByFamily = make(map[string]FamilyCounts, len(snap.ByFamily))
+	for fam, c := range snap.ByFamily {
 		res.ByFamily[fam] = FamilyCounts{Messages: c.Messages, Bytes: c.Bytes}
 	}
 	res.Events = w.Sched.Processed()

@@ -38,6 +38,7 @@ import (
 
 	"repro/circuit"
 	"repro/field"
+	"repro/internal/obs"
 )
 
 // Network selects the simulated network model.
@@ -196,8 +197,8 @@ type Result struct {
 
 // FamilyCounts is the per-protocol-family traffic breakdown.
 type FamilyCounts struct {
-	Messages uint64
-	Bytes    uint64
+	Messages uint64 `json:"messages"`
+	Bytes    uint64 `json:"bytes"`
 }
 
 // AllHonestTerminated reports whether every honest party terminated.
@@ -237,7 +238,16 @@ var ErrDisagreement = errors.New("mpc: honest parties disagree on the output")
 // behaviour comes from the Adversary's traffic rewriting, and the
 // network schedule is adversarial under Async.
 func Run(cfg Config, circ *circuit.Circuit, inputs []field.Element, adv *Adversary) (*Result, error) {
-	eng, err := newEngine(cfg, adv)
+	return RunTraced(cfg, circ, inputs, adv, nil)
+}
+
+// RunTraced is Run with a trace sink: tr (which may be nil) receives
+// the run's full typed event stream — scheduler ticks, message
+// sends/delivers, instance lifecycle, pool accounting. Tracing does
+// not perturb the run: a traced run is bit-identical to an untraced
+// one with the same configuration.
+func RunTraced(cfg Config, circ *circuit.Circuit, inputs []field.Element, adv *Adversary, tr obs.Tracer) (*Result, error) {
+	eng, err := newEngine(cfg, adv, tr)
 	if err != nil {
 		return nil, err
 	}

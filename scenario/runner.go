@@ -6,6 +6,7 @@ import (
 
 	"repro/circuit"
 	"repro/field"
+	"repro/internal/obs"
 	"repro/mpc"
 )
 
@@ -126,6 +127,10 @@ type Report struct {
 	// HonestMessages / HonestBytes count honest-party traffic.
 	HonestMessages uint64 `json:"honestMessages"`
 	HonestBytes    uint64 `json:"honestBytes"`
+	// ByFamily breaks honest traffic down by top-level protocol family,
+	// straight from the engine's metrics (CLI `-json` consumers no
+	// longer re-derive it).
+	ByFamily map[string]mpc.FamilyCounts `json:"byFamily,omitempty"`
 	// Events is the number of simulator events processed.
 	Events uint64 `json:"events"`
 }
@@ -133,13 +138,18 @@ type Report struct {
 // Run executes the manifest and evaluates its assertions. The returned
 // error covers manifest/assembly problems only; engine errors and
 // assertion failures are reported in the Report.
-func Run(m *Manifest) (*Report, error) {
+func Run(m *Manifest) (*Report, error) { return RunTraced(m, nil) }
+
+// RunTraced is Run with a trace sink receiving the run's typed event
+// stream (nil disables tracing; traced runs are bit-identical to
+// untraced ones).
+func RunTraced(m *Manifest, tr obs.Tracer) (*Report, error) {
 	art, err := Build(m)
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{Name: m.Name}
-	res, runErr := mpc.Run(art.Cfg, art.Circuit, art.Inputs, art.Adversary)
+	res, runErr := mpc.RunTraced(art.Cfg, art.Circuit, art.Inputs, art.Adversary, tr)
 	if runErr != nil {
 		rep.Err = errName(runErr)
 	}
@@ -152,6 +162,7 @@ func Run(m *Manifest) (*Report, error) {
 		rep.Deadline = res.Deadline
 		rep.HonestMessages = res.HonestMessages
 		rep.HonestBytes = res.HonestBytes
+		rep.ByFamily = res.ByFamily
 		rep.Events = res.Events
 		for i, t := range res.TerminatedAt {
 			if !corrupt[i] && t > rep.LastTick {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/mpc"
 )
 
@@ -140,6 +141,15 @@ type WorkloadReport struct {
 // manifest/assembly problems; engine errors and assertion failures are
 // reported per step.
 func RunWorkload(m *Manifest, compare bool) (*WorkloadReport, error) {
+	return RunWorkloadTraced(m, compare, nil)
+}
+
+// RunWorkloadTraced is RunWorkload with a trace sink on the session
+// engine: tr receives the whole session's event stream (preprocessing,
+// every evaluation epoch, pool gauges). The one-shot comparison runs
+// (compare) stay untraced — they are reference measurements on
+// separate worlds. nil disables tracing.
+func RunWorkloadTraced(m *Manifest, compare bool, tr obs.Tracer) (*WorkloadReport, error) {
 	if m.Workload == nil {
 		return nil, fmt.Errorf("scenario %q: not a workload manifest (no workload section)", m.Name)
 	}
@@ -173,7 +183,7 @@ func RunWorkload(m *Manifest, compare bool) (*WorkloadReport, error) {
 		budget = 1 // all-linear workload: the engine still preprocesses once
 	}
 
-	eng, err := mpc.NewEngineAdv(cfg, adv)
+	eng, err := mpc.NewEngineTraced(cfg, adv, tr)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", m.Name, err)
 	}
