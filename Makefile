@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race scenarios workload-smoke fuzz-smoke fuzz-native trace-smoke bench-smoke bench-msgs bench-json ci
+.PHONY: build vet test test-short test-race scenarios workload-smoke fuzz-smoke fuzz-native trace-smoke checkpoint-smoke bench-smoke bench-msgs bench-json ci
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ fuzz-native:
 	$(GO) test -run '^$$' -fuzz 'FuzzFieldRoundTrip$$' -fuzztime 10s ./field
 	$(GO) test -run '^$$' -fuzz 'FuzzOECMatchesDecode$$' -fuzztime 10s ./internal/rs
 	$(GO) test -run '^$$' -fuzz 'FuzzLoadManifest$$' -fuzztime 10s ./scenario
+	$(GO) test -run '^$$' -fuzz 'FuzzCheckpointRoundTrip$$' -fuzztime 10s ./mpc
 
 # scenarios runs the full built-in scenario corpus on a 4-worker pool.
 scenarios:
@@ -54,6 +55,19 @@ trace-smoke:
 	$(GO) run ./cmd/scenario trace -out /tmp/repro-trace-smoke.json sync-product-honest
 	$(GO) run ./cmd/scenario trace -validate /tmp/repro-trace-smoke.json
 
+# checkpoint-smoke drives the PR 7 crash-safety path end to end: run
+# the amortization workload uninterrupted, run it again killed after 3
+# steps with a checkpoint, inspect the checkpoint, resume it, and fail
+# unless the resumed report is bit-identical to the uninterrupted one
+# (deterministic; docs/checkpointing.md).
+checkpoint-smoke:
+	$(GO) run ./cmd/scenario workload -compare=false -json workload-amortize-sync > /tmp/repro-ckpt-full.json
+	$(GO) run ./cmd/scenario workload -compare=false -checkpoint /tmp/repro-ckpt.bin -stop-after 3 workload-amortize-sync
+	$(GO) run ./cmd/scenario checkpoint /tmp/repro-ckpt.bin
+	$(GO) run ./cmd/scenario workload -compare=false -resume /tmp/repro-ckpt.bin -json workload-amortize-sync > /tmp/repro-ckpt-resumed.json
+	cmp /tmp/repro-ckpt-full.json /tmp/repro-ckpt-resumed.json
+	$(GO) run ./cmd/scenario fuzz -crash -trials 4 -seed 1
+
 # bench-smoke compiles and single-shots every benchmark (CI guard; no
 # stable timing intended).
 bench-smoke:
@@ -68,10 +82,11 @@ bench-msgs:
 # bench-json regenerates BENCH_PR3.json (the tracked wall-clock
 # trajectory against the recorded pre-PR2 baseline plus the PR 3
 # per-gate vs per-layer message-complexity rows), BENCH_PR5.json
-# (the E14 session-engine amortization rows) and BENCH_PR6.json (the
-# E15 trace-overhead rows); see docs/performance.md and
-# docs/observability.md.
+# (the E14 session-engine amortization rows), BENCH_PR6.json (the
+# E15 trace-overhead rows) and BENCH_PR7.json (the E16
+# checkpoint-restore vs re-preprocess rows); see docs/performance.md,
+# docs/observability.md and docs/checkpointing.md.
 bench-json:
-	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json -out5 BENCH_PR5.json -out6 BENCH_PR6.json
+	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json -out5 BENCH_PR5.json -out6 BENCH_PR6.json -out7 BENCH_PR7.json
 
-ci: build vet test-short bench-smoke bench-msgs workload-smoke fuzz-smoke trace-smoke
+ci: build vet test-short bench-smoke bench-msgs workload-smoke fuzz-smoke trace-smoke checkpoint-smoke

@@ -8,12 +8,15 @@
 //	scenario validate [-f file.json] [name ...]
 //	scenario run      [-f file.json] [-parallel N] [-json] [-trace] [-trace-out dir] [--all | name ...]
 //	scenario sweep    [-seeds A..B] [-parallel N] [-json] [--all | name ...]
-//	scenario workload [-f file.json] [-json] [-compare] [-require-savings] [-trace] [-trace-out dir] [--all | name ...]
+//	scenario workload [-f file.json] [-json] [-compare] [-require-savings] [-trace] [-trace-out dir]
+//	                  [-checkpoint file] [-resume file] [-stop-after k] [--all | name ...]
+//	scenario checkpoint [-json] file
 //	scenario fuzz     [-trials N] [-seed S] [-parallel N] [-json] [-out dir]
+//	scenario fuzz     -crash -trials N [-seed S] [-json]
 //	scenario fuzz     -replay counterexample.json [-trace] [-trace-out dir]
 //	scenario trace    [-f file.json] [-out chrome.json] [-jsonl events.jsonl] [name]
 //	scenario trace    -validate chrome.json
-//	scenario bench    [-out BENCH_PR3.json] [-out5 BENCH_PR5.json] [-out6 BENCH_PR6.json]
+//	scenario bench    [-out BENCH_PR3.json] [-out5 BENCH_PR5.json] [-out6 BENCH_PR6.json] [-out7 BENCH_PR7.json]
 //
 // Examples:
 //
@@ -23,13 +26,18 @@
 //	scenario sweep -seeds 1..16 sync-sum-honest
 //	scenario workload --all -require-savings
 //	scenario workload workload-amortize-sync -json
+//	scenario workload -checkpoint /tmp/wl.ckpt -stop-after 3 workload-amortize-sync
+//	scenario checkpoint /tmp/wl.ckpt
+//	scenario workload -resume /tmp/wl.ckpt workload-amortize-sync
 //	scenario fuzz -trials 200 -seed 1 -out /tmp/ce
+//	scenario fuzz -crash -trials 20 -seed 1
 //	scenario fuzz -replay /tmp/ce/fuzz-s1-t4-min.json
 //	scenario trace -out /tmp/trace.json workload-amortize-sync
 //	scenario trace -validate /tmp/trace.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,6 +50,7 @@ import (
 	"repro/fuzzer"
 	"repro/internal/bench"
 	"repro/internal/obs"
+	"repro/mpc"
 	"repro/scenario"
 )
 
@@ -60,6 +69,8 @@ func main() {
 		cmdSweep(os.Args[2:])
 	case "workload":
 		cmdWorkload(os.Args[2:])
+	case "checkpoint":
+		cmdCheckpoint(os.Args[2:])
 	case "fuzz":
 		cmdFuzz(os.Args[2:])
 	case "trace":
@@ -69,12 +80,12 @@ func main() {
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
-		fatal("unknown subcommand %q (want list, validate, run, sweep, workload, fuzz, trace or bench)", os.Args[1])
+		fatal("unknown subcommand %q (want list, validate, run, sweep, workload, checkpoint, fuzz, trace or bench)", os.Args[1])
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep|workload|fuzz|trace|bench> [flags] [--all | name ...]")
+	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep|workload|checkpoint|fuzz|trace|bench> [flags] [--all | name ...]")
 	fmt.Fprintln(os.Stderr, "run 'scenario <subcommand> -h' for subcommand flags")
 	os.Exit(2)
 }
@@ -224,6 +235,9 @@ func cmdWorkload(args []string) {
 	jsonOut := fs.Bool("json", false, "emit reports as JSON")
 	trace := fs.Bool("trace", false, "trace each workload and print its timeline summary")
 	traceOut := fs.String("trace-out", "", "write per-workload Chrome trace + JSONL files into `dir` (implies tracing)")
+	ckptPath := fs.String("checkpoint", "", "write a crash-safe resume checkpoint to `file` after every completed step (single workload only)")
+	resumePath := fs.String("resume", "", "resume the workload from a checkpoint `file` instead of starting fresh (single workload only)")
+	stopAfter := fs.Int("stop-after", 0, "stop after `k` completed steps — a simulated crash for checkpoint testing (single workload only)")
 	fs.Parse(args)
 	var ms []*scenario.Manifest
 	switch {
@@ -255,6 +269,18 @@ func cmdWorkload(args []string) {
 	}
 	doCompare := *compare || *requireSavings
 	doTrace := *trace || *traceOut != ""
+	checkpointing := *ckptPath != "" || *resumePath != "" || *stopAfter > 0
+	if checkpointing && len(ms) != 1 {
+		fatal("-checkpoint/-resume/-stop-after operate on exactly one workload, have %d", len(ms))
+	}
+	var resume *scenario.WorkloadCheckpoint
+	if *resumePath != "" {
+		ck, err := scenario.LoadWorkloadCheckpoint(*resumePath)
+		if err != nil {
+			fatal("%s: %v", *resumePath, err)
+		}
+		resume = ck
+	}
 	var reps []*scenario.WorkloadReport
 	failed := 0
 	for _, m := range ms {
@@ -264,9 +290,26 @@ func cmdWorkload(args []string) {
 			col = obs.NewCollector()
 			tr = col
 		}
-		rep, err := scenario.RunWorkloadTraced(m, doCompare, tr)
+		rep, err := scenario.RunWorkloadOpts(m, scenario.WorkloadRunOptions{
+			Compare:        doCompare,
+			Tracer:         tr,
+			CheckpointPath: *ckptPath,
+			StopAfter:      *stopAfter,
+			Resume:         resume,
+		})
 		if err != nil {
 			fatal("%s: %v", m.Name, err)
+		}
+		if *stopAfter > 0 && len(rep.Steps) < len(m.Workload.Steps) {
+			// Simulated crash: report where we stopped and skip the
+			// summary/assertion gates — the run is intentionally partial.
+			if *jsonOut {
+				emitJSON(rep)
+			} else {
+				fmt.Printf("STOP %-28s %d/%d evals done (resume with -resume %s)\n",
+					rep.Name, len(rep.Steps), len(m.Workload.Steps), *ckptPath)
+			}
+			return
 		}
 		if doTrace {
 			if *trace && !*jsonOut {
@@ -317,6 +360,63 @@ func cmdWorkload(args []string) {
 	}
 }
 
+// cmdCheckpoint inspects a checkpoint file — either a workload
+// checkpoint written by `scenario workload -checkpoint` or a bare
+// engine checkpoint from mpc.Engine.Snapshot — and prints the resume
+// position, config summary and pool depth without rebuilding an engine.
+func cmdCheckpoint(args []string) {
+	fs := flag.NewFlagSet("scenario checkpoint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the summary as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal("checkpoint inspects exactly one file, have %d arguments", fs.NArg())
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	printEngine := func(prefix string, ei *mpc.CheckpointInfo) {
+		fmt.Printf("%sformat:        engine checkpoint v%d\n", prefix, ei.Version)
+		fmt.Printf("%sconfig:        n=%d ts=%d ta=%d seed=%d net=%s\n",
+			prefix, ei.Config.N, ei.Config.Ts, ei.Config.Ta, ei.Config.Seed, ei.Config.Network)
+		if ei.Adversary != nil {
+			adv, _ := json.Marshal(ei.Adversary)
+			fmt.Printf("%sadversary:     %s\n", prefix, adv)
+		}
+		fmt.Printf("%sclock:         t=%d, %d epochs, %d evaluations\n", prefix, ei.Now, ei.Epochs, ei.Evaluations)
+		fmt.Printf("%spool:          %d available, %d reserved, %d generated over %d batches\n",
+			prefix, ei.Pool.Available, ei.Pool.Reserved, ei.Pool.Generated, ei.Pool.Batches)
+	}
+	if scenario.IsWorkloadCheckpoint(data) {
+		ck, err := scenario.ReadWorkloadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			fatal("%s: %v", fs.Arg(0), err)
+		}
+		info, err := ck.Inspect()
+		if err != nil {
+			fatal("%s: %v", fs.Arg(0), err)
+		}
+		if *jsonOut {
+			emitJSON(info)
+			return
+		}
+		fmt.Printf("workload checkpoint v%d: %s\n", scenario.WorkloadCheckpointVersion, info.Name)
+		fmt.Printf("  position:      %d/%d steps done\n", info.StepsDone, info.StepsTotal)
+		fmt.Printf("  options:       compare=%v perGateEval=%v\n", info.Compare, info.PerGateEval)
+		printEngine("  ", info.Engine)
+		return
+	}
+	ei, err := mpc.InspectCheckpoint(bytes.NewReader(data))
+	if err != nil {
+		fatal("%s: %v", fs.Arg(0), err)
+	}
+	if *jsonOut {
+		emitJSON(ei)
+		return
+	}
+	printEngine("", ei)
+}
+
 // cmdFuzz runs a property-based fuzzing campaign (or replays one saved
 // counterexample): N seeded random scenarios checked against the
 // invariant-oracle suite, failures minimized and emitted as replayable
@@ -330,6 +430,7 @@ func cmdFuzz(args []string) {
 	jsonOut := fs.Bool("json", false, "emit the campaign summary as JSON")
 	outDir := fs.String("out", "", "write minimized counterexample manifests into `dir`")
 	inject := fs.String("inject", "", `plant a deliberate violation in every trial ("over-budget"; pipeline self-test)`)
+	crash := fs.Bool("crash", false, "run kill-and-resume checkpoint differentials instead of oracle trials (see docs/checkpointing.md)")
 	replay := fs.String("replay", "", "replay a saved counterexample manifest `file` instead of fuzzing")
 	trace := fs.Bool("trace", false, "with -replay: trace the primary run and print its timeline summary")
 	traceOut := fs.String("trace-out", "", "with -replay: write Chrome trace + JSONL files into `dir`")
@@ -375,6 +476,31 @@ func cmdFuzz(args []string) {
 			}
 		}
 		if !v.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *crash {
+		if *inject != "" || *outDir != "" {
+			fatal("-crash cannot be combined with -inject or -out (crash trials shrink nothing)")
+		}
+		sum, err := fuzzer.CrashCampaign(fuzzer.Options{Trials: *trials, Seed: *seed, Parallel: *parallel})
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *jsonOut {
+			emitJSON(sum)
+		} else {
+			fmt.Printf("crash fuzz seed=%d: %d/%d kill-and-resume trials bit-identical\n", sum.Seed, sum.Passed, sum.Trials)
+			for _, v := range sum.Failed {
+				fmt.Printf("FAIL %s (killed after %d/%d steps, perGateEval=%v)\n", v.Name, v.KillAfter, v.Steps, v.PerGateEval)
+				for _, viol := range v.Violations {
+					fmt.Printf("     %s: %s\n", viol.Oracle, viol.Detail)
+				}
+			}
+		}
+		if len(sum.Failed) > 0 {
 			os.Exit(1)
 		}
 		return
@@ -436,6 +562,7 @@ func cmdBench(args []string) {
 	out := fs.String("out", "", "write the perf JSON report to `file` (default stdout)")
 	out5 := fs.String("out5", "", "write the E14 amortization JSON report to `file` (default stdout)")
 	out6 := fs.String("out6", "", "write the E15 trace-overhead JSON report to `file` (default stdout)")
+	out7 := fs.String("out7", "", "write the E16 checkpoint/restore JSON report to `file` (default stdout)")
 	fs.Parse(args)
 	report, err := bench.RunPerf()
 	if err != nil {
@@ -443,13 +570,15 @@ func cmdBench(args []string) {
 	}
 	amort := bench.RunAmortization()
 	trace := bench.RunTraceOverhead()
-	if *out == "" && *out5 == "" && *out6 == "" {
+	ckpt := bench.RunCheckpoint()
+	if *out == "" && *out5 == "" && *out6 == "" && *out7 == "" {
 		// Keep stdout a single JSON document: combine the reports.
 		emitJSON(struct {
-			Perf  *bench.PerfReport  `json:"perf"`
-			Amort *bench.AmortReport `json:"amortization"`
-			Trace *bench.TraceReport `json:"trace_overhead"`
-		}{report, amort, trace})
+			Perf  *bench.PerfReport       `json:"perf"`
+			Amort *bench.AmortReport      `json:"amortization"`
+			Trace *bench.TraceReport      `json:"trace_overhead"`
+			Ckpt  *bench.CheckpointReport `json:"checkpoint"`
+		}{report, amort, trace, ckpt})
 	} else {
 		writeReport := func(path string, write func(io.Writer) error) {
 			w := io.Writer(os.Stdout)
@@ -468,6 +597,7 @@ func cmdBench(args []string) {
 		writeReport(*out, func(w io.Writer) error { return bench.WritePerf(w, report) })
 		writeReport(*out5, func(w io.Writer) error { return bench.WriteAmort(w, amort) })
 		writeReport(*out6, func(w io.Writer) error { return bench.WriteTrace(w, trace) })
+		writeReport(*out7, func(w io.Writer) error { return bench.WriteCheckpoint(w, ckpt) })
 	}
 	if !report.Invariant {
 		fatal("protocol metrics diverged from the recorded baseline — the perf work changed behaviour")
@@ -487,11 +617,17 @@ func cmdBench(args []string) {
 	for _, row := range trace.Rows {
 		fmt.Fprintln(os.Stderr, bench.FormatTraceRow(row))
 	}
+	for _, row := range ckpt.Rows {
+		fmt.Fprintln(os.Stderr, bench.FormatCheckpointRow(row))
+	}
 	if !amort.OK {
 		fatal("E14 amortization gate failed: a session engine row diverged from one-shot outputs or did not amortize")
 	}
 	if !trace.OK {
 		fatal("E15 trace gate failed: a traced run diverged from its untraced twin")
+	}
+	if !ckpt.OK {
+		fatal("E16 checkpoint gate failed: a restored engine diverged or restore was not cheaper than re-preprocessing")
 	}
 }
 

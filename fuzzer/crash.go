@@ -1,0 +1,193 @@
+// Crash-injection fuzzing: every trial runs a generated workload to
+// completion, re-runs it with a simulated kill after a random step k
+// (checkpointing every step), restores from the checkpoint on disk and
+// finishes — and the resumed run's final report must be bit-identical
+// to the uninterrupted one: outputs, CS sets, per-family traffic,
+// ticks, pool accounting, amortization summary. One differential per
+// (trial, evaluator mode) — the property the checkpoint subsystem
+// promises (docs/checkpointing.md).
+package fuzzer
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+
+	"repro/scenario"
+)
+
+// GenerateWorkload derives crash trial number index of a campaign
+// keyed by masterSeed: a workload manifest (2..4 steps over one
+// session engine, random circuits, random in-budget adversary, sync or
+// async network) plus the kill point — the step count after which the
+// trial's second run is stopped. A pure function of (masterSeed,
+// index), like Generate.
+func GenerateWorkload(masterSeed uint64, index int) (m *scenario.Manifest, killAfter int) {
+	rng := rand.New(rand.NewPCG(masterSeed^0xc4a54, splitmix(uint64(index))))
+	m = &scenario.Manifest{
+		Name:       fmt.Sprintf("crash-s%d-t%d", masterSeed, index),
+		Seed:       rng.Uint64N(1_000_000),
+		EventLimit: trialEventLimit,
+	}
+	m.Parties = genParties(rng)
+	m.Network = genNetwork(rng)
+	m.Adversary = genAdversary(rng, m.Parties, m.Network)
+	steps := 2 + rng.IntN(3) // 2..4: at least one step on each side of the kill
+	w := &scenario.WorkloadSpec{}
+	if rng.IntN(100) < 30 {
+		// Deliberately under-budget so some trials cross a mid-workload
+		// refill — the hardest state to restore faithfully.
+		w.Budget = 1 + rng.IntN(4)
+	}
+	for i := 0; i < steps; i++ {
+		st := scenario.WorkloadStep{
+			Circuit: genCircuit(rng, m.Parties.N),
+			Expect:  scenario.Expect{Consistent: true},
+		}
+		if rng.IntN(100) < 40 {
+			st.Inputs = make([]uint64, m.Parties.N)
+			for j := range st.Inputs {
+				st.Inputs[j] = rng.Uint64N(1000)
+			}
+		}
+		w.Steps = append(w.Steps, st)
+	}
+	m.Workload = w
+	return m, 1 + rng.IntN(steps-1)
+}
+
+// CrashVerdict is one crash trial's outcome.
+type CrashVerdict struct {
+	Name string `json:"name"`
+	// KillAfter is the step count the interrupted run stopped at;
+	// PerGateEval the evaluator mode both runs used.
+	KillAfter   int  `json:"killAfter"`
+	Steps       int  `json:"steps"`
+	PerGateEval bool `json:"perGateEval,omitempty"`
+	// Violations is empty when the resumed report matched the
+	// uninterrupted one bit-for-bit.
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// OK reports whether the differential held.
+func (v *CrashVerdict) OK() bool { return len(v.Violations) == 0 }
+
+func (v *CrashVerdict) violate(oracle, format string, args ...any) {
+	v.Violations = append(v.Violations, Violation{Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
+}
+
+// CrashTrial runs one kill-and-resume differential: the workload
+// uninterrupted, then killed after killAfter steps with a checkpoint
+// in dir, then resumed from that checkpoint. Any difference between
+// the two final reports is a violation.
+func CrashTrial(m *scenario.Manifest, killAfter int, perGate bool, dir string) *CrashVerdict {
+	v := &CrashVerdict{Name: m.Name, KillAfter: killAfter, PerGateEval: perGate}
+	if m.Workload != nil {
+		v.Steps = len(m.Workload.Steps)
+	}
+	full, err := scenario.RunWorkloadOpts(m, scenario.WorkloadRunOptions{PerGateEval: perGate})
+	if err != nil {
+		v.violate("crash-full-run", "uninterrupted run failed: %v", err)
+		return v
+	}
+	ckPath := filepath.Join(dir, m.Name+".ckpt")
+	partial, err := scenario.RunWorkloadOpts(m, scenario.WorkloadRunOptions{
+		PerGateEval:    perGate,
+		CheckpointPath: ckPath,
+		StopAfter:      killAfter,
+	})
+	if err != nil {
+		v.violate("crash-kill-run", "interrupted run failed: %v", err)
+		return v
+	}
+	if len(partial.Steps) != killAfter {
+		v.violate("crash-kill-run", "interrupted run completed %d steps, wanted to stop after %d", len(partial.Steps), killAfter)
+		return v
+	}
+	ck, err := scenario.LoadWorkloadCheckpoint(ckPath)
+	if err != nil {
+		v.violate("crash-checkpoint", "checkpoint unreadable: %v", err)
+		return v
+	}
+	resumed, err := scenario.RunWorkloadOpts(m, scenario.WorkloadRunOptions{
+		PerGateEval: perGate,
+		Resume:      ck,
+	})
+	if err != nil {
+		v.violate("crash-resume", "resumed run failed: %v", err)
+		return v
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		fj, rj := reportJSON(full), reportJSON(resumed)
+		v.violate("crash-differential", "resumed report diverged from the uninterrupted run\nfull:    %s\nresumed: %s", fj, rj)
+	}
+	return v
+}
+
+func reportJSON(rep *scenario.WorkloadReport) string {
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return fmt.Sprintf("<unmarshalable: %v>", err)
+	}
+	return string(b)
+}
+
+// CrashSummary reports a crash campaign.
+type CrashSummary struct {
+	Seed   uint64 `json:"seed"`
+	Trials int    `json:"trials"`
+	Passed int    `json:"passed"`
+	// Failed holds the violating verdicts in trial order.
+	Failed []*CrashVerdict `json:"failed,omitempty"`
+}
+
+// CrashCampaign runs trials kill-and-resume differentials derived from
+// seed, alternating evaluator modes across trials. Checkpoints go to
+// per-trial files under a temp dir, removed afterwards. Like Fuzz, the
+// verdicts are a pure function of (seed, trials); parallelism only
+// changes wall-clock time.
+func CrashCampaign(opts Options) (*CrashSummary, error) {
+	opts = opts.withDefaults()
+	dir, err := os.MkdirTemp("", "crash-fuzz-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	sum := &CrashSummary{Seed: opts.Seed, Trials: opts.Trials}
+	slots := make([]*CrashVerdict, opts.Trials)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := opts.Parallel
+	if workers > opts.Trials {
+		workers = opts.Trials
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				m, kill := GenerateWorkload(opts.Seed, i)
+				slots[i] = CrashTrial(m, kill, i%2 == 1, dir)
+			}
+		}()
+	}
+	for i := 0; i < opts.Trials; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, v := range slots {
+		if v.OK() {
+			sum.Passed++
+			continue
+		}
+		sum.Failed = append(sum.Failed, v)
+	}
+	return sum, nil
+}

@@ -1,0 +1,46 @@
+package fuzzer
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateWorkloadDeterminism pins the crash-trial generator: same
+// (seed, index) must yield the same manifest and kill point, and every
+// generated manifest must validate with an in-range kill.
+func TestGenerateWorkloadDeterminism(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		m1, k1 := GenerateWorkload(42, i)
+		m2, k2 := GenerateWorkload(42, i)
+		if k1 != k2 || !reflect.DeepEqual(m1, m2) {
+			t.Fatalf("trial %d not deterministic", i)
+		}
+		if err := m1.Validate(); err != nil {
+			t.Fatalf("trial %d invalid: %v", i, err)
+		}
+		steps := len(m1.Workload.Steps)
+		if k1 < 1 || k1 >= steps {
+			t.Fatalf("trial %d kill point %d out of range for %d steps", i, k1, steps)
+		}
+	}
+}
+
+// TestCrashCampaign runs a small kill-and-resume campaign end to end:
+// every trial's resumed report must be bit-identical to its
+// uninterrupted twin.
+func TestCrashCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash trials run full workloads; run without -short")
+	}
+	sum, err := CrashCampaign(Options{Trials: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Passed != sum.Trials {
+		for _, v := range sum.Failed {
+			t.Errorf("%s (killed after %d/%d, perGateEval=%v): %v",
+				v.Name, v.KillAfter, v.Steps, v.PerGateEval, v.Violations)
+		}
+		t.Fatalf("%d of %d crash trials diverged", sum.Trials-sum.Passed, sum.Trials)
+	}
+}

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/circuit"
+	"repro/field"
+	"repro/internal/proto"
+	"repro/mpc"
+)
+
+// CheckpointRow is one E16 checkpoint/restore measurement: a session
+// engine preprocesses a K-evaluation triple budget, serves one
+// evaluation, and is then snapshotted and restored. The row compares
+// the wall-clock of the original preprocessing against the wall-clock
+// of restoring the same pool from the checkpoint — the figure that
+// justifies checkpointing at all: a restored engine skips the
+// ΠPreProcessing protocol entirely.
+type CheckpointRow struct {
+	Name string `json:"name"`
+	// K is the evaluation budget the pool was filled for; CM the
+	// per-evaluation triple need.
+	K  int `json:"evaluations"`
+	CM int `json:"c_m_per_eval"`
+	// CheckpointBytes is the serialized engine checkpoint size.
+	CheckpointBytes int `json:"checkpoint_bytes"`
+	// PreprocessNs is the wall-clock of the original pool fill;
+	// SnapshotNs and RestoreNs the wall-clock of Engine.Snapshot and
+	// RestoreEngine over the same state (minimum over repetitions).
+	PreprocessNs int64 `json:"preprocess_ns"`
+	SnapshotNs   int64 `json:"snapshot_ns"`
+	RestoreNs    int64 `json:"restore_ns"`
+	// RestoreSpeedup is PreprocessNs / RestoreNs.
+	RestoreSpeedup float64 `json:"restore_speedup"`
+	// OutputsOK requires the restored engine's next evaluation to
+	// reproduce the original engine's bit-for-bit.
+	OutputsOK bool `json:"outputs_ok"`
+}
+
+// CheckpointReport is the E16 section written to BENCH_PR7.json.
+type CheckpointReport struct {
+	Note string          `json:"note"`
+	Rows []CheckpointRow `json:"checkpoint_pr7"`
+	// OK is the gate: every row reproduces the original engine's
+	// outputs after restore and restores faster than it preprocessed.
+	OK bool `json:"ok"`
+}
+
+// minDuration runs fn reps times and returns the fastest wall-clock.
+func minDuration(reps int, fn func() error) (time.Duration, error) {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// E16Checkpoint measures one checkpoint/restore row: preprocess a
+// K-evaluation budget, serve one evaluation, snapshot, restore, and
+// check that original and restored engines produce bit-identical next
+// evaluations.
+func E16Checkpoint(cfg proto.Config, name string, circ *circuit.Circuit, k int, seed uint64) CheckpointRow {
+	mcfg := mpc.Config{
+		N: cfg.N, Ts: cfg.Ts, Ta: cfg.Ta,
+		Network: mpc.Sync, Delta: int64(cfg.Delta), Seed: seed,
+	}
+	inputs := make([]field.Element, cfg.N)
+	for i := range inputs {
+		inputs[i] = field.New(uint64(i + 1))
+	}
+	row := CheckpointRow{Name: name, K: k, CM: circ.MulCount}
+	budget := k * circ.MulCount
+	if budget < 1 {
+		budget = 1
+	}
+
+	// Preprocess wall-clock: each repetition needs its own engine (an
+	// engine preprocesses once); the last one becomes the session.
+	var eng *mpc.Engine
+	ppTime, err := minDuration(3, func() error {
+		e, err := mpc.NewEngine(mcfg)
+		if err != nil {
+			return err
+		}
+		if _, err := e.Preprocess(budget); err != nil {
+			return err
+		}
+		eng = e
+		return nil
+	})
+	if err != nil {
+		return row
+	}
+	row.PreprocessNs = ppTime.Nanoseconds()
+
+	// Put the session mid-workload before checkpointing, so the
+	// restored state is a realistic resume point, not a fresh pool.
+	if _, err := eng.Evaluate(circ, inputs); err != nil {
+		return row
+	}
+
+	var buf bytes.Buffer
+	snapTime, err := minDuration(3, func() error {
+		buf.Reset()
+		return eng.Snapshot(&buf)
+	})
+	if err != nil {
+		return row
+	}
+	row.SnapshotNs = snapTime.Nanoseconds()
+	row.CheckpointBytes = buf.Len()
+
+	var restored *mpc.Engine
+	restTime, err := minDuration(3, func() error {
+		e, err := mpc.RestoreEngine(mcfg, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return err
+		}
+		restored = e
+		return nil
+	})
+	if err != nil {
+		return row
+	}
+	row.RestoreNs = restTime.Nanoseconds()
+	if row.RestoreNs > 0 {
+		row.RestoreSpeedup = float64(row.PreprocessNs) / float64(row.RestoreNs)
+	}
+
+	// Differential: the restored engine's next evaluation must be
+	// bit-identical to the original engine's.
+	orig, err := eng.Evaluate(circ, inputs)
+	if err != nil {
+		return row
+	}
+	twin, err := restored.Evaluate(circ, inputs)
+	if err != nil {
+		return row
+	}
+	ok := len(orig.Outputs) == len(twin.Outputs) &&
+		orig.HonestMessages == twin.HonestMessages &&
+		orig.HonestBytes == twin.HonestBytes
+	for i := range orig.Outputs {
+		if !ok || orig.Outputs[i] != twin.Outputs[i] {
+			ok = false
+			break
+		}
+	}
+	row.OutputsOK = ok
+	return row
+}
+
+// RunCheckpoint measures the tracked E16 rows at K = 8, seed 1.
+func RunCheckpoint() *CheckpointReport {
+	report := &CheckpointReport{
+		Note: "E16: engine checkpoint/restore vs re-preprocessing a K=8 triple budget; the restored " +
+			"engine's next evaluation must be bit-identical to the original's, and restore_ns must be " +
+			"below preprocess_ns (restore skips the ΠPreProcessing protocol entirely)",
+		OK: true,
+	}
+	cases := []struct {
+		name string
+		cfg  proto.Config
+		circ *circuit.Circuit
+	}{
+		{"E16Ckpt/product/n5", Config5(), circuit.Product(5)},
+		{"E16Ckpt/product/n8", Config8(), circuit.Product(8)},
+	}
+	for _, c := range cases {
+		row := E16Checkpoint(c.cfg, c.name, c.circ, 8, 1)
+		report.Rows = append(report.Rows, row)
+		if !row.OutputsOK || row.RestoreNs <= 0 || row.RestoreNs >= row.PreprocessNs {
+			report.OK = false
+		}
+	}
+	return report
+}
+
+// WriteCheckpoint renders the report as indented JSON.
+func WriteCheckpoint(w io.Writer, report *CheckpointReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// FormatCheckpointRow renders a row for the stderr summary.
+func FormatCheckpointRow(r CheckpointRow) string {
+	return fmt.Sprintf("%-22s restore %8.2fms vs preprocess %8.2fms (%.0fx faster, %d byte checkpoint)",
+		r.Name, float64(r.RestoreNs)/1e6, float64(r.PreprocessNs)/1e6, r.RestoreSpeedup, r.CheckpointBytes)
+}

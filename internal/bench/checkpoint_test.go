@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/circuit"
+)
+
+// TestE16Checkpoint is the PR 7 acceptance gate behind
+// `make bench-json`: every tracked row's restored engine must
+// reproduce the original's next evaluation bit-for-bit, and restoring
+// must be cheaper than re-running the preprocessing protocol.
+func TestE16Checkpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E16 preprocesses a K=8 budget per row; skipped under -short")
+	}
+	report := RunCheckpoint()
+	for _, row := range report.Rows {
+		if !row.OutputsOK {
+			t.Errorf("%s: restored engine diverged from the original", row.Name)
+		}
+		if row.RestoreNs <= 0 || row.RestoreNs >= row.PreprocessNs {
+			t.Errorf("%s: restore (%d ns) is not below preprocess (%d ns)",
+				row.Name, row.RestoreNs, row.PreprocessNs)
+		}
+		if row.CheckpointBytes == 0 {
+			t.Errorf("%s: empty checkpoint", row.Name)
+		}
+		t.Log(FormatCheckpointRow(row))
+	}
+	if !report.OK {
+		t.Error("report gate is false")
+	}
+}
+
+// TestE16SmallRow keeps a cheap fixed row under plain `go test`: K=2
+// on the smallest config.
+func TestE16SmallRow(t *testing.T) {
+	row := E16Checkpoint(Config5(), "E16Ckpt/product/n5/k2", circuit.Product(5), 2, 1)
+	if !row.OutputsOK {
+		t.Fatal("restored engine diverged from the original")
+	}
+	if row.RestoreNs <= 0 || row.RestoreNs >= row.PreprocessNs {
+		t.Fatalf("restore not cheaper than preprocess: %+v", row)
+	}
+}

@@ -44,6 +44,13 @@ type World struct {
 	corrupt map[int]bool
 	epochs  int
 	tracer  obs.Tracer
+
+	// netPCG and prngs retain the raw PCG sources behind the network's
+	// and the parties' rand.Rand wrappers: rand.Rand is not serializable
+	// but *rand.PCG is, and checkpoint/restore needs the generators'
+	// exact positions for a restored run to replay bit-identically.
+	netPCG *rand.PCG
+	prngs  []*rand.PCG // 1-based, like Runtimes
 }
 
 // Epoch is one session slot on a long-lived World. A World originally
@@ -107,8 +114,8 @@ func NewWorld(opts WorldOpts) *World {
 			panic(fmt.Sprintf("proto: invalid network kind %v", opts.Network))
 		}
 	}
-	netRng := rand.New(rand.NewPCG(opts.Seed, 0x6e657477_6f726b00)) // "network"
-	net := sim.NewNetwork(cfg.N, sched, policy, netRng)
+	netPCG := rand.NewPCG(opts.Seed, 0x6e657477_6f726b00) // "network"
+	net := sim.NewNetwork(cfg.N, sched, policy, rand.New(netPCG))
 
 	w := &World{
 		Cfg:      cfg,
@@ -118,6 +125,8 @@ func NewWorld(opts WorldOpts) *World {
 		Runtimes: make([]*Runtime, cfg.N+1),
 		corrupt:  make(map[int]bool),
 		tracer:   opts.Tracer,
+		netPCG:   netPCG,
+		prngs:    make([]*rand.PCG, cfg.N+1),
 	}
 	if opts.Tracer != nil {
 		sched.SetTracer(opts.Tracer)
@@ -125,8 +134,9 @@ func NewWorld(opts WorldOpts) *World {
 	}
 	kernels := poly.NewKernelCache()
 	for i := 1; i <= cfg.N; i++ {
-		prng := rand.New(rand.NewPCG(opts.Seed^uint64(i)*0x9e3779b97f4a7c15, uint64(i)))
-		w.Runtimes[i] = NewRuntime(i, cfg.N, sched, net, prng)
+		pcg := rand.NewPCG(opts.Seed^uint64(i)*0x9e3779b97f4a7c15, uint64(i))
+		w.prngs[i] = pcg
+		w.Runtimes[i] = NewRuntime(i, cfg.N, sched, net, rand.New(pcg))
 		w.Runtimes[i].SetKernelCache(kernels)
 		w.Runtimes[i].SetTracer(opts.Tracer)
 	}
@@ -170,3 +180,83 @@ func (w *World) Metrics() *sim.Metrics { return w.Net.Metrics() }
 
 // Tracer returns the world's trace sink (nil when tracing is off).
 func (w *World) Tracer() obs.Tracer { return w.tracer }
+
+// WorldState is a World's serializable lifecycle state: everything a
+// fresh NewWorld with the same options does NOT already reconstruct.
+// The protocol handler tables and in-flight messages are deliberately
+// absent — a world may only checkpoint at quiescence, where no events
+// are pending and retired epochs' handlers are inert (the epoch counter
+// guarantees restored sessions open fresh, non-colliding namespaces).
+type WorldState struct {
+	// Epochs is the BeginEpoch counter.
+	Epochs int `json:"epochs"`
+	// Sched is the virtual clock and event-sequence state.
+	Sched sim.SchedulerState `json:"sched"`
+	// Metrics is the communication counter state.
+	Metrics sim.MetricsSnapshot `json:"metrics"`
+	// NetRand is the network-delay PCG's marshaled position; PartyRand
+	// the per-party protocol PCGs' (index 0 = party 1).
+	NetRand   []byte   `json:"netRand"`
+	PartyRand [][]byte `json:"partyRand"`
+}
+
+// Checkpoint captures the world's lifecycle state. It fails if the
+// scheduler still holds pending events: closures cannot be serialized,
+// so checkpoints exist only at quiescence.
+func (w *World) Checkpoint() (*WorldState, error) {
+	sched, err := w.Sched.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	netRand, err := w.netPCG.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("proto: marshal network rng: %w", err)
+	}
+	st := &WorldState{
+		Epochs:    w.epochs,
+		Sched:     sched,
+		Metrics:   w.Metrics().Snapshot(),
+		NetRand:   netRand,
+		PartyRand: make([][]byte, w.Cfg.N),
+	}
+	for i := 1; i <= w.Cfg.N; i++ {
+		b, err := w.prngs[i].MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("proto: marshal party %d rng: %w", i, err)
+		}
+		st.PartyRand[i-1] = b
+	}
+	return st, nil
+}
+
+// Restore loads a checkpointed lifecycle state into a freshly built
+// world (same options as the checkpointed one — the caller enforces
+// that; this method validates only shape). On error the world is
+// possibly half-restored and must be discarded.
+func (w *World) Restore(st *WorldState) error {
+	if st == nil {
+		return fmt.Errorf("proto: restore from nil world state")
+	}
+	if st.Epochs < 0 {
+		return fmt.Errorf("proto: restore with negative epoch counter %d", st.Epochs)
+	}
+	if len(st.PartyRand) != w.Cfg.N {
+		return fmt.Errorf("proto: restore with %d party rng states for %d parties", len(st.PartyRand), w.Cfg.N)
+	}
+	if err := w.Sched.Restore(st.Sched); err != nil {
+		return err
+	}
+	if err := w.Metrics().Restore(st.Metrics); err != nil {
+		return err
+	}
+	if err := w.netPCG.UnmarshalBinary(st.NetRand); err != nil {
+		return fmt.Errorf("proto: restore network rng: %w", err)
+	}
+	for i := 1; i <= w.Cfg.N; i++ {
+		if err := w.prngs[i].UnmarshalBinary(st.PartyRand[i-1]); err != nil {
+			return fmt.Errorf("proto: restore party %d rng: %w", i, err)
+		}
+	}
+	w.epochs = st.Epochs
+	return nil
+}

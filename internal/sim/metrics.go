@@ -115,6 +115,29 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	return s
 }
 
+// Restore overwrites the live counters with a snapshot's values, the
+// inverse of Snapshot — how a restored World resumes metric accounting
+// exactly where the checkpointed run left off. The family memo is
+// dropped; it repopulates on the next Record.
+func (m *Metrics) Restore(s MetricsSnapshot) error {
+	if s.N != m.n {
+		return fmt.Errorf("sim: metrics snapshot is for n=%d parties, live counter has n=%d", s.N, m.n)
+	}
+	if s.LastTick < 0 {
+		return fmt.Errorf("sim: metrics snapshot with negative last tick %d", s.LastTick)
+	}
+	m.Honest = s.Honest
+	m.Corrupt = s.Corrupt
+	m.last = Time(s.LastTick)
+	m.lastLabel, m.lastCounts = "", nil
+	m.ByFamily = make(map[string]*Counts, len(s.ByFamily))
+	for k, c := range s.ByFamily {
+		cc := c
+		m.ByFamily[k] = &cc
+	}
+	return nil
+}
+
 // Sub returns the traffic recorded between prev and s: element-wise
 // counter differences, with families that saw no new traffic dropped.
 // prev must be an earlier snapshot of the same Metrics.

@@ -333,6 +333,44 @@ func (s *Scheduler) RunToQuiescence() uint64 {
 // Pending returns the number of queued events.
 func (s *Scheduler) Pending() int { return s.pending() }
 
+// SchedulerState is the scheduler's serializable clock state: the
+// virtual time, the push-sequence counter (the FIFO tie-break — two
+// runs only replay bit-identically if restored pushes keep numbering
+// where the original left off) and the executed-event count (so the
+// Limit budget keeps meaning "lifetime events" across a restore).
+type SchedulerState struct {
+	Now       int64  `json:"now"`
+	Seq       uint64 `json:"seq"`
+	Processed uint64 `json:"processed"`
+}
+
+// Checkpoint captures the clock state. It refuses while events are
+// pending: a pending event holds a live closure (or a network
+// reference), which cannot be serialized — run to quiescence first.
+func (s *Scheduler) Checkpoint() (SchedulerState, error) {
+	if n := s.pending(); n > 0 {
+		return SchedulerState{}, fmt.Errorf("sim: checkpoint with %d events pending (run to quiescence first)", n)
+	}
+	return SchedulerState{Now: int64(s.now), Seq: s.seq, Processed: s.processed}, nil
+}
+
+// Restore loads a checkpointed clock state into a fresh scheduler,
+// which must not have run or queued anything yet. The ring base snaps
+// to the restored time, so bucket indexing continues seamlessly.
+func (s *Scheduler) Restore(st SchedulerState) error {
+	if st.Now < 0 {
+		return fmt.Errorf("sim: restore to negative time %d", st.Now)
+	}
+	if s.pending() > 0 || s.processed > 0 {
+		return fmt.Errorf("sim: restore into a used scheduler (%d pending, %d processed)", s.pending(), s.processed)
+	}
+	s.now = Time(st.Now)
+	s.base = Time(st.Now)
+	s.seq = st.Seq
+	s.processed = st.Processed
+	return nil
+}
+
 // overflowHeap is a hand-rolled binary min-heap over (at, prio, seq),
 // holding events scheduled beyond the calendar window.
 type overflowHeap []event

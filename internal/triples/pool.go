@@ -22,23 +22,39 @@ type ExhaustedError struct {
 	// Need is the requested triple count, Have the unreserved triples
 	// available at the time of the request.
 	Need, Have int
+	// Pending is the triple count an in-flight Fill will add when it
+	// completes (0 = no fill in flight). It distinguishes "empty — the
+	// caller must Fill" from "refilling — the caller should let the
+	// batch land and retry".
+	Pending int
 }
 
 func (e *ExhaustedError) Error() string {
+	if e.Pending > 0 {
+		return fmt.Sprintf("triples: pool exhausted: need %d triples, have %d, refill of %d in flight (retry once it lands)",
+			e.Need, e.Have, e.Pending)
+	}
 	return fmt.Sprintf("triples: pool exhausted: need %d triples, have %d (refill with Fill)", e.Need, e.Have)
 }
 
 // Unwrap lets errors.Is(err, ErrPoolExhausted) succeed.
 func (e *ExhaustedError) Unwrap() error { return ErrPoolExhausted }
 
-// PoolStats is the pool's cumulative reservation/consume accounting.
+// PoolStats is the pool's cumulative reservation/consume accounting,
+// JSON-tagged so engine stats and checkpoint inspection can report pool
+// depth without reaching into internals.
 type PoolStats struct {
 	// Batches is the number of ΠPreProcessing fills spawned so far.
-	Batches int
+	Batches int `json:"batches"`
 	// Generated counts every triple a completed fill produced;
 	// Reserved counts triples handed out through Reserve (net of
 	// releases); Available = Generated - Reserved.
-	Generated, Reserved, Available int
+	Generated int `json:"generated"`
+	Reserved  int `json:"reserved"`
+	Available int `json:"available"`
+	// Filling is the triple count of the in-flight fill batch (0 = no
+	// fill in flight).
+	Filling int `json:"filling"`
 }
 
 // Pool is one party's budgeted multiplication-triple store: a
@@ -63,6 +79,11 @@ type Pool struct {
 
 	batches int
 	filling *Preprocessing
+	// fillPending is the triple count the in-flight fill will add (0
+	// when filling == nil). Kept separately because a restored pool
+	// records that a fill was in flight (see PoolState.FillPending)
+	// without holding a live Preprocessing.
+	fillPending int
 
 	avail     []Triple
 	generated int
@@ -114,8 +135,10 @@ func (p *Pool) Fill(budget int, start sim.Time, launch bool, onDone func(got int
 	inst := proto.Join(p.inst, fmt.Sprintf("b%d", p.batches))
 	p.batches++
 	p.trace(obs.KPoolFill, inst, cM, len(p.avail))
+	p.fillPending = cM
 	p.filling = NewPreprocessing(p.rt, inst, cM, p.cfg, p.coin, start, func(ts []Triple) {
 		p.filling = nil
+		p.fillPending = 0
 		p.avail = append(p.avail, ts...)
 		p.generated += len(ts)
 		p.trace(obs.KPoolFillDone, inst, len(ts), len(p.avail))
@@ -150,6 +173,7 @@ func (p *Pool) Stats() PoolStats {
 		Generated: p.generated,
 		Reserved:  p.reserved,
 		Available: len(p.avail),
+		Filling:   p.fillPending,
 	}
 }
 
@@ -163,7 +187,7 @@ func (p *Pool) Reserve(k int) (*Reservation, error) {
 	}
 	if k > len(p.avail) {
 		p.trace(obs.KPoolExhaust, "", k, len(p.avail))
-		return nil, &ExhaustedError{Need: k, Have: len(p.avail)}
+		return nil, &ExhaustedError{Need: k, Have: len(p.avail), Pending: p.fillPending}
 	}
 	r := &Reservation{pool: p, trips: p.avail[:k:k]}
 	p.avail = p.avail[k:]

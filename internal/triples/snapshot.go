@@ -1,0 +1,140 @@
+package triples
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/proto"
+)
+
+// tripleWire is the encoded size of one Triple: X, Y, Z as fixed-width
+// little-endian words.
+const tripleWire = 3 * field.ElementSize
+
+// PoolState is a Pool's serializable state: the accounting counters,
+// the in-flight-fill marker and the available (unreserved) triples. A
+// checkpoint must happen with no outstanding Reservation — reservations
+// are handed to exactly one evaluation and die with it — so Reserved
+// here counts *consumed* triples, and the invariant
+// Generated == Reserved + len(avail) must hold on restore.
+type PoolState struct {
+	// Batches is the fill counter: restored pools continue batch
+	// namespaces at "<inst>/b<Batches>", so a post-restore refill can
+	// never collide with a pre-checkpoint batch's instance paths.
+	Batches   int `json:"batches"`
+	Generated int `json:"generated"`
+	Reserved  int `json:"reserved"`
+	// FillPending is the batch size of a fill that was in flight at
+	// snapshot time (0 = none). An honest engine refuses to snapshot
+	// mid-fill, but a corrupt party's pool can be stuck filling forever
+	// (its batch never completes on a sabotaged world); recording the
+	// fact keeps a restored run's Fill/Reserve behaviour — including
+	// the "already has a fill in flight" refusal and ExhaustedError's
+	// Pending count — identical to the uninterrupted run's.
+	FillPending int `json:"fillPending,omitempty"`
+	// Triples is the EncodeTriples encoding of the available triples.
+	Triples []byte `json:"triples,omitempty"`
+}
+
+// EncodeTriples renders triples as fixed-width binary: 24 bytes per
+// triple (X, Y, Z little-endian), the format PoolState.Triples carries.
+func EncodeTriples(ts []Triple) []byte {
+	out := make([]byte, 0, len(ts)*tripleWire)
+	for _, t := range ts {
+		out = binary.LittleEndian.AppendUint64(out, uint64(t.X))
+		out = binary.LittleEndian.AppendUint64(out, uint64(t.Y))
+		out = binary.LittleEndian.AppendUint64(out, uint64(t.Z))
+	}
+	return out
+}
+
+// DecodeTriples parses an EncodeTriples blob, rejecting truncation and
+// non-canonical (≥ modulus) share words.
+func DecodeTriples(b []byte) ([]Triple, error) {
+	if len(b)%tripleWire != 0 {
+		return nil, fmt.Errorf("triples: triple blob of %d bytes is not a multiple of %d", len(b), tripleWire)
+	}
+	ts := make([]Triple, len(b)/tripleWire)
+	for i := range ts {
+		var w [3]field.Element
+		for j := range w {
+			v := binary.LittleEndian.Uint64(b[i*tripleWire+j*field.ElementSize:])
+			if v >= field.Modulus {
+				return nil, fmt.Errorf("triples: non-canonical share word %d in triple %d", v, i)
+			}
+			w[j] = field.Element(v)
+		}
+		ts[i] = Triple{X: w[0], Y: w[1], Z: w[2]}
+	}
+	return ts, nil
+}
+
+// Stats derives the pool-depth accounting a PoolState describes,
+// without decoding the triple blob (Available is its triple count).
+func (st *PoolState) Stats() PoolStats {
+	return PoolStats{
+		Batches:   st.Batches,
+		Generated: st.Generated,
+		Reserved:  st.Reserved,
+		Available: len(st.Triples) / tripleWire,
+		Filling:   st.FillPending,
+	}
+}
+
+// Snapshot captures the pool's state. It must be taken with no
+// outstanding Reservation (reservations are transient, owned by one
+// evaluation); an in-flight fill is recorded, not serialized — the
+// batch's protocol messages live in the scheduler, which the owning
+// World refuses to checkpoint while they are pending.
+func (p *Pool) Snapshot() *PoolState {
+	return &PoolState{
+		Batches:     p.batches,
+		Generated:   p.generated,
+		Reserved:    p.reserved,
+		FillPending: p.fillPending,
+		Triples:     EncodeTriples(p.avail),
+	}
+}
+
+// abandonedFill marks a restored pool whose snapshot had a fill in
+// flight: the batch's protocol state is gone (it lived in the crashed
+// scheduler), but the pool must keep refusing a second Fill and
+// reporting the pending count, exactly as the uninterrupted pool would.
+var abandonedFill = &Preprocessing{}
+
+// RestorePool rebuilds a pool from a snapshot, validating the
+// accounting invariant and the triple encoding. rt/inst/cfg/coin must
+// match the checkpointed pool's construction (the engine layer enforces
+// config equality; this constructor validates only internal shape).
+func RestorePool(rt *proto.Runtime, inst string, cfg proto.Config, coin aba.CoinSource, st *PoolState) (*Pool, error) {
+	if st == nil {
+		return nil, fmt.Errorf("triples: restore from nil pool state")
+	}
+	if st.Batches < 0 || st.Generated < 0 || st.Reserved < 0 || st.FillPending < 0 {
+		return nil, fmt.Errorf("triples: pool state has negative counters (batches %d, generated %d, reserved %d, fillPending %d)",
+			st.Batches, st.Generated, st.Reserved, st.FillPending)
+	}
+	ts, err := DecodeTriples(st.Triples)
+	if err != nil {
+		return nil, err
+	}
+	if st.Generated != st.Reserved+len(ts) {
+		return nil, fmt.Errorf("triples: pool state violates generated == reserved + available: %d != %d + %d",
+			st.Generated, st.Reserved, len(ts))
+	}
+	if st.FillPending > 0 && st.Batches == 0 {
+		return nil, fmt.Errorf("triples: pool state has a pending fill but no batch ever started")
+	}
+	p := NewPool(rt, inst, cfg, coin)
+	p.batches = st.Batches
+	p.generated = st.Generated
+	p.reserved = st.Reserved
+	p.avail = ts
+	if st.FillPending > 0 {
+		p.filling = abandonedFill
+		p.fillPending = st.FillPending
+	}
+	return p, nil
+}

@@ -1,0 +1,197 @@
+package triples
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/proto"
+)
+
+func TestEncodeDecodeTriples(t *testing.T) {
+	ts := []Triple{
+		{X: 1, Y: 2, Z: 3},
+		{X: field.Element(field.Modulus - 1), Y: 0, Z: 7},
+	}
+	blob := EncodeTriples(ts)
+	if len(blob) != len(ts)*tripleWire {
+		t.Fatalf("blob is %d bytes, want %d", len(blob), len(ts)*tripleWire)
+	}
+	back, err := DecodeTriples(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ts, back) {
+		t.Fatalf("roundtrip mismatch: %v != %v", back, ts)
+	}
+
+	if _, err := DecodeTriples(blob[:len(blob)-1]); err == nil {
+		t.Fatal("truncated blob decoded")
+	}
+	bad := EncodeTriples([]Triple{{X: 1, Y: 2, Z: 3}})
+	bad[7] |= 0x20 // lifts X above the modulus
+	if _, err := DecodeTriples(bad); err == nil {
+		t.Fatal("non-canonical share word decoded")
+	}
+}
+
+// TestPoolSnapshotRestore checkpoints a drained-and-consumed pool and
+// restores it into a fresh world: stats, available shares and the
+// reserve sequence must continue exactly where the original left off.
+func TestPoolSnapshotRestore(t *testing.T) {
+	w, pools, cfg := poolWorld(t)
+	for i := 1; i <= cfg.N; i++ {
+		if _, err := pools[i].Fill(5, 0, true, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.RunToQuiescence()
+	for i := 1; i <= cfg.N; i++ {
+		if _, err := pools[i].Reserve(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A snapshot with an outstanding (never released) reservation is
+	// well-formed: reserved triples are gone from the pool either way,
+	// so the restored accounting still satisfies the pool invariant.
+	states := make([]*PoolState, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		states[i] = pools[i].Snapshot()
+		if states[i].Reserved != 2 {
+			t.Fatalf("party %d snapshot records %d reserved, want 2", i, states[i].Reserved)
+		}
+		if got, want := states[i].Stats(), pools[i].Stats(); got != want {
+			t.Fatalf("party %d snapshot stats %+v != pool stats %+v", i, got, want)
+		}
+	}
+
+	w2 := proto.NewWorld(proto.WorldOpts{Cfg: cfg, Network: proto.Sync, Seed: 1})
+	coin := aba.DefaultCoin(1)
+	restored := make([]*Pool, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		p, err := RestorePool(w2.Runtimes[i], "pool", cfg, coin, states[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored[i] = p
+		if got, want := p.Stats(), pools[i].Stats(); got != want {
+			t.Fatalf("party %d restored stats %+v != original %+v", i, got, want)
+		}
+	}
+	// The next reservation must hand out the same shares on both sides.
+	for i := 1; i <= cfg.N; i++ {
+		a, err := pools[i].Reserve(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored[i].Reserve(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Triples(), b.Triples()) {
+			t.Fatalf("party %d reservation diverged after restore", i)
+		}
+	}
+}
+
+// TestPoolSnapshotMidFill covers the corrupt-party parity path: a pool
+// checkpointed while its fill is in flight restores with the fill
+// marked abandoned — still refusing a second Fill and still reporting
+// the pending count — so a restored run's Fill/Reserve behaviour
+// matches the uninterrupted one's.
+func TestPoolSnapshotMidFill(t *testing.T) {
+	_, pools, cfg := poolWorld(t)
+	promised, err := pools[1].Fill(5, 0, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pools[1].Snapshot()
+	if st.FillPending != promised {
+		t.Fatalf("snapshot records fillPending %d, Fill promised %d", st.FillPending, promised)
+	}
+
+	w2 := proto.NewWorld(proto.WorldOpts{Cfg: cfg, Network: proto.Sync, Seed: 1})
+	p, err := RestorePool(w2.Runtimes[1], "pool", cfg, aba.DefaultCoin(1), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Filling() {
+		t.Fatal("restored pool lost its in-flight fill marker")
+	}
+	if _, err := p.Fill(5, 0, true, nil); err == nil {
+		t.Fatal("restored pool accepted a second Fill with one in flight")
+	}
+	_, err = p.Reserve(1)
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("Reserve on empty restored pool: %v, want *ExhaustedError", err)
+	}
+	if ex.Pending != promised {
+		t.Fatalf("exhaustion reports pending %d, want %d", ex.Pending, promised)
+	}
+}
+
+// TestPoolReservePendingError pins the typed exhaustion error's Pending
+// field: zero with no fill in flight, the batch size while one is.
+func TestPoolReservePendingError(t *testing.T) {
+	w, pools, cfg := poolWorld(t)
+	_, err := pools[1].Reserve(1)
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("Reserve on empty pool: %v, want *ExhaustedError", err)
+	}
+	if ex.Pending != 0 || ex.Need != 1 || ex.Have != 0 {
+		t.Fatalf("empty-pool exhaustion %+v, want Need 1 Have 0 Pending 0", ex)
+	}
+
+	promised := 0
+	for i := 1; i <= cfg.N; i++ {
+		p, err := pools[i].Fill(5, 0, true, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		promised = p
+	}
+	_, err = pools[1].Reserve(1)
+	if !errors.As(err, &ex) {
+		t.Fatalf("Reserve mid-fill: %v, want *ExhaustedError", err)
+	}
+	if ex.Pending != promised {
+		t.Fatalf("mid-fill exhaustion reports pending %d, want %d", ex.Pending, promised)
+	}
+
+	w.RunToQuiescence()
+	if pools[1].Stats().Filling != 0 {
+		t.Fatal("Filling stat nonzero after the batch landed")
+	}
+	if _, err := pools[1].Reserve(1); err != nil {
+		t.Fatalf("Reserve after the batch landed: %v", err)
+	}
+}
+
+// TestRestorePoolRejects exercises the restore validation: nil state,
+// negative counters, corrupt blobs, accounting violations and a
+// pending fill with no batch counter.
+func TestRestorePoolRejects(t *testing.T) {
+	w := proto.NewWorld(proto.WorldOpts{
+		Cfg: proto.Config{N: 5, Ts: 1, Ta: 1, Delta: 10, CoinRounds: 8}, Network: proto.Sync, Seed: 1,
+	})
+	cfg := proto.Config{N: 5, Ts: 1, Ta: 1, Delta: 10, CoinRounds: 8}
+	coin := aba.DefaultCoin(1)
+	cases := map[string]*PoolState{
+		"nil state":         nil,
+		"negative batches":  {Batches: -1},
+		"negative reserved": {Reserved: -1},
+		"truncated blob":    {Generated: 1, Triples: make([]byte, tripleWire-1)},
+		"bad accounting":    {Generated: 5, Reserved: 1, Triples: EncodeTriples([]Triple{{X: 1}})},
+		"fill from nowhere": {FillPending: 3},
+	}
+	for name, st := range cases {
+		if _, err := RestorePool(w.Runtimes[1], "pool", cfg, coin, st); err == nil {
+			t.Errorf("%s: restore accepted", name)
+		}
+	}
+}

@@ -51,7 +51,11 @@ var (
 // it is a single-threaded deterministic simulation. Config.EventLimit
 // is a lifetime budget across all epochs (default 200M events).
 type Engine struct {
-	cfg    Config
+	cfg Config
+	// adv is the session's static adversary, retained verbatim so a
+	// Snapshot records the engine's full identity (a checkpoint only
+	// restores under the same config AND adversary).
+	adv    *Adversary
 	pcfg   proto.Config
 	world  *proto.World
 	coin   aba.CoinSource
@@ -64,6 +68,10 @@ type Engine struct {
 	evalSinceFill bool
 	evals         int
 	ppCalls       int
+	// busy names the lifecycle phase currently executing ("" when
+	// idle): Snapshot refuses while a phase is live, because the
+	// scheduler then holds protocol events that cannot be serialized.
+	busy string
 
 	ppMsgs, ppBytes     uint64
 	evalMsgs, evalBytes uint64
@@ -97,19 +105,32 @@ type EvalSummary struct {
 type EngineStats struct {
 	// Evaluations counts completed Evaluate calls; Batches counts
 	// Preprocess fills.
-	Evaluations, Batches int
+	Evaluations int `json:"evaluations"`
+	Batches     int `json:"batches"`
 	// TriplesGenerated / TriplesConsumed / TriplesAvailable account the
 	// pool: Generated = Consumed + Available.
-	TriplesGenerated, TriplesConsumed, TriplesAvailable int
+	TriplesGenerated int `json:"triplesGenerated"`
+	TriplesConsumed  int `json:"triplesConsumed"`
+	TriplesAvailable int `json:"triplesAvailable"`
+	// Pool is the first honest party's full pool accounting (all honest
+	// pools agree), including the in-flight-fill gauge — the depth
+	// figure `scenario workload -json` and the checkpoint inspect verb
+	// report without reaching into internals.
+	Pool triples.PoolStats `json:"pool"`
 	// PreprocessMessages/Bytes is the honest traffic of every
 	// Preprocess; EvalMessages/Bytes the honest traffic of every
 	// Evaluate. Their ratio against Evaluations is the amortization
 	// headline (see the scenario `workload` verb and BENCH_PR5.json).
-	PreprocessMessages, PreprocessBytes uint64
-	EvalMessages, EvalBytes             uint64
+	PreprocessMessages uint64 `json:"preprocessMessages"`
+	PreprocessBytes    uint64 `json:"preprocessBytes"`
+	EvalMessages       uint64 `json:"evalMessages"`
+	EvalBytes          uint64 `json:"evalBytes"`
+	// Events is the lifetime count of simulation events the engine's
+	// world has executed, across preprocessing and every evaluation.
+	Events uint64 `json:"events"`
 	// Evals holds one latency/traffic summary per completed Evaluate,
 	// in epoch order.
-	Evals []EvalSummary
+	Evals []EvalSummary `json:"evals,omitempty"`
 }
 
 // NewEngine assembles an all-honest session engine. The engine world is
@@ -229,6 +250,7 @@ func newEngine(cfg Config, adv *Adversary, tr obs.Tracer) (*Engine, error) {
 	coin := aba.DefaultCoin(cfg.Seed ^ 0xc01c01)
 	e := &Engine{
 		cfg:    cfg,
+		adv:    adv,
 		pcfg:   pcfg,
 		world:  w,
 		coin:   coin,
@@ -256,6 +278,8 @@ func (e *Engine) Preprocess(budget int) (int, error) {
 	if e.preprocessed && !e.evalSinceFill {
 		return 0, ErrDoublePreprocess
 	}
+	e.busy = "Preprocess"
+	defer func() { e.busy = "" }()
 	pre := e.world.Metrics().Snapshot()
 	begin := int64(e.world.Sched.Now())
 	seq := int64(e.ppCalls)
@@ -316,10 +340,12 @@ func (e *Engine) Stats() EngineStats {
 		PreprocessBytes:    e.ppBytes,
 		EvalMessages:       e.evalMsgs,
 		EvalBytes:          e.evalBytes,
+		Events:             e.world.Sched.Processed(),
 		Evals:              append([]EvalSummary(nil), e.evalSummaries...),
 	}
 	for _, i := range e.world.Honest() {
 		ps := e.pools[i].Stats()
+		s.Pool = ps
 		s.Batches = ps.Batches
 		s.TriplesGenerated = ps.Generated
 		s.TriplesConsumed = ps.Reserved
@@ -356,6 +382,9 @@ func (e *Engine) Evaluate(circ *circuit.Circuit, inputs []field.Element) (*Resul
 		e.evalSinceFill = true
 		return nil, fmt.Errorf("mpc: evaluation needs %d triples, pool holds %d: %w", circ.MulCount, have, ErrTriplesExhausted)
 	}
+
+	e.busy = "Evaluate"
+	defer func() { e.busy = "" }()
 
 	// Reserve every party's shares. A corrupt party whose own pool fill
 	// never completed (it is running honest code on a sabotaged world)
@@ -469,6 +498,8 @@ func (e *Engine) gridStart() sim.Time {
 // the engine's freshly assembled world — bit-identical to the pre-
 // engine mpc.Run.
 func (e *Engine) runOneShot(circ *circuit.Circuit, inputs []field.Element) (*Result, error) {
+	e.busy = "Run"
+	defer func() { e.busy = "" }()
 	w := e.world
 	res := &Result{
 		PerParty:      make([][]field.Element, e.cfg.N+1),

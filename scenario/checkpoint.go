@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/mpc"
+)
+
+// Workload checkpoint stream format (see docs/checkpointing.md): the
+// same framing as an engine checkpoint — magic, big-endian version,
+// payload length, JSON payload, trailing CRC-32 — with a distinct
+// magic so the `scenario checkpoint` verb can tell the two apart, and
+// with the engine's own checkpoint embedded verbatim in the payload.
+//
+//	bytes 0..5    magic "WLCKPT"
+//	bytes 6..7    big-endian format version (WorkloadCheckpointVersion)
+//	bytes 8..11   big-endian payload length
+//	payload       one JSON document (WorkloadCheckpoint)
+//	last 4 bytes  big-endian IEEE CRC-32 of the payload
+
+// WorkloadCheckpointVersion is the workload checkpoint format version
+// this build writes and the only version it reads.
+const WorkloadCheckpointVersion = 1
+
+var workloadMagic = [6]byte{'W', 'L', 'C', 'K', 'P', 'T'}
+
+const maxWorkloadPayload = 1 << 30
+
+// WorkloadCheckpoint is a resumable workload position: the manifest it
+// was started from (canonical JSON, compared verbatim on resume), the
+// run options that shape the engine, the per-step reports completed so
+// far, and the embedded engine checkpoint. RunWorkloadOpts writes one
+// after every completed step (atomically: tmp + rename), so a crash
+// loses at most the step in flight.
+type WorkloadCheckpoint struct {
+	// Manifest is the canonical JSON of the workload manifest; resume
+	// requires byte equality with the caller's manifest.
+	Manifest json.RawMessage `json:"manifest"`
+	// Compare and PerGateEval are the run options that change what the
+	// remaining steps compute or report; resume must match them.
+	Compare     bool `json:"compare"`
+	PerGateEval bool `json:"perGateEval,omitempty"`
+	// StepsDone counts completed steps; Report carries their reports
+	// (summary fields unset — they are computed when the run finishes).
+	StepsDone int             `json:"stepsDone"`
+	Report    *WorkloadReport `json:"report"`
+	// TotalTicks and OneShotTotal are the loop accumulators feeding the
+	// final amortization summary.
+	TotalTicks   int64  `json:"totalTicks"`
+	OneShotTotal uint64 `json:"oneShotTotal"`
+	// Engine is the embedded mpc engine checkpoint (Snapshot stream).
+	Engine []byte `json:"engine"`
+}
+
+// Write frames the checkpoint onto w.
+func (c *WorkloadCheckpoint) Write(w io.Writer) error {
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("scenario: workload checkpoint: %w", err)
+	}
+	var hdr [12]byte
+	copy(hdr[:6], workloadMagic[:])
+	binary.BigEndian.PutUint16(hdr[6:8], WorkloadCheckpointVersion)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	_, err = w.Write(sum[:])
+	return err
+}
+
+// IsWorkloadCheckpoint sniffs the magic: true for a workload stream,
+// false for anything else (including a bare engine checkpoint).
+func IsWorkloadCheckpoint(data []byte) bool {
+	return bytes.HasPrefix(data, workloadMagic[:])
+}
+
+// ReadWorkloadCheckpoint decodes one framed workload checkpoint. Its
+// error taxonomy matches the engine codec's: corrupted or truncated
+// streams match mpc.ErrBadCheckpoint, version skew matches
+// mpc.ErrCheckpointVersion.
+func ReadWorkloadCheckpoint(r io.Reader) (*WorkloadCheckpoint, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short workload header: %v", mpc.ErrBadCheckpoint, err)
+	}
+	if !bytes.Equal(hdr[:6], workloadMagic[:]) {
+		return nil, fmt.Errorf("%w: bad workload magic %q", mpc.ErrBadCheckpoint, hdr[:6])
+	}
+	if v := binary.BigEndian.Uint16(hdr[6:8]); v != WorkloadCheckpointVersion {
+		return nil, fmt.Errorf("%w: workload checkpoint is v%d, this build reads v%d", mpc.ErrCheckpointVersion, v, WorkloadCheckpointVersion)
+	}
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if n == 0 || n > maxWorkloadPayload {
+		return nil, fmt.Errorf("%w: implausible workload payload length %d", mpc.ErrBadCheckpoint, n)
+	}
+	buf := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: short workload payload: %v", mpc.ErrBadCheckpoint, err)
+	}
+	payload, sum := buf[:n], binary.BigEndian.Uint32(buf[n:])
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("%w: workload payload checksum %08x, trailer says %08x", mpc.ErrBadCheckpoint, got, sum)
+	}
+	c := &WorkloadCheckpoint{}
+	if err := json.Unmarshal(payload, c); err != nil {
+		return nil, fmt.Errorf("%w: workload payload: %v", mpc.ErrBadCheckpoint, err)
+	}
+	if c.StepsDone < 0 || c.Report == nil || len(c.Report.Steps) != c.StepsDone {
+		return nil, fmt.Errorf("%w: workload checkpoint records %d completed steps but carries %d step reports",
+			mpc.ErrBadCheckpoint, c.StepsDone, stepReportCount(c.Report))
+	}
+	return c, nil
+}
+
+func stepReportCount(rep *WorkloadReport) int {
+	if rep == nil {
+		return 0
+	}
+	return len(rep.Steps)
+}
+
+// LoadWorkloadCheckpoint reads a checkpoint file written by
+// RunWorkloadOpts.
+func LoadWorkloadCheckpoint(path string) (*WorkloadCheckpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadWorkloadCheckpoint(f)
+}
+
+// matches verifies a resume request against the checkpoint: the same
+// manifest (byte-identical canonical JSON) and the same run options.
+// Mismatches are typed (mpc.ErrCheckpointConfig): resuming a workload
+// under different parameters would silently diverge from the run the
+// checkpoint belongs to.
+func (c *WorkloadCheckpoint) matches(m *Manifest, opt WorkloadRunOptions) error {
+	// The embedded manifest is re-parsed and re-rendered before the
+	// comparison: JSON framing normalizes whitespace, so raw bytes
+	// would differ even for an identical manifest.
+	cm, err := Parse(c.Manifest)
+	if err != nil {
+		return fmt.Errorf("%w: embedded manifest: %v", mpc.ErrBadCheckpoint, err)
+	}
+	if !bytes.Equal(cm.JSON(), m.JSON()) {
+		return fmt.Errorf("%w: checkpoint was written from workload %q, not %q", mpc.ErrCheckpointConfig, cm.Name, m.Name)
+	}
+	if c.Compare != opt.Compare {
+		return fmt.Errorf("%w: checkpoint recorded compare=%v, resume requested compare=%v (the comparison feeds the report)",
+			mpc.ErrCheckpointConfig, c.Compare, opt.Compare)
+	}
+	if c.PerGateEval != opt.PerGateEval {
+		return fmt.Errorf("%w: checkpoint recorded perGateEval=%v, resume requested perGateEval=%v",
+			mpc.ErrCheckpointConfig, c.PerGateEval, opt.PerGateEval)
+	}
+	return nil
+}
+
+// writeWorkloadCheckpoint snapshots the engine and atomically replaces
+// path with the new checkpoint (write to tmp, fsync-free rename): a
+// crash mid-write leaves the previous step's checkpoint intact.
+func writeWorkloadCheckpoint(path string, m *Manifest, opt WorkloadRunOptions, done int,
+	rep *WorkloadReport, totalTicks int64, oneShotTotal uint64, eng *mpc.Engine) error {
+	var ebuf bytes.Buffer
+	if err := eng.Snapshot(&ebuf); err != nil {
+		return err
+	}
+	ck := &WorkloadCheckpoint{
+		Manifest:     json.RawMessage(m.JSON()),
+		Compare:      opt.Compare,
+		PerGateEval:  opt.PerGateEval,
+		StepsDone:    done,
+		Report:       rep,
+		TotalTicks:   totalTicks,
+		OneShotTotal: oneShotTotal,
+		Engine:       ebuf.Bytes(),
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := ck.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// WorkloadCheckpointInfo is the `scenario checkpoint` verb's summary of
+// a workload checkpoint: the workload position plus the embedded engine
+// checkpoint's summary.
+type WorkloadCheckpointInfo struct {
+	Name        string              `json:"name"`
+	StepsDone   int                 `json:"stepsDone"`
+	StepsTotal  int                 `json:"stepsTotal"`
+	Compare     bool                `json:"compare"`
+	PerGateEval bool                `json:"perGateEval,omitempty"`
+	Engine      *mpc.CheckpointInfo `json:"engine"`
+}
+
+// Inspect summarizes the checkpoint without rebuilding an engine.
+func (c *WorkloadCheckpoint) Inspect() (*WorkloadCheckpointInfo, error) {
+	m, err := Parse(c.Manifest)
+	if err != nil {
+		return nil, fmt.Errorf("%w: embedded manifest: %v", mpc.ErrBadCheckpoint, err)
+	}
+	ei, err := mpc.InspectCheckpoint(bytes.NewReader(c.Engine))
+	if err != nil {
+		return nil, err
+	}
+	info := &WorkloadCheckpointInfo{
+		Name:        m.Name,
+		StepsDone:   c.StepsDone,
+		Compare:     c.Compare,
+		PerGateEval: c.PerGateEval,
+		Engine:      ei,
+	}
+	if m.Workload != nil {
+		info.StepsTotal = len(m.Workload.Steps)
+	}
+	return info, nil
+}

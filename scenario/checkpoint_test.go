@@ -1,0 +1,176 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/mpc"
+)
+
+// TestWorkloadKillResumeDifferential is the PR's acceptance property:
+// for every builtin workload, under both evaluator modes, killing the
+// run after every possible step k and resuming from the checkpoint
+// yields a final report bit-identical to the run that never stopped —
+// outputs, CS sets, per-family traffic, ticks, pool accounting and the
+// amortization summary. -short trims the kill points to the middle
+// step; the full matrix runs in CI.
+func TestWorkloadKillResumeDifferential(t *testing.T) {
+	for _, m := range BuiltinWorkloads() {
+		for _, perGate := range []bool{false, true} {
+			m, perGate := m, perGate
+			t.Run(fmt.Sprintf("%s/perGate=%v", m.Name, perGate), func(t *testing.T) {
+				t.Parallel()
+				full, err := RunWorkloadOpts(m, WorkloadRunOptions{PerGateEval: perGate})
+				if err != nil {
+					t.Fatal(err)
+				}
+				steps := len(m.Workload.Steps)
+				kills := make([]int, 0, steps-1)
+				if testing.Short() {
+					kills = append(kills, steps/2)
+				} else {
+					for k := 1; k < steps; k++ {
+						kills = append(kills, k)
+					}
+				}
+				for _, k := range kills {
+					k := k
+					t.Run(fmt.Sprintf("kill=%d", k), func(t *testing.T) {
+						t.Parallel()
+						ckPath := filepath.Join(t.TempDir(), "wl.ckpt")
+						partial, err := RunWorkloadOpts(m, WorkloadRunOptions{
+							PerGateEval:    perGate,
+							CheckpointPath: ckPath,
+							StopAfter:      k,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(partial.Steps) != k {
+							t.Fatalf("interrupted run completed %d steps, wanted %d", len(partial.Steps), k)
+						}
+						ck, err := LoadWorkloadCheckpoint(ckPath)
+						if err != nil {
+							t.Fatal(err)
+						}
+						resumed, err := RunWorkloadOpts(m, WorkloadRunOptions{
+							PerGateEval: perGate,
+							Resume:      ck,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(full, resumed) {
+							t.Fatalf("resumed report diverged from uninterrupted run\nfull:    %+v\nresumed: %+v", full, resumed)
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+// killResumeFixture runs workload-refill-sync to a step-1 checkpoint
+// and returns the checkpoint path (the cheapest builtin: 3 product
+// steps at n=5).
+func killResumeFixture(t *testing.T) (m *Manifest, ckPath string) {
+	t.Helper()
+	m, err := LookupWorkload("workload-refill-sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath = filepath.Join(t.TempDir(), "wl.ckpt")
+	if _, err := RunWorkloadOpts(m, WorkloadRunOptions{CheckpointPath: ckPath, StopAfter: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return m, ckPath
+}
+
+// TestWorkloadResumeRejectsMismatch pins the typed refusals: resuming
+// under a different manifest or different run options must fail with
+// mpc.ErrCheckpointConfig before any engine is built.
+func TestWorkloadResumeRejectsMismatch(t *testing.T) {
+	_, ckPath := killResumeFixture(t)
+	ck, err := LoadWorkloadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := LookupWorkload("workload-amortize-sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWorkloadOpts(other, WorkloadRunOptions{Resume: ck}); !errors.Is(err, mpc.ErrCheckpointConfig) {
+		t.Fatalf("resume under a different manifest: %v, want ErrCheckpointConfig", err)
+	}
+	m, err := LookupWorkload("workload-refill-sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWorkloadOpts(m, WorkloadRunOptions{Resume: ck, Compare: true}); !errors.Is(err, mpc.ErrCheckpointConfig) {
+		t.Fatalf("resume with compare flipped: %v, want ErrCheckpointConfig", err)
+	}
+	if _, err := RunWorkloadOpts(m, WorkloadRunOptions{Resume: ck, PerGateEval: true}); !errors.Is(err, mpc.ErrCheckpointConfig) {
+		t.Fatalf("resume with perGateEval flipped: %v, want ErrCheckpointConfig", err)
+	}
+}
+
+// TestWorkloadCheckpointDecodeErrors covers the workload framing's
+// typed error taxonomy: truncation, corruption and version skew all
+// map onto the mpc sentinels.
+func TestWorkloadCheckpointDecodeErrors(t *testing.T) {
+	_, ckPath := killResumeFixture(t)
+	data, err := os.ReadFile(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsWorkloadCheckpoint(data) {
+		t.Fatal("workload checkpoint not recognized by its magic")
+	}
+	if IsWorkloadCheckpoint([]byte("MPCKPT")) {
+		t.Fatal("engine magic misdetected as a workload checkpoint")
+	}
+	for _, n := range []int{0, 5, 11, len(data) / 2, len(data) - 1} {
+		if _, err := ReadWorkloadCheckpoint(bytes.NewReader(data[:n])); !errors.Is(err, mpc.ErrBadCheckpoint) {
+			t.Errorf("prefix of %d bytes: %v, want ErrBadCheckpoint", n, err)
+		}
+	}
+	flip := append([]byte(nil), data...)
+	flip[len(flip)/2] ^= 0x41
+	if _, err := ReadWorkloadCheckpoint(bytes.NewReader(flip)); !errors.Is(err, mpc.ErrBadCheckpoint) {
+		t.Errorf("payload bitflip: %v, want ErrBadCheckpoint", err)
+	}
+	skew := append([]byte(nil), data...)
+	binary.BigEndian.PutUint16(skew[6:8], WorkloadCheckpointVersion+1)
+	if _, err := ReadWorkloadCheckpoint(bytes.NewReader(skew)); !errors.Is(err, mpc.ErrCheckpointVersion) {
+		t.Errorf("version skew: %v, want ErrCheckpointVersion", err)
+	}
+}
+
+// TestWorkloadCheckpointInspect pins the inspect summary the
+// `scenario checkpoint` verb prints.
+func TestWorkloadCheckpointInspect(t *testing.T) {
+	m, ckPath := killResumeFixture(t)
+	ck, err := LoadWorkloadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ck.Inspect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != m.Name || info.StepsDone != 1 || info.StepsTotal != len(m.Workload.Steps) {
+		t.Fatalf("inspect position %+v", info)
+	}
+	if info.Engine == nil || info.Engine.Evaluations != 1 || !info.Engine.Preprocessed {
+		t.Fatalf("inspect engine summary %+v", info.Engine)
+	}
+	if info.Engine.Pool.Generated == 0 {
+		t.Fatal("inspect lost the pool accounting")
+	}
+}

@@ -1,11 +1,13 @@
 package scenario
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/obs"
+	"repro/internal/triples"
 	"repro/mpc"
 )
 
@@ -103,6 +105,11 @@ type WorkloadStepReport struct {
 	// OneShotMessages is the honest traffic of an independent mpc.Run
 	// of the same step (0 when the comparison was not requested).
 	OneShotMessages uint64 `json:"oneShotMessages,omitempty"`
+	// ByFamily breaks the step's honest traffic down by protocol
+	// family — part of the kill-and-resume differential contract: a
+	// resumed workload must reproduce these per-family figures
+	// bit-identically.
+	ByFamily map[string]mpc.FamilyCounts `json:"byFamily,omitempty"`
 }
 
 // WorkloadReport is the outcome of RunWorkload: per-step reports plus
@@ -117,6 +124,9 @@ type WorkloadReport struct {
 	Budget           int `json:"budget"`
 	TriplesGenerated int `json:"triplesGenerated"`
 	TriplesConsumed  int `json:"triplesConsumed"`
+	// Pool is the engine's full pool-depth accounting at the end of the
+	// run (available/reserved/consumed/filling).
+	Pool triples.PoolStats `json:"pool"`
 	// PreprocessMessages/Bytes is the honest traffic of all pool fills;
 	// EvalMessages/Bytes the honest traffic of all evaluations.
 	PreprocessMessages uint64 `json:"preprocessMessages"`
@@ -134,6 +144,35 @@ type WorkloadReport struct {
 	Savings            float64 `json:"savings,omitempty"`
 }
 
+// WorkloadRunOptions shapes one RunWorkloadOpts call. The zero value
+// reproduces a plain RunWorkload(m, false).
+type WorkloadRunOptions struct {
+	// Compare additionally runs every step as an independent one-shot
+	// mpc.Run and reports the amortization ratio.
+	Compare bool
+	// Tracer receives the session engine's event stream (nil = off).
+	// The one-shot comparison runs stay untraced — they are reference
+	// measurements on separate worlds.
+	Tracer obs.Tracer
+	// PerGateEval switches the engine to the per-gate reference
+	// evaluator — the differential-testing knob; manifests always run
+	// the default layered evaluator.
+	PerGateEval bool
+	// CheckpointPath, when set, writes a crash-safe resume checkpoint
+	// to this file after every completed step (atomic tmp + rename), so
+	// a killed run loses at most the step in flight.
+	CheckpointPath string
+	// StopAfter, when > 0, stops the run after that many completed
+	// steps (a simulated crash for tests and the checkpoint smoke): the
+	// partial report is returned, and the checkpoint — if requested —
+	// stays behind for a resume.
+	StopAfter int
+	// Resume continues a previous run from a checkpoint instead of
+	// starting fresh. The checkpoint must match the manifest and the
+	// Compare/PerGateEval options (mpc.ErrCheckpointConfig otherwise).
+	Resume *WorkloadCheckpoint
+}
+
 // RunWorkload executes a workload manifest: one engine, one (or more,
 // on exhaustion) preprocessing batches, the steps in order. compare
 // additionally runs every step as an independent one-shot mpc.Run and
@@ -141,7 +180,7 @@ type WorkloadReport struct {
 // manifest/assembly problems; engine errors and assertion failures are
 // reported per step.
 func RunWorkload(m *Manifest, compare bool) (*WorkloadReport, error) {
-	return RunWorkloadTraced(m, compare, nil)
+	return RunWorkloadOpts(m, WorkloadRunOptions{Compare: compare})
 }
 
 // RunWorkloadTraced is RunWorkload with a trace sink on the session
@@ -150,6 +189,15 @@ func RunWorkload(m *Manifest, compare bool) (*WorkloadReport, error) {
 // (compare) stay untraced — they are reference measurements on
 // separate worlds. nil disables tracing.
 func RunWorkloadTraced(m *Manifest, compare bool, tr obs.Tracer) (*WorkloadReport, error) {
+	return RunWorkloadOpts(m, WorkloadRunOptions{Compare: compare, Tracer: tr})
+}
+
+// RunWorkloadOpts is the full-control workload runner: tracing,
+// evaluator mode, per-step checkpointing, simulated crashes and resume.
+// A workload interrupted after step k and resumed from its checkpoint
+// produces a final report bit-identical to the run that never stopped —
+// outputs, CS sets, per-family traffic, ticks and pool accounting.
+func RunWorkloadOpts(m *Manifest, opt WorkloadRunOptions) (*WorkloadReport, error) {
 	if m.Workload == nil {
 		return nil, fmt.Errorf("scenario %q: not a workload manifest (no workload section)", m.Name)
 	}
@@ -161,6 +209,7 @@ func RunWorkloadTraced(m *Manifest, compare bool, tr obs.Tracer) (*WorkloadRepor
 		art  *RunArtifacts
 	}
 	cfg, adv := m.engineConfig()
+	cfg.PerGateEval = opt.PerGateEval
 	steps := make([]step, len(m.Workload.Steps))
 	budget := m.Workload.Budget
 	autoBudget := budget == 0
@@ -183,18 +232,41 @@ func RunWorkloadTraced(m *Manifest, compare bool, tr obs.Tracer) (*WorkloadRepor
 		budget = 1 // all-linear workload: the engine still preprocesses once
 	}
 
-	eng, err := mpc.NewEngineTraced(cfg, adv, tr)
-	if err != nil {
-		return nil, fmt.Errorf("scenario %q: %w", m.Name, err)
-	}
-	if _, err := eng.Preprocess(budget); err != nil {
-		return nil, fmt.Errorf("scenario %q: preprocess: %w", m.Name, err)
-	}
-
-	rep := &WorkloadReport{Name: m.Name, Pass: true, Budget: budget}
+	var eng *mpc.Engine
+	var rep *WorkloadReport
 	var totalTicks int64
 	var oneShotTotal uint64
-	for i, s := range steps {
+	startIdx := 0
+	if ck := opt.Resume; ck != nil {
+		if err := ck.matches(m, opt); err != nil {
+			return nil, fmt.Errorf("scenario %q: resume: %w", m.Name, err)
+		}
+		if ck.StepsDone > len(steps) {
+			return nil, fmt.Errorf("%w: checkpoint records %d completed steps, workload has %d",
+				mpc.ErrBadCheckpoint, ck.StepsDone, len(steps))
+		}
+		var err error
+		eng, err = mpc.RestoreEngineTraced(cfg, adv, opt.Tracer, bytes.NewReader(ck.Engine))
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: resume: %w", m.Name, err)
+		}
+		rep = ck.Report
+		startIdx = ck.StepsDone
+		totalTicks = ck.TotalTicks
+		oneShotTotal = ck.OneShotTotal
+	} else {
+		var err error
+		eng, err = mpc.NewEngineTraced(cfg, adv, opt.Tracer)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", m.Name, err)
+		}
+		if _, err := eng.Preprocess(budget); err != nil {
+			return nil, fmt.Errorf("scenario %q: preprocess: %w", m.Name, err)
+		}
+		rep = &WorkloadReport{Name: m.Name, Pass: true, Budget: budget}
+	}
+	for i := startIdx; i < len(steps); i++ {
+		s := steps[i]
 		sr := WorkloadStepReport{Index: i, Circuit: s.spec.Circuit.String(), Triples: s.art.Circuit.MulCount}
 		res, runErr := eng.Evaluate(s.art.Circuit, s.art.Inputs)
 		if runErr != nil && isExhausted(runErr) {
@@ -225,6 +297,7 @@ func RunWorkloadTraced(m *Manifest, compare bool, tr obs.Tracer) (*WorkloadRepor
 			sr.CS = res.CS
 			sr.HonestMessages = res.HonestMessages
 			sr.HonestBytes = res.HonestBytes
+			sr.ByFamily = res.ByFamily
 			sr.Ticks = lastRel
 			if runErr == nil {
 				sr.Outputs = make([]uint64, len(res.Outputs))
@@ -239,7 +312,7 @@ func RunWorkloadTraced(m *Manifest, compare bool, tr obs.Tracer) (*WorkloadRepor
 			rep.Pass = false
 		}
 		totalTicks += sr.Ticks
-		if compare {
+		if opt.Compare {
 			ref, _ := mpc.Run(s.art.Cfg, s.art.Circuit, s.art.Inputs, s.art.Adversary)
 			if ref != nil {
 				sr.OneShotMessages = ref.HonestMessages
@@ -247,16 +320,41 @@ func RunWorkloadTraced(m *Manifest, compare bool, tr obs.Tracer) (*WorkloadRepor
 			}
 		}
 		rep.Steps = append(rep.Steps, sr)
+		if opt.CheckpointPath != "" {
+			// The checkpoint stores the report with its summary fields
+			// unset; they are recomputed at completion from the restored
+			// engine's global counters, so the resumed run's final report
+			// matches the uninterrupted one exactly.
+			if err := writeWorkloadCheckpoint(opt.CheckpointPath, m, opt, i+1, rep, totalTicks, oneShotTotal, eng); err != nil {
+				return nil, fmt.Errorf("scenario %q: checkpoint after step %d: %w", m.Name, i, err)
+			}
+		}
+		if opt.StopAfter > 0 && i+1 >= opt.StopAfter && i+1 < len(steps) {
+			// Simulated crash: return the partial report as-is. The
+			// checkpoint file (if requested) carries everything a resume
+			// needs; summary fields stay unset on this partial report.
+			return rep, nil
+		}
 	}
 
+	finalizeWorkloadReport(rep, eng, len(steps), totalTicks, oneShotTotal, opt.Compare)
+	return rep, nil
+}
+
+// finalizeWorkloadReport fills the summary fields from the engine's
+// whole-session counters. Because the engine's counters are part of the
+// checkpoint, a resumed run finalizes to the same figures as the run
+// that never stopped.
+func finalizeWorkloadReport(rep *WorkloadReport, eng *mpc.Engine, steps int, totalTicks int64, oneShotTotal uint64, compare bool) {
 	st := eng.Stats()
 	rep.TriplesGenerated = st.TriplesGenerated
 	rep.TriplesConsumed = st.TriplesConsumed
+	rep.Pool = st.Pool
 	rep.PreprocessMessages = st.PreprocessMessages
 	rep.PreprocessBytes = st.PreprocessBytes
 	rep.EvalMessages = st.EvalMessages
 	rep.EvalBytes = st.EvalBytes
-	k := float64(len(steps))
+	k := float64(steps)
 	rep.AmortizedMsgsPerEval = float64(st.PreprocessMessages+st.EvalMessages) / k
 	rep.AmortizedTicksPerEval = float64(totalTicks) / k
 	if compare {
@@ -265,7 +363,6 @@ func RunWorkloadTraced(m *Manifest, compare bool, tr obs.Tracer) (*WorkloadRepor
 			rep.Savings = rep.OneShotMsgsPerEval / rep.AmortizedMsgsPerEval
 		}
 	}
-	return rep, nil
 }
 
 // isExhausted reports a pool-exhaustion engine error.
