@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race scenarios workload-smoke fuzz-smoke fuzz-native trace-smoke checkpoint-smoke bench-smoke bench-msgs bench-json ci
+.PHONY: build vet test test-short test-race scenarios workload-smoke fuzz-smoke fuzz-native trace-smoke checkpoint-smoke deploy-smoke bench-smoke bench-msgs bench-json ci
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,19 @@ checkpoint-smoke:
 	cmp /tmp/repro-ckpt-full.json /tmp/repro-ckpt-resumed.json
 	$(GO) run ./cmd/scenario fuzz -crash -trials 4 -seed 1
 
+# deploy-smoke drives the PR 8 transport seam end to end: deploy the
+# builtin unix-socket party set (parties as goroutines exchanging
+# CRC-framed messages over real sockets), deploy the same set over the
+# in-memory simulator, and fail unless the inner protocol reports are
+# bit-identical — the differential guarantee of docs/deployment.md.
+# A 2-round serve over the workload set then exercises the long-lived
+# serving loop over sockets.
+deploy-smoke:
+	$(GO) run ./cmd/scenario deploy -out /tmp/repro-deploy-unix.json deploy-unix-n5
+	$(GO) run ./cmd/scenario deploy -backend sim -out /tmp/repro-deploy-sim.json deploy-unix-n5
+	cmp /tmp/repro-deploy-unix.json /tmp/repro-deploy-sim.json
+	$(GO) run ./cmd/scenario serve -rounds 2 deploy-unix-n5-workload
+
 # bench-smoke compiles and single-shots every benchmark (CI guard; no
 # stable timing intended).
 bench-smoke:
@@ -84,9 +97,11 @@ bench-msgs:
 # per-gate vs per-layer message-complexity rows), BENCH_PR5.json
 # (the E14 session-engine amortization rows), BENCH_PR6.json (the
 # E15 trace-overhead rows) and BENCH_PR7.json (the E16
-# checkpoint-restore vs re-preprocess rows); see docs/performance.md,
-# docs/observability.md and docs/checkpointing.md.
+# checkpoint-restore vs re-preprocess rows) and BENCH_PR8.json (the
+# transport-backend rows: the tracked runs carried by the simulator,
+# unix sockets and TCP loopback); see docs/performance.md,
+# docs/observability.md, docs/checkpointing.md and docs/deployment.md.
 bench-json:
-	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json -out5 BENCH_PR5.json -out6 BENCH_PR6.json -out7 BENCH_PR7.json
+	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json -out5 BENCH_PR5.json -out6 BENCH_PR6.json -out7 BENCH_PR7.json -out8 BENCH_PR8.json
 
-ci: build vet test-short bench-smoke bench-msgs workload-smoke fuzz-smoke trace-smoke checkpoint-smoke
+ci: build vet test-short bench-smoke bench-msgs workload-smoke fuzz-smoke trace-smoke checkpoint-smoke deploy-smoke

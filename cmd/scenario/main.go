@@ -16,11 +16,16 @@
 //	scenario fuzz     -replay counterexample.json [-trace] [-trace-out dir]
 //	scenario trace    [-f file.json] [-out chrome.json] [-jsonl events.jsonl] [name]
 //	scenario trace    -validate chrome.json
-//	scenario bench    [-out BENCH_PR3.json] [-out5 BENCH_PR5.json] [-out6 BENCH_PR6.json] [-out7 BENCH_PR7.json]
+//	scenario deploy   [-f set.json] [-backend sim|unix|tcp] [-json] [-out report.json] [name]
+//	scenario serve    [-f set.json] [-backend sim|unix|tcp] [-rounds N] [-json] [name]
+//	scenario bench    [-out BENCH_PR3.json] [-out5 BENCH_PR5.json] [-out6 BENCH_PR6.json] [-out7 BENCH_PR7.json] [-out8 BENCH_PR8.json]
 //
 // Examples:
 //
 //	scenario run --all -parallel 4
+//	scenario deploy deploy-unix-n5
+//	scenario deploy -backend sim -out /tmp/sim.json deploy-unix-n5
+//	scenario serve -rounds 2 deploy-unix-n5-workload
 //	scenario run sync-garble-ts async-starved-links
 //	scenario validate -f examples/scenarios/async-starvation.json
 //	scenario sweep -seeds 1..16 sync-sum-honest
@@ -75,17 +80,21 @@ func main() {
 		cmdFuzz(os.Args[2:])
 	case "trace":
 		cmdTrace(os.Args[2:])
+	case "deploy":
+		cmdDeploy(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	case "bench":
 		cmdBench(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
-		fatal("unknown subcommand %q (want list, validate, run, sweep, workload, checkpoint, fuzz, trace or bench)", os.Args[1])
+		fatal("unknown subcommand %q (want list, validate, run, sweep, workload, checkpoint, fuzz, trace, deploy, serve or bench)", os.Args[1])
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep|workload|checkpoint|fuzz|trace|bench> [flags] [--all | name ...]")
+	fmt.Fprintln(os.Stderr, "usage: scenario <list|validate|run|sweep|workload|checkpoint|fuzz|trace|deploy|serve|bench> [flags] [--all | name ...]")
 	fmt.Fprintln(os.Stderr, "run 'scenario <subcommand> -h' for subcommand flags")
 	os.Exit(2)
 }
@@ -551,6 +560,130 @@ func cmdFuzz(args []string) {
 	}
 }
 
+// resolvePartySet loads the deploy/serve verbs' party set: a manifest
+// file via -f, or a builtin by name.
+func resolvePartySet(fs *flag.FlagSet, file string) *scenario.PartySet {
+	switch {
+	case file != "":
+		if fs.NArg() > 0 {
+			fatal("-f cannot be combined with a builtin party-set name")
+		}
+		s, err := scenario.LoadPartySetFile(file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		return s
+	case fs.NArg() == 1:
+		s, err := scenario.LookupPartySet(fs.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		return s
+	default:
+		fs.Usage()
+		os.Exit(2)
+		return nil
+	}
+}
+
+// cmdDeploy reifies a party-set manifest and executes its referenced
+// scenario or workload over the real transport backend: parties as
+// goroutine processes, honest traffic physically crossing CRC-framed
+// sockets. -backend sim runs the same deployment on the in-memory
+// simulator — the differential reference `make deploy-smoke` cmp's
+// against (see docs/deployment.md).
+func cmdDeploy(args []string) {
+	fs := flag.NewFlagSet("scenario deploy", flag.ExitOnError)
+	file := fs.String("f", "", "deploy a party-set manifest from a JSON `file` instead of a builtin")
+	backend := fs.String("backend", "", "override the set's backend (`kind` sim, unix or tcp; sim is the differential reference)")
+	jsonOut := fs.Bool("json", false, "emit the full deploy report (wall clock, wire bytes) as JSON")
+	out := fs.String("out", "", "write the backend-invariant inner report as JSON to `file` (byte-identical across backends on one seed)")
+	fs.Parse(args)
+	set := resolvePartySet(fs, *file)
+	dep, err := set.Reify()
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := dep.UseBackend(*backend); err != nil {
+		fatal("%v", err)
+	}
+	rep, err := dep.Execute()
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *out != "" {
+		inner, err := json.MarshalIndent(rep.Inner(), "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*out, append(inner, '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+	}
+	if *jsonOut {
+		emitJSON(rep)
+	} else {
+		status := "PASS"
+		if !rep.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("%-4s %-28s backend=%-4s %8.1f ms  wire %d frames / %d bytes\n",
+			status, rep.Name, rep.Backend, rep.WallMs, rep.Wire.FramesOut, rep.Wire.BytesOut)
+		if rep.Scenario != nil {
+			fmt.Printf("     scenario %s: t=%d |CS|=%d %d msgs %d bytes\n",
+				rep.Scenario.Name, rep.Scenario.LastTick, len(rep.Scenario.CS),
+				rep.Scenario.HonestMessages, rep.Scenario.HonestBytes)
+			for _, f := range rep.Scenario.Failures {
+				fmt.Printf("     assertion failed: %s\n", f)
+			}
+		}
+		if rep.Workload != nil {
+			fmt.Printf("     workload %s: %d evals, pool %d/%d used, amortized %.0f msgs/eval\n",
+				rep.Workload.Name, len(rep.Workload.Steps), rep.Workload.TriplesConsumed,
+				rep.Workload.TriplesGenerated, rep.Workload.AmortizedMsgsPerEval)
+			for _, s := range rep.Workload.Steps {
+				for _, f := range s.Failures {
+					fmt.Printf("     step %d assertion failed: %s\n", s.Index, f)
+				}
+			}
+		}
+	}
+	if !rep.Pass {
+		fatal("%s: deployment assertions failed", rep.Name)
+	}
+}
+
+// cmdServe reifies a party set referencing a workload and serves it as
+// a long-lived session: one engine, one amortized preprocessing, the
+// workload's evaluations round after round over the real transport,
+// with a row per evaluation and the resolved listen addresses.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("scenario serve", flag.ExitOnError)
+	file := fs.String("f", "", "serve a party-set manifest from a JSON `file` instead of a builtin")
+	backend := fs.String("backend", "", "override the set's backend (`kind` sim, unix or tcp)")
+	rounds := fs.Int("rounds", 1, "serve the workload's steps this many times over")
+	jsonOut := fs.Bool("json", false, "additionally emit the serve summary as JSON")
+	fs.Parse(args)
+	set := resolvePartySet(fs, *file)
+	dep, err := set.Reify()
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := dep.UseBackend(*backend); err != nil {
+		fatal("%v", err)
+	}
+	rep, err := dep.Serve(os.Stdout, *rounds)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *jsonOut {
+		emitJSON(rep)
+	}
+	if rep.Failures > 0 {
+		fatal("%s: %d of %d served evaluations failed", rep.Name, rep.Failures, rep.Evals)
+	}
+}
+
 // cmdBench measures the tracked perf benchmarks (E7 VSS, E8 ACS, E13
 // online) and writes the trajectory report: recorded pre-PR2 baseline,
 // fresh wall-clock figures, per-row speedups, the protocol-metric
@@ -563,6 +696,7 @@ func cmdBench(args []string) {
 	out5 := fs.String("out5", "", "write the E14 amortization JSON report to `file` (default stdout)")
 	out6 := fs.String("out6", "", "write the E15 trace-overhead JSON report to `file` (default stdout)")
 	out7 := fs.String("out7", "", "write the E16 checkpoint/restore JSON report to `file` (default stdout)")
+	out8 := fs.String("out8", "", "write the PR8 transport-backend JSON report to `file` (default stdout)")
 	fs.Parse(args)
 	report, err := bench.RunPerf()
 	if err != nil {
@@ -571,14 +705,16 @@ func cmdBench(args []string) {
 	amort := bench.RunAmortization()
 	trace := bench.RunTraceOverhead()
 	ckpt := bench.RunCheckpoint()
-	if *out == "" && *out5 == "" && *out6 == "" && *out7 == "" {
+	trans := bench.RunTransport()
+	if *out == "" && *out5 == "" && *out6 == "" && *out7 == "" && *out8 == "" {
 		// Keep stdout a single JSON document: combine the reports.
 		emitJSON(struct {
 			Perf  *bench.PerfReport       `json:"perf"`
 			Amort *bench.AmortReport      `json:"amortization"`
 			Trace *bench.TraceReport      `json:"trace_overhead"`
 			Ckpt  *bench.CheckpointReport `json:"checkpoint"`
-		}{report, amort, trace, ckpt})
+			Trans *bench.TransportReport  `json:"transport"`
+		}{report, amort, trace, ckpt, trans})
 	} else {
 		writeReport := func(path string, write func(io.Writer) error) {
 			w := io.Writer(os.Stdout)
@@ -598,6 +734,7 @@ func cmdBench(args []string) {
 		writeReport(*out5, func(w io.Writer) error { return bench.WriteAmort(w, amort) })
 		writeReport(*out6, func(w io.Writer) error { return bench.WriteTrace(w, trace) })
 		writeReport(*out7, func(w io.Writer) error { return bench.WriteCheckpoint(w, ckpt) })
+		writeReport(*out8, func(w io.Writer) error { return bench.WriteTransport(w, trans) })
 	}
 	if !report.Invariant {
 		fatal("protocol metrics diverged from the recorded baseline — the perf work changed behaviour")
@@ -620,6 +757,9 @@ func cmdBench(args []string) {
 	for _, row := range ckpt.Rows {
 		fmt.Fprintln(os.Stderr, bench.FormatCheckpointRow(row))
 	}
+	for _, row := range trans.Rows {
+		fmt.Fprintln(os.Stderr, bench.FormatTransportRow(row))
+	}
 	if !amort.OK {
 		fatal("E14 amortization gate failed: a session engine row diverged from one-shot outputs or did not amortize")
 	}
@@ -628,6 +768,9 @@ func cmdBench(args []string) {
 	}
 	if !ckpt.OK {
 		fatal("E16 checkpoint gate failed: a restored engine diverged or restore was not cheaper than re-preprocessing")
+	}
+	if !trans.OK {
+		fatal("PR8 transport gate failed: a socket-backed run diverged from the simulator outputs or moved no wire bytes")
 	}
 }
 
@@ -696,6 +839,17 @@ func cmdList(args []string) {
 			m.Name, parties, m.Network.Kind, len(m.Workload.Steps), m.Description)
 	}
 	fmt.Printf("\n%d workloads (run with 'scenario workload')\n", len(wl))
+	sets := scenario.BuiltinPartySets()
+	fmt.Printf("\n%-32s %-10s %-6s %-28s %s\n", "PARTY SET", "PARTIES", "NET", "EXECUTES", "DESCRIPTION")
+	for _, s := range sets {
+		parties := fmt.Sprintf("n=%d,%d/%d", s.Parties.N, s.Parties.Ts, s.Parties.Ta)
+		ref := s.Scenario
+		if ref == "" {
+			ref = s.Workload
+		}
+		fmt.Printf("%-32s %-10s %-6s %-28s %s\n", s.Name, parties, s.Transport.Kind, ref, s.Description)
+	}
+	fmt.Printf("\n%d party sets (run with 'scenario deploy' / 'scenario serve')\n", len(sets))
 }
 
 func cmdValidate(args []string) {

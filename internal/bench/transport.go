@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/circuit"
+	"repro/field"
+	"repro/mpc"
+)
+
+// TransportRow is one transport-backend measurement: the same tracked
+// protocol run carried by the in-memory simulator, unix-domain sockets
+// or TCP loopback. The virtual accounting (honest msgs/bytes) is
+// backend-invariant by construction — the lockstep proc transport
+// replays the simulator's schedule — so the row's physics are WallMs
+// and the physical wire bytes.
+type TransportRow struct {
+	Name    string `json:"name"`
+	Backend string `json:"backend"`
+	// Evals is the number of circuit evaluations the run served (1 for
+	// one-shot, K for the amortized session).
+	Evals  int     `json:"evaluations"`
+	WallMs float64 `json:"wall_ms"`
+	// WallMsPerEval amortizes wall time over the served evaluations.
+	WallMsPerEval float64 `json:"wall_ms_per_eval"`
+	// HonestMsgs/HonestBytes are the virtual (simulator-unit) honest
+	// traffic — identical across backends on the same seed.
+	HonestMsgs  uint64 `json:"honest_msgs"`
+	HonestBytes uint64 `json:"honest_bytes"`
+	// WireFrames/WireBytes are the physical frames that crossed sockets
+	// (zero on sim).
+	WireFrames uint64 `json:"wire_frames"`
+	WireBytes  uint64 `json:"wire_bytes"`
+	// OutputsOK requires the run's outputs to match the simulator
+	// reference bit-for-bit — the differential gate.
+	OutputsOK bool `json:"outputs_ok"`
+}
+
+// TransportReport is the PR8 section written to BENCH_PR8.json.
+type TransportReport struct {
+	Note string         `json:"note"`
+	Rows []TransportRow `json:"transport_pr8"`
+	// OK is the gate: every socket-backed row reproduces the simulator
+	// outputs and carries nonzero physical traffic.
+	OK bool `json:"ok"`
+}
+
+// transportBackends enumerates the measured backends: nil is the
+// simulator reference.
+func transportBackends() []struct {
+	name string
+	spec *mpc.TransportSpec
+} {
+	return []struct {
+		name string
+		spec *mpc.TransportSpec
+	}{
+		{"sim", nil},
+		{"unix", &mpc.TransportSpec{Kind: "unix"}},
+		{"tcp", &mpc.TransportSpec{Kind: "tcp"}},
+	}
+}
+
+// benchInputs builds the canonical 1..n input vector.
+func benchInputs(n int) []field.Element {
+	inputs := make([]field.Element, n)
+	for i := range inputs {
+		inputs[i] = field.New(uint64(i + 1))
+	}
+	return inputs
+}
+
+// oneShotOver runs one full evaluation over the given backend.
+func oneShotOver(name, backend string, cfg mpc.Config, spec *mpc.TransportSpec,
+	circ *circuit.Circuit, inputs []field.Element, ref []field.Element) TransportRow {
+	row := TransportRow{Name: name, Backend: backend, Evals: 1}
+	eng, err := mpc.NewEngineOpts(cfg, mpc.EngineOptions{Transport: spec})
+	if err != nil {
+		return row
+	}
+	defer eng.Close()
+	start := time.Now()
+	res, err := eng.OneShot(circ, inputs)
+	row.WallMs = float64(time.Since(start).Microseconds()) / 1000
+	row.WallMsPerEval = row.WallMs
+	st := eng.WireStats()
+	row.WireFrames, row.WireBytes = st.FramesOut, st.BytesOut
+	if err != nil {
+		return row
+	}
+	row.HonestMsgs, row.HonestBytes = res.HonestMessages, res.HonestBytes
+	row.OutputsOK = outputsEqual(res.Outputs, ref)
+	return row
+}
+
+// sessionOver preprocesses once and serves k evaluations over the
+// given backend, mirroring the E14 amortized session.
+func sessionOver(name, backend string, cfg mpc.Config, spec *mpc.TransportSpec,
+	circ *circuit.Circuit, inputs []field.Element, k int, ref []field.Element) TransportRow {
+	row := TransportRow{Name: name, Backend: backend, Evals: k}
+	eng, err := mpc.NewEngineOpts(cfg, mpc.EngineOptions{Transport: spec})
+	if err != nil {
+		return row
+	}
+	defer eng.Close()
+	budget := k * circ.MulCount
+	if budget < 1 {
+		budget = 1
+	}
+	start := time.Now()
+	if _, err := eng.Preprocess(budget); err != nil {
+		return row
+	}
+	ok := true
+	var msgs, bytes uint64
+	for round := 0; round < k; round++ {
+		res, err := eng.Evaluate(circ, inputs)
+		if err != nil {
+			return row
+		}
+		if !outputsEqual(res.Outputs, ref) {
+			ok = false
+		}
+		msgs, bytes = res.HonestMessages, res.HonestBytes
+	}
+	row.WallMs = float64(time.Since(start).Microseconds()) / 1000
+	row.WallMsPerEval = row.WallMs / float64(k)
+	st := eng.WireStats()
+	row.WireFrames, row.WireBytes = st.FramesOut, st.BytesOut
+	row.HonestMsgs, row.HonestBytes = msgs, bytes
+	row.OutputsOK = ok
+	return row
+}
+
+func outputsEqual(got, want []field.Element) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunTransport measures the tracked configurations over every backend:
+// the E11 one-shot and the E14 amortized session (K = 8, seed 1), both
+// at the boundary configuration n=5. The simulator row of each
+// configuration is the differential reference for OutputsOK.
+func RunTransport() *TransportReport {
+	report := &TransportReport{
+		Note: "PR8: the same tracked runs carried by the in-memory simulator, unix-domain " +
+			"sockets and TCP loopback (lockstep proc transport). honest_msgs/bytes are " +
+			"backend-invariant virtual accounting; wall_ms and wire_bytes are the physical " +
+			"cost of real framing; outputs must match the simulator bit-for-bit",
+		OK: true,
+	}
+	cfg := Config5()
+	mcfg := mpc.Config{
+		N: cfg.N, Ts: cfg.Ts, Ta: cfg.Ta,
+		Network: mpc.Sync, Delta: int64(cfg.Delta), Seed: 1,
+	}
+	circ := circuit.Product(5)
+	inputs := benchInputs(cfg.N)
+	ref, err := mpc.Run(mcfg, circ, inputs, nil)
+	if err != nil {
+		report.OK = false
+		return report
+	}
+	const k = 8
+	for _, b := range transportBackends() {
+		report.Rows = append(report.Rows,
+			oneShotOver("E11CirEval/product/n5", b.name, mcfg, b.spec, circ, inputs, ref.Outputs))
+		report.Rows = append(report.Rows,
+			sessionOver("E14Amort/product/n5", b.name, mcfg, b.spec, circ, inputs, k, ref.Outputs))
+	}
+	for _, r := range report.Rows {
+		if !r.OutputsOK {
+			report.OK = false
+		}
+		if r.Backend != "sim" && r.WireBytes == 0 {
+			report.OK = false
+		}
+		if r.Backend == "sim" && r.WireBytes != 0 {
+			report.OK = false
+		}
+	}
+	return report
+}
+
+// WriteTransport renders the report as indented JSON.
+func WriteTransport(w io.Writer, report *TransportReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// FormatTransportRow renders a row for the stderr summary.
+func FormatTransportRow(r TransportRow) string {
+	return fmt.Sprintf("%-22s %-4s %9.1f ms (%7.1f ms/eval) %10d wire bytes ok=%v",
+		r.Name, r.Backend, r.WallMs, r.WallMsPerEval, r.WireBytes, r.OutputsOK)
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/poly"
 )
 
@@ -53,7 +54,7 @@ type Runtime struct {
 	id    int
 	n     int
 	sched *sim.Scheduler
-	net   *sim.Network
+	net   transport.Transport
 	rng   *rand.Rand
 	// kernels is the run-wide interpolation-kernel cache, shared by all
 	// parties of a world (the simulation is single-threaded, and the
@@ -70,8 +71,10 @@ type Runtime struct {
 }
 
 // NewRuntime creates the runtime for party id (1-based) and attaches it
-// to the network.
-func NewRuntime(id, n int, sched *sim.Scheduler, net *sim.Network, rng *rand.Rand) *Runtime {
+// to the transport (the in-memory network or a real socket backend —
+// the runtime is agnostic; its clock hooks go through the shared
+// scheduler either way).
+func NewRuntime(id, n int, sched *sim.Scheduler, net transport.Transport, rng *rand.Rand) *Runtime {
 	rt := &Runtime{
 		id:      id,
 		n:       n,

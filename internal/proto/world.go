@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/poly"
 )
 
@@ -30,14 +31,22 @@ type WorldOpts struct {
 	// party runtime. nil (the default) disables tracing; a traced run is
 	// bit-identical to an untraced one.
 	Tracer obs.Tracer
+	// Transport selects the message-plane backend; nil means the
+	// deterministic in-memory simulator (transport.Sim). The factory
+	// receives the world's scheduler, delivery policy and network-delay
+	// RNG, so every backend consumes policy delays in the same order and
+	// a fixed seed replays the same virtual schedule on any backend.
+	Transport transport.Factory
 }
 
-// World is an assembled n-party simulation.
+// World is an assembled n-party system: the shared virtual-time
+// scheduler, a message-plane transport (the in-memory simulator by
+// default), and one protocol runtime per party.
 type World struct {
 	Cfg     Config
 	Network NetKind
 	Sched   *sim.Scheduler
-	Net     *sim.Network
+	Net     transport.Transport
 	// Runtimes is 1-based: Runtimes[i] is party i; index 0 is nil.
 	Runtimes []*Runtime
 
@@ -93,10 +102,25 @@ func (w *World) BeginEpoch() Epoch {
 // Epochs returns the number of epochs begun so far.
 func (w *World) Epochs() int { return w.epochs }
 
-// NewWorld builds a world. It panics on invalid configuration: worlds
-// are constructed by tests and harnesses where a bad config is a
-// programming error.
+// NewWorld builds a world. It panics on invalid configuration or a
+// failed transport bring-up: worlds are constructed by tests and
+// harnesses where either is a programming error. Harnesses assembling
+// over a real transport backend (whose bring-up can legitimately fail)
+// use NewWorldE instead.
 func NewWorld(opts WorldOpts) *World {
+	w, err := NewWorldE(opts)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// NewWorldE builds a world, returning an error instead of panicking
+// when the transport backend fails to come up (sockets can fail to
+// bind or connect; the in-memory simulator cannot fail). Invalid
+// configuration still panics — that is a programming error regardless
+// of backend.
+func NewWorldE(opts WorldOpts) (*World, error) {
 	cfg := opts.Cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -114,8 +138,15 @@ func NewWorld(opts WorldOpts) *World {
 			panic(fmt.Sprintf("proto: invalid network kind %v", opts.Network))
 		}
 	}
+	factory := opts.Transport
+	if factory == nil {
+		factory = transport.Sim
+	}
 	netPCG := rand.NewPCG(opts.Seed, 0x6e657477_6f726b00) // "network"
-	net := sim.NewNetwork(cfg.N, sched, policy, rand.New(netPCG))
+	net, err := factory(cfg.N, sched, policy, rand.New(netPCG))
+	if err != nil {
+		return nil, fmt.Errorf("proto: transport bring-up: %w", err)
+	}
 
 	w := &World{
 		Cfg:      cfg,
@@ -149,7 +180,7 @@ func NewWorld(opts WorldOpts) *World {
 	if len(opts.Corrupt) > 0 {
 		net.SetCorrupt(opts.Corrupt, opts.Interceptor)
 	}
-	return w
+	return w, nil
 }
 
 // IsCorrupt reports whether party i is corrupt.
@@ -177,6 +208,17 @@ func (w *World) RunToQuiescence() { w.Sched.RunToQuiescence() }
 
 // Metrics returns the network's communication metrics.
 func (w *World) Metrics() *sim.Metrics { return w.Net.Metrics() }
+
+// TransportErr reports the first transport fault (always nil for the
+// in-memory simulator). Harnesses check it after running to
+// quiescence: a faulted real transport stops delivering, so the run
+// drains instead of hanging, and the fault must not masquerade as a
+// protocol outcome.
+func (w *World) TransportErr() error { return w.Net.Err() }
+
+// Close releases the transport's OS resources (sockets, goroutines);
+// a no-op for the in-memory simulator. Idempotent.
+func (w *World) Close() error { return w.Net.Close() }
 
 // Tracer returns the world's trace sink (nil when tracing is off).
 func (w *World) Tracer() obs.Tracer { return w.tracer }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // Envelope is a point-to-point protocol message. Inst identifies the
@@ -20,8 +21,12 @@ type Envelope struct {
 }
 
 // WireSize returns the accounted size of the envelope in bytes:
-// body + instance path + 6 bytes of framing (from, to, type, length).
-func (e Envelope) WireSize() int { return len(e.Body) + len(e.Inst) + 6 }
+// body + instance path + wire.FrameOverhead bytes of framing (from, to,
+// type, length). Both transport backends account this same figure, so
+// metrics compare across backends; the physical frame codec
+// (wire.FrameWriter) spends slightly more on checksums and prefixes,
+// which the proc transport tracks separately as wire-byte counters.
+func (e Envelope) WireSize() int { return len(e.Body) + len(e.Inst) + wire.FrameOverhead }
 
 // Policy decides per-message delivery delay. Implementations must return
 // a strictly positive, finite delay: the asynchronous model guarantees
@@ -260,8 +265,26 @@ func (nw *Network) deliver(env Envelope, extra Time) {
 	}
 	// Typed delivery event: no per-message closure, the scheduler
 	// dispatches the envelope directly.
-	nw.sched.afterDeliver(delay, nw, env)
+	nw.sched.AfterDeliver(delay, nw, 0, env)
 }
+
+// DispatchDelivered implements DeliverSink: the scheduler hands every
+// typed delivery event back at its scheduled tick, and the in-memory
+// network dispatches it straight to the addressee's runtime.
+func (nw *Network) DispatchDelivered(env Envelope, _ uint64) {
+	if d := nw.parties[env.To]; d != nil {
+		d.Dispatch(env)
+	}
+}
+
+// Err reports the first transport fault. The in-memory network cannot
+// fail: it always returns nil. It exists so harnesses can check any
+// transport backend uniformly.
+func (nw *Network) Err() error { return nil }
+
+// Close releases transport resources; a no-op for the in-memory
+// network.
+func (nw *Network) Close() error { return nil }
 
 // TopLabel extracts the first path component of an instance ID, used to
 // aggregate metrics by protocol family.

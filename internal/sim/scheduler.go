@@ -28,6 +28,16 @@ const (
 	kindDeliver
 )
 
+// DeliverSink receives typed delivery events at their scheduled tick.
+// The in-memory Network is the reference implementation; a real
+// transport backend implements it to rendezvous the delivery with the
+// physical frame. tag is the opaque value the sink passed to
+// AfterDeliver (the Network ignores it; real transports use it to match
+// the scheduled delivery to its frame on the socket).
+type DeliverSink interface {
+	DispatchDelivered(env Envelope, tag uint64)
+}
+
 // event is a scheduled occurrence: either a timer callback or a typed
 // message delivery.
 type event struct {
@@ -35,10 +45,11 @@ type event struct {
 	seq  uint64 // FIFO tie-break within a class; keeps runs deterministic
 	prio uint8  // same-tick ordering class: lower runs first
 	kind uint8
-	fn   func()   // kindTimer
-	env  Envelope // kindDeliver
-	nw   *Network // kindDeliver
-	sent Time     // kindDeliver: send time, for traced delivery latency
+	fn   func()      // kindTimer
+	env  Envelope    // kindDeliver
+	sink DeliverSink // kindDeliver
+	tag  uint64      // kindDeliver: opaque sink cookie
+	sent Time        // kindDeliver: send time, for traced delivery latency
 }
 
 // Priority classes for same-tick ordering.
@@ -182,10 +193,15 @@ func (s *Scheduler) After(d Time, fn func()) {
 	s.At(s.now+d, fn)
 }
 
-// afterDeliver schedules the typed delivery of env to nw's addressee d
-// ticks from now, without allocating a callback closure.
-func (s *Scheduler) afterDeliver(d Time, nw *Network, env Envelope) {
-	s.push(event{at: s.now + d, prio: PrioDeliver, kind: kindDeliver, env: env, nw: nw, sent: s.now})
+// AfterDeliver schedules the typed delivery of env through sink d ticks
+// from now, without allocating a callback closure. The scheduler emits
+// the KDeliver trace event and hands (env, tag) to the sink at the
+// scheduled tick; delivery events order exactly like same-priority
+// timers (strict (time, priority, push-sequence) order), so a transport
+// that schedules through AfterDeliver replays the simulator's event
+// order bit-identically.
+func (s *Scheduler) AfterDeliver(d Time, sink DeliverSink, tag uint64, env Envelope) {
+	s.push(event{at: s.now + d, prio: PrioDeliver, kind: kindDeliver, env: env, sink: sink, tag: tag, sent: s.now})
 }
 
 // migrate moves overflow events that now fall inside the ring window
@@ -264,9 +280,7 @@ func (s *Scheduler) run(e event) {
 				A:     int64(s.now - e.sent),
 			})
 		}
-		if d := e.nw.parties[e.env.To]; d != nil {
-			d.Dispatch(e.env)
-		}
+		e.sink.DispatchDelivered(e.env, e.tag)
 		return
 	}
 	if s.tracer != nil {

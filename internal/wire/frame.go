@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame codec: the length-prefixed, checksummed envelope encoding both
+// transport backends share. The simulator accounts message sizes with
+// Envelope.WireSize (body + instance path + FrameOverhead); the proc
+// transport puts the same fields physically on a socket as
+//
+//	bytes 0..3   big-endian payload length
+//	payload      from varint | to varint | type byte | inst blob | body blob
+//	last 4 bytes big-endian CRC-32C (Castagnoli) of the payload
+//
+// A frame that does not fit MaxFrame is refused on the write side and
+// rejected before allocation on the read side; a checksum mismatch and
+// a short read are typed errors, so a Byzantine or broken peer can
+// never make a reader block on garbage or allocate unboundedly.
+
+// FrameOverhead is the per-message framing cost the simulator's
+// Envelope.WireSize accounts for: sender, addressee, message type and a
+// length prefix. The physical codec spends more (a fixed 4-byte length
+// prefix, varint party indices, blob length prefixes and the CRC
+// trailer); the virtual figure is kept as the stable metrics unit.
+const FrameOverhead = 6
+
+// MaxFrame bounds one frame's payload: the maximum body a protocol may
+// marshal (maxLen) plus room for the instance path and the header
+// fields. Anything larger is malformed by construction.
+const MaxFrame = maxLen + 1<<12
+
+// Frame errors. ErrFrameTooLarge covers both directions (writing an
+// oversized envelope, reading an implausible length header); short
+// reads surface as io.ErrUnexpectedEOF so callers can distinguish a
+// torn stream from a corrupted one (ErrFrameCRC).
+var (
+	// ErrFrameTooLarge marks a frame whose payload exceeds MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	// ErrFrameCRC marks a frame whose payload fails its checksum.
+	ErrFrameCRC = errors.New("wire: frame checksum mismatch")
+)
+
+// castagnoli is the CRC-32C table shared by both frame directions.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is one decoded transport message: the same fields as
+// sim.Envelope, kept here so the codec does not depend on the
+// simulator package.
+type Frame struct {
+	From int
+	To   int
+	Type uint8
+	Inst string
+	Body []byte
+}
+
+// AppendFrame encodes f and appends the full wire frame (length prefix,
+// payload, CRC trailer) to dst, returning the extended slice. It fails
+// with ErrFrameTooLarge if the payload exceeds MaxFrame.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	w := NewWriterCap(len(f.Inst) + len(f.Body) + 16)
+	w.Int(f.From).Int(f.To)
+	w.buf = append(w.buf, f.Type)
+	w.Blob([]byte(f.Inst))
+	w.Blob(f.Body)
+	payload := w.Bytes()
+	if len(payload) > MaxFrame {
+		return dst, fmt.Errorf("%w: payload %d > %d", ErrFrameTooLarge, len(payload), MaxFrame)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return dst, nil
+}
+
+// FrameWriter writes frames to an underlying stream, reusing one
+// buffer across frames.
+type FrameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewFrameWriter returns a frame writer over w.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// WriteFrame encodes and writes one frame, returning the number of
+// bytes put on the stream. Oversized frames fail with ErrFrameTooLarge
+// before anything is written.
+func (fw *FrameWriter) WriteFrame(f Frame) (int, error) {
+	buf, err := AppendFrame(fw.buf[:0], f)
+	if err != nil {
+		return 0, err
+	}
+	fw.buf = buf[:0]
+	n, err := fw.w.Write(buf)
+	if err != nil {
+		return n, fmt.Errorf("wire: write frame: %w", err)
+	}
+	return n, nil
+}
+
+// FrameReader reads frames from an underlying stream.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewFrameReader returns a frame reader over r.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// ReadFrame reads and decodes one frame, returning the number of raw
+// bytes consumed. A stream ending cleanly between frames returns
+// io.EOF; a stream torn mid-frame returns io.ErrUnexpectedEOF; an
+// implausible length header fails with ErrFrameTooLarge before any
+// allocation; a checksum mismatch fails with ErrFrameCRC. The returned
+// frame's Body and Inst do not alias the reader's buffer.
+func (fr *FrameReader) ReadFrame() (Frame, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, 0, io.EOF
+		}
+		return Frame{}, 0, fmt.Errorf("wire: frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Frame{}, 4, fmt.Errorf("%w: length header says %d > %d", ErrFrameTooLarge, n, MaxFrame)
+	}
+	if cap(fr.buf) < int(n)+4 {
+		fr.buf = make([]byte, int(n)+4)
+	}
+	buf := fr.buf[:int(n)+4]
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, 4, fmt.Errorf("wire: torn frame: %w", io.ErrUnexpectedEOF)
+		}
+		return Frame{}, 4, fmt.Errorf("wire: frame payload: %w", err)
+	}
+	payload, sum := buf[:n], binary.BigEndian.Uint32(buf[n:])
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return Frame{}, int(n) + 8, fmt.Errorf("%w: computed %08x, trailer says %08x", ErrFrameCRC, got, sum)
+	}
+	r := NewReader(payload)
+	f := Frame{From: r.Int(), To: r.Int()}
+	if r.err == nil && len(r.buf) >= 1 {
+		f.Type = r.buf[0]
+		r.buf = r.buf[1:]
+	} else {
+		r.fail()
+	}
+	f.Inst = string(r.BlobRef())
+	f.Body = r.Blob()
+	if err := r.Done(); err != nil {
+		return Frame{}, int(n) + 8, fmt.Errorf("wire: frame payload: %w", err)
+	}
+	return f, int(n) + 8, nil
+}

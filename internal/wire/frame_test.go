@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+func mustAppend(t *testing.T, f Frame) []byte {
+	t.Helper()
+	raw, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	return raw
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{From: 1, To: 2, Type: 7, Inst: "vss/3/wps/5/bc/ok", Body: []byte{1, 2, 3}},
+		{From: 8, To: 8, Type: 0, Inst: "", Body: nil},
+		{From: 300, To: 1, Type: 255, Inst: "mpc/e12/lay/3", Body: bytes.Repeat([]byte{0xab}, 4096)},
+	}
+	var stream bytes.Buffer
+	fw := NewFrameWriter(&stream)
+	wrote := 0
+	for _, f := range frames {
+		n, err := fw.WriteFrame(f)
+		if err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		wrote += n
+	}
+	fr := NewFrameReader(&stream)
+	read := 0
+	for i, want := range frames {
+		got, n, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		read += n
+		if got.From != want.From || got.To != want.To || got.Type != want.Type || got.Inst != want.Inst {
+			t.Fatalf("frame %d header = %+v, want %+v", i, got, want)
+		}
+		if !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("frame %d body mismatch (%d vs %d bytes)", i, len(got.Body), len(want.Body))
+		}
+	}
+	if wrote != read {
+		t.Fatalf("wrote %d bytes, read %d", wrote, read)
+	}
+	if _, _, err := fr.ReadFrame(); err != io.EOF {
+		t.Fatalf("stream end: got %v, want io.EOF", err)
+	}
+}
+
+// TestFrameTornReads truncates an encoded frame at every possible
+// prefix: a cut before the first header byte is a clean EOF, every
+// other cut must surface io.ErrUnexpectedEOF — never a hang, a panic
+// or a bogus decoded frame.
+func TestFrameTornReads(t *testing.T) {
+	raw := mustAppend(t, Frame{From: 3, To: 5, Type: 9, Inst: "acs/1", Body: []byte("payload")})
+	for cut := 0; cut < len(raw); cut++ {
+		fr := NewFrameReader(bytes.NewReader(raw[:cut]))
+		_, _, err := fr.ReadFrame()
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut 0: got %v, want io.EOF", err)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d/%d: got %v, want io.ErrUnexpectedEOF", cut, len(raw), err)
+		}
+	}
+}
+
+// TestFrameMaxSize drives the codec at its documented bound: the
+// largest body a protocol payload may carry round-trips, and a payload
+// over MaxFrame is refused on write and rejected on read before any
+// allocation.
+func TestFrameMaxSize(t *testing.T) {
+	big := Frame{From: 1, To: 2, Type: 1, Inst: "pool/fill", Body: make([]byte, maxLen)}
+	raw := mustAppend(t, big)
+	got, _, err := NewFrameReader(bytes.NewReader(raw)).ReadFrame()
+	if err != nil {
+		t.Fatalf("max-size frame: %v", err)
+	}
+	if len(got.Body) != maxLen {
+		t.Fatalf("max-size body: got %d bytes, want %d", len(got.Body), maxLen)
+	}
+
+	if _, err := AppendFrame(nil, Frame{From: 1, To: 2, Body: make([]byte, MaxFrame)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize write: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// An adversarial length header must be rejected without reading or
+	// allocating the claimed payload.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, _, err := NewFrameReader(bytes.NewReader(hdr[:])).ReadFrame(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize header: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameCRCMismatch(t *testing.T) {
+	raw := mustAppend(t, Frame{From: 2, To: 4, Type: 3, Inst: "ba/0", Body: []byte{9, 9, 9}})
+	for _, flip := range []int{4, len(raw) / 2, len(raw) - 1} {
+		bad := bytes.Clone(raw)
+		bad[flip] ^= 0x40
+		_, _, err := NewFrameReader(bytes.NewReader(bad)).ReadFrame()
+		if !errors.Is(err, ErrFrameCRC) {
+			t.Fatalf("flip byte %d: got %v, want ErrFrameCRC", flip, err)
+		}
+	}
+}
+
+// TestFrameTrailingGarbage ensures a payload with bytes beyond the
+// declared fields fails as malformed rather than decoding silently.
+func TestFrameTrailingGarbage(t *testing.T) {
+	w := NewWriter()
+	w.Int(1).Int(2)
+	w.buf = append(w.buf, 0)
+	w.Blob([]byte("x")).Blob(nil)
+	payload := append(w.Bytes(), 0xff) // trailing garbage
+	var raw []byte
+	raw = binary.BigEndian.AppendUint32(raw, uint32(len(payload)))
+	raw = append(raw, payload...)
+	raw = binary.BigEndian.AppendUint32(raw, crc32.Checksum(payload, castagnoli))
+	if _, _, err := NewFrameReader(bytes.NewReader(raw)).ReadFrame(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing garbage: got %v, want ErrMalformed", err)
+	}
+}

@@ -259,6 +259,15 @@ func RestoreEngineAdv(cfg Config, adv *Adversary, r io.Reader) (*Engine, error) 
 // resumed session (pre-crash events are gone — tracing starts at the
 // restore point). tr may be nil.
 func RestoreEngineTraced(cfg Config, adv *Adversary, tr obs.Tracer, r io.Reader) (*Engine, error) {
+	return RestoreEngineOpts(cfg, EngineOptions{Adversary: adv, Tracer: tr}, r)
+}
+
+// RestoreEngineOpts is the general restore constructor: a checkpoint
+// identifies an engine by Config plus Adversary only, so the same
+// checkpoint may be restored onto any transport backend — the session
+// resumes bit-identically on the virtual clock whether the resumed
+// traffic crosses the in-memory simulator or real sockets.
+func RestoreEngineOpts(cfg Config, opts EngineOptions, r io.Reader) (*Engine, error) {
 	p, err := readCheckpoint(r)
 	if err != nil {
 		return nil, err
@@ -266,14 +275,15 @@ func RestoreEngineTraced(cfg Config, adv *Adversary, tr obs.Tracer, r io.Reader)
 	if err := matchConfig("config", p.Config, cfg); err != nil {
 		return nil, err
 	}
-	if err := matchConfig("adversary", p.Adversary, adv); err != nil {
+	if err := matchConfig("adversary", p.Adversary, opts.Adversary); err != nil {
 		return nil, err
 	}
-	e, err := newEngine(cfg, adv, tr)
+	e, err := NewEngineOpts(cfg, opts)
 	if err != nil {
 		return nil, err
 	}
 	if err := e.restoreState(p); err != nil {
+		e.Close()
 		return nil, err
 	}
 	return e, nil

@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/internal/triples"
 )
 
@@ -64,10 +65,17 @@ type Engine struct {
 	// every pool holds one party's share of the same ts-shared triple.
 	pools []*triples.Pool
 
+	// cleanup releases resources the transport resolution created (an
+	// auto-assigned socket directory); nil for the simulator backend.
+	cleanup func() error
+
 	preprocessed  bool
 	evalSinceFill bool
-	evals         int
-	ppCalls       int
+	// oneShot marks an engine consumed by OneShot: the one-shot phase
+	// and the session lifecycle are mutually exclusive.
+	oneShot bool
+	evals   int
+	ppCalls int
 	// busy names the lifecycle phase currently executing ("" when
 	// idle): Snapshot refuses while a phase is live, because the
 	// scheduler then holds protocol events that cannot be serialized.
@@ -141,7 +149,7 @@ func NewEngine(cfg Config) (*Engine, error) { return NewEngineAdv(cfg, nil) }
 // NewEngineAdv is NewEngine with a static adversary, corrupting the
 // session's world exactly as Run's adversary corrupts a one-shot run.
 func NewEngineAdv(cfg Config, adv *Adversary) (*Engine, error) {
-	return newEngine(cfg, adv, nil)
+	return newEngine(cfg, adv, nil, nil)
 }
 
 // NewEngineTraced is NewEngineAdv with a trace sink: tr receives the
@@ -150,12 +158,13 @@ func NewEngineAdv(cfg Config, adv *Adversary) (*Engine, error) {
 // the simulation — a traced session replays bit-identical to an
 // untraced one. tr may be nil (equivalent to NewEngineAdv).
 func NewEngineTraced(cfg Config, adv *Adversary, tr obs.Tracer) (*Engine, error) {
-	return newEngine(cfg, adv, tr)
+	return newEngine(cfg, adv, tr, nil)
 }
 
 // newEngine validates cfg and assembles the world shared by the session
-// API and the one-shot Run wrapper.
-func newEngine(cfg Config, adv *Adversary, tr obs.Tracer) (*Engine, error) {
+// API and the one-shot Run wrapper. factory selects the transport
+// backend (nil = the in-memory simulator).
+func newEngine(cfg Config, adv *Adversary, tr obs.Tracer, factory transport.Factory) (*Engine, error) {
 	pcfg := proto.Config{
 		N: cfg.N, Ts: cfg.Ts, Ta: cfg.Ta,
 		Delta:      sim.Time(cfg.Delta),
@@ -237,7 +246,7 @@ func newEngine(cfg Config, adv *Adversary, tr obs.Tracer) (*Engine, error) {
 	if limit == 0 {
 		limit = 200_000_000
 	}
-	w := proto.NewWorld(proto.WorldOpts{
+	w, err := proto.NewWorldE(proto.WorldOpts{
 		Cfg:         pcfg,
 		Network:     kind,
 		Policy:      policy,
@@ -246,7 +255,11 @@ func newEngine(cfg Config, adv *Adversary, tr obs.Tracer) (*Engine, error) {
 		Interceptor: ctrl,
 		EventLimit:  limit,
 		Tracer:      tr,
+		Transport:   factory,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrTransport, err)
+	}
 	coin := aba.DefaultCoin(cfg.Seed ^ 0xc01c01)
 	e := &Engine{
 		cfg:    cfg,
@@ -295,6 +308,9 @@ func (e *Engine) Preprocess(budget int) (int, error) {
 		want = got
 	}
 	e.world.RunToQuiescence()
+	if err := e.transportCheck(); err != nil {
+		return 0, err
+	}
 	for _, i := range e.world.Honest() {
 		if e.pools[i].Filling() {
 			return 0, fmt.Errorf("mpc: preprocessing batch incomplete after %d events (raise Config.EventLimit)",
@@ -436,6 +452,9 @@ func (e *Engine) Evaluate(circ *circuit.Circuit, inputs []field.Element) (*Resul
 		w.Runtimes[i].At(start, func() { engines[i].Start(inputs[i-1]) })
 	}
 	w.RunToQuiescence()
+	if err := e.transportCheck(); err != nil {
+		return nil, err
+	}
 
 	d := w.Metrics().Snapshot().Sub(pre)
 	res.HonestMessages = d.Honest.Messages
@@ -528,6 +547,9 @@ func (e *Engine) runOneShot(circ *circuit.Circuit, inputs []field.Element) (*Res
 		engines[i].Start(inputs[i-1])
 	}
 	w.RunToQuiescence()
+	if err := e.transportCheck(); err != nil {
+		return nil, err
+	}
 
 	snap := w.Metrics().Snapshot()
 	e.tracePhase(obs.KPhaseEnd, "run", int64(w.Sched.Now())-begin, int64(snap.Honest.Messages))

@@ -247,7 +247,7 @@ func Run(cfg Config, circ *circuit.Circuit, inputs []field.Element, adv *Adversa
 // not perturb the run: a traced run is bit-identical to an untraced
 // one with the same configuration.
 func RunTraced(cfg Config, circ *circuit.Circuit, inputs []field.Element, adv *Adversary, tr obs.Tracer) (*Result, error) {
-	eng, err := newEngine(cfg, adv, tr)
+	eng, err := newEngine(cfg, adv, tr, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/circuit"
 	"repro/field"
 	"repro/internal/obs"
+	"repro/internal/transport"
 	"repro/mpc"
 )
 
@@ -144,13 +145,51 @@ func Run(m *Manifest) (*Report, error) { return RunTraced(m, nil) }
 // stream (nil disables tracing; traced runs are bit-identical to
 // untraced ones).
 func RunTraced(m *Manifest, tr obs.Tracer) (*Report, error) {
+	return RunWith(m, RunOptions{Tracer: tr})
+}
+
+// RunOptions shapes one RunWith call. The zero value reproduces a
+// plain Run(m).
+type RunOptions struct {
+	// Tracer receives the run's typed event stream (nil = off).
+	Tracer obs.Tracer
+	// Transport selects the message-plane backend (nil = the in-memory
+	// simulator). The Report is backend-invariant: on a fixed seed a
+	// run over real sockets reports bit-identically to the simulator.
+	Transport *mpc.TransportSpec
+	// Wire, when non-nil, receives the physical wire accounting of the
+	// run (zeros on the simulator backend).
+	Wire *transport.WireStats
+}
+
+// RunWith is the full-control one-shot runner behind Run/RunTraced:
+// tracing plus the pluggable transport backend the deployment layer
+// assembles over (docs/deployment.md).
+func RunWith(m *Manifest, opt RunOptions) (*Report, error) {
 	art, err := Build(m)
 	if err != nil {
 		return nil, err
 	}
+	eng, err := mpc.NewEngineOpts(art.Cfg, mpc.EngineOptions{
+		Adversary: art.Adversary,
+		Tracer:    opt.Tracer,
+		Transport: opt.Transport,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", m.Name, err)
+	}
+	defer eng.Close()
 	rep := &Report{Name: m.Name}
-	res, runErr := mpc.RunTraced(art.Cfg, art.Circuit, art.Inputs, art.Adversary, tr)
+	res, runErr := eng.OneShot(art.Circuit, art.Inputs)
+	if opt.Wire != nil {
+		*opt.Wire = eng.WireStats()
+	}
 	if runErr != nil {
+		// A transport fault is an environment failure, not a protocol
+		// outcome: surface it as a hard error instead of a report row.
+		if errors.Is(runErr, mpc.ErrTransport) {
+			return nil, fmt.Errorf("scenario %q: %w", m.Name, runErr)
+		}
 		rep.Err = errName(runErr)
 	}
 	if res != nil {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/obs"
+	"repro/internal/transport"
 	"repro/internal/triples"
 	"repro/mpc"
 )
@@ -171,6 +172,17 @@ type WorkloadRunOptions struct {
 	// starting fresh. The checkpoint must match the manifest and the
 	// Compare/PerGateEval options (mpc.ErrCheckpointConfig otherwise).
 	Resume *WorkloadCheckpoint
+	// Transport selects the session engine's message-plane backend
+	// (nil = the in-memory simulator). The backend is deliberately NOT
+	// part of the checkpoint identity: on a fixed seed a workload over
+	// real sockets reports bit-identically to the simulator, and a
+	// checkpoint written on one backend resumes onto any other. The
+	// one-shot comparison runs always use the simulator — they are
+	// reference measurements on separate worlds.
+	Transport *mpc.TransportSpec
+	// Wire, when non-nil, receives the physical wire accounting of the
+	// session engine (zeros on the simulator backend).
+	Wire *transport.WireStats
 }
 
 // RunWorkload executes a workload manifest: one engine, one (or more,
@@ -237,6 +249,7 @@ func RunWorkloadOpts(m *Manifest, opt WorkloadRunOptions) (*WorkloadReport, erro
 	var totalTicks int64
 	var oneShotTotal uint64
 	startIdx := 0
+	eopts := mpc.EngineOptions{Adversary: adv, Tracer: opt.Tracer, Transport: opt.Transport}
 	if ck := opt.Resume; ck != nil {
 		if err := ck.matches(m, opt); err != nil {
 			return nil, fmt.Errorf("scenario %q: resume: %w", m.Name, err)
@@ -246,7 +259,7 @@ func RunWorkloadOpts(m *Manifest, opt WorkloadRunOptions) (*WorkloadReport, erro
 				mpc.ErrBadCheckpoint, ck.StepsDone, len(steps))
 		}
 		var err error
-		eng, err = mpc.RestoreEngineTraced(cfg, adv, opt.Tracer, bytes.NewReader(ck.Engine))
+		eng, err = mpc.RestoreEngineOpts(cfg, eopts, bytes.NewReader(ck.Engine))
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q: resume: %w", m.Name, err)
 		}
@@ -256,10 +269,16 @@ func RunWorkloadOpts(m *Manifest, opt WorkloadRunOptions) (*WorkloadReport, erro
 		oneShotTotal = ck.OneShotTotal
 	} else {
 		var err error
-		eng, err = mpc.NewEngineTraced(cfg, adv, opt.Tracer)
+		eng, err = mpc.NewEngineOpts(cfg, eopts)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q: %w", m.Name, err)
 		}
+	}
+	defer eng.Close()
+	if opt.Wire != nil {
+		defer func() { *opt.Wire = eng.WireStats() }()
+	}
+	if opt.Resume == nil {
 		if _, err := eng.Preprocess(budget); err != nil {
 			return nil, fmt.Errorf("scenario %q: preprocess: %w", m.Name, err)
 		}
@@ -278,6 +297,11 @@ func RunWorkloadOpts(m *Manifest, opt WorkloadRunOptions) (*WorkloadReport, erro
 			}
 		}
 		if runErr != nil {
+			// A transport fault is an environment failure, not a protocol
+			// outcome: surface it as a hard error instead of a step row.
+			if errors.Is(runErr, mpc.ErrTransport) {
+				return nil, fmt.Errorf("scenario %q: step %d: %w", m.Name, i, runErr)
+			}
 			sr.Err = errName(runErr)
 		}
 		var lastAbs, lastRel int64
@@ -457,7 +481,7 @@ func init() {
 		Name:        "workload-adversarial-sync",
 		Description: "n=8 engine serving 4 evaluations with a garbling and a silent corruption",
 		Parties:     flagship, Network: syncNet(), Seed: 3,
-		Adversary:   AdversarySpec{Garble: []int{3}, Silent: []int{6}},
+		Adversary: AdversarySpec{Garble: []int{3}, Silent: []int{6}},
 		Workload: &WorkloadSpec{Steps: []WorkloadStep{
 			{Circuit: CircuitSpec{Family: "sum"}, Expect: Expect{Consistent: true, MinAgreement: 6}},
 			{Circuit: CircuitSpec{Family: "product"}, Expect: Expect{Consistent: true, MinAgreement: 6}},
