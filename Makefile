@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race scenarios workload-smoke fuzz-smoke fuzz-native trace-smoke checkpoint-smoke deploy-smoke bench-smoke bench-msgs bench-json ci
+.PHONY: build vet test test-short test-race scenarios workload-smoke pipeline-smoke fuzz-smoke fuzz-native trace-smoke checkpoint-smoke deploy-smoke bench-smoke bench-msgs bench-json ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,23 @@ scenarios:
 workload-smoke:
 	$(GO) run ./cmd/scenario workload workload-amortize-sync workload-refill-sync workload-adversarial-sync
 	$(GO) run ./cmd/scenario workload -require-savings workload-amortize-sync
+
+# pipeline-smoke drives the PR 9 pipelined serving path end to end:
+# the pipeline workload forced sequential and at depth 1 must produce
+# bit-identical reports (the differential guarantee), two depth-4 runs
+# must produce bit-identical reports (determinism under overlap; full
+# depth-4 figures differ from sequential only by PRNG draw-order noise
+# — outputs and CS are asserted identical in the test suites), and the
+# watermark-refill workload must serve its under-budgeted stream
+# without ever hitting the exhaustion-retry path.
+pipeline-smoke:
+	$(GO) run ./cmd/scenario workload -compare=false -json -pipeline -1 workload-pipeline-sync > /tmp/repro-pipe-seq.json
+	$(GO) run ./cmd/scenario workload -compare=false -json -pipeline 1 workload-pipeline-sync > /tmp/repro-pipe-d1.json
+	cmp /tmp/repro-pipe-seq.json /tmp/repro-pipe-d1.json
+	$(GO) run ./cmd/scenario workload -compare=false -json workload-pipeline-sync > /tmp/repro-pipe-d4a.json
+	$(GO) run ./cmd/scenario workload -compare=false -json workload-pipeline-sync > /tmp/repro-pipe-d4b.json
+	cmp /tmp/repro-pipe-d4a.json /tmp/repro-pipe-d4b.json
+	$(GO) run ./cmd/scenario workload workload-pipeline-refill-sync
 
 # trace-smoke runs one builtin with the PR 6 trace layer on, then
 # validates the exported Chrome trace (well-formed JSON, non-empty,
@@ -97,11 +114,12 @@ bench-msgs:
 # per-gate vs per-layer message-complexity rows), BENCH_PR5.json
 # (the E14 session-engine amortization rows), BENCH_PR6.json (the
 # E15 trace-overhead rows) and BENCH_PR7.json (the E16
-# checkpoint-restore vs re-preprocess rows) and BENCH_PR8.json (the
+# checkpoint-restore vs re-preprocess rows), BENCH_PR8.json (the
 # transport-backend rows: the tracked runs carried by the simulator,
-# unix sockets and TCP loopback); see docs/performance.md,
+# unix sockets and TCP loopback) and BENCH_PR9.json (the pipelined
+# serving rows at depths 1/4/16); see docs/performance.md,
 # docs/observability.md, docs/checkpointing.md and docs/deployment.md.
 bench-json:
-	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json -out5 BENCH_PR5.json -out6 BENCH_PR6.json -out7 BENCH_PR7.json -out8 BENCH_PR8.json
+	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json -out5 BENCH_PR5.json -out6 BENCH_PR6.json -out7 BENCH_PR7.json -out8 BENCH_PR8.json -out9 BENCH_PR9.json
 
-ci: build vet test-short bench-smoke bench-msgs workload-smoke fuzz-smoke trace-smoke checkpoint-smoke deploy-smoke
+ci: build vet test-short bench-smoke bench-msgs workload-smoke pipeline-smoke fuzz-smoke trace-smoke checkpoint-smoke deploy-smoke

@@ -9,7 +9,7 @@
 //	scenario run      [-f file.json] [-parallel N] [-json] [-trace] [-trace-out dir] [--all | name ...]
 //	scenario sweep    [-seeds A..B] [-parallel N] [-json] [--all | name ...]
 //	scenario workload [-f file.json] [-json] [-compare] [-require-savings] [-trace] [-trace-out dir]
-//	                  [-checkpoint file] [-resume file] [-stop-after k] [--all | name ...]
+//	                  [-checkpoint file] [-resume file] [-stop-after k] [-pipeline n] [--all | name ...]
 //	scenario checkpoint [-json] file
 //	scenario fuzz     [-trials N] [-seed S] [-parallel N] [-json] [-out dir]
 //	scenario fuzz     -crash -trials N [-seed S] [-json]
@@ -19,6 +19,7 @@
 //	scenario deploy   [-f set.json] [-backend sim|unix|tcp] [-json] [-out report.json] [name]
 //	scenario serve    [-f set.json] [-backend sim|unix|tcp] [-rounds N] [-json] [name]
 //	scenario bench    [-out BENCH_PR3.json] [-out5 BENCH_PR5.json] [-out6 BENCH_PR6.json] [-out7 BENCH_PR7.json] [-out8 BENCH_PR8.json]
+//	                  [-out9 BENCH_PR9.json]
 //
 // Examples:
 //
@@ -247,6 +248,7 @@ func cmdWorkload(args []string) {
 	ckptPath := fs.String("checkpoint", "", "write a crash-safe resume checkpoint to `file` after every completed step (single workload only)")
 	resumePath := fs.String("resume", "", "resume the workload from a checkpoint `file` instead of starting fresh (single workload only)")
 	stopAfter := fs.Int("stop-after", 0, "stop after `k` completed steps — a simulated crash for checkpoint testing (single workload only)")
+	pipeline := fs.Int("pipeline", 0, "override the manifest's serving depth: `n` > 0 pipelines n in-flight evaluations, -1 forces sequential serving, 0 keeps the manifest's")
 	fs.Parse(args)
 	var ms []*scenario.Manifest
 	switch {
@@ -305,6 +307,7 @@ func cmdWorkload(args []string) {
 			CheckpointPath: *ckptPath,
 			StopAfter:      *stopAfter,
 			Resume:         resume,
+			Pipeline:       *pipeline,
 		})
 		if err != nil {
 			fatal("%s: %v", m.Name, err)
@@ -697,6 +700,7 @@ func cmdBench(args []string) {
 	out6 := fs.String("out6", "", "write the E15 trace-overhead JSON report to `file` (default stdout)")
 	out7 := fs.String("out7", "", "write the E16 checkpoint/restore JSON report to `file` (default stdout)")
 	out8 := fs.String("out8", "", "write the PR8 transport-backend JSON report to `file` (default stdout)")
+	out9 := fs.String("out9", "", "write the PR9 pipelined-serving JSON report to `file` (default stdout)")
 	fs.Parse(args)
 	report, err := bench.RunPerf()
 	if err != nil {
@@ -706,7 +710,8 @@ func cmdBench(args []string) {
 	trace := bench.RunTraceOverhead()
 	ckpt := bench.RunCheckpoint()
 	trans := bench.RunTransport()
-	if *out == "" && *out5 == "" && *out6 == "" && *out7 == "" && *out8 == "" {
+	pipe := bench.RunPipeline()
+	if *out == "" && *out5 == "" && *out6 == "" && *out7 == "" && *out8 == "" && *out9 == "" {
 		// Keep stdout a single JSON document: combine the reports.
 		emitJSON(struct {
 			Perf  *bench.PerfReport       `json:"perf"`
@@ -714,7 +719,8 @@ func cmdBench(args []string) {
 			Trace *bench.TraceReport      `json:"trace_overhead"`
 			Ckpt  *bench.CheckpointReport `json:"checkpoint"`
 			Trans *bench.TransportReport  `json:"transport"`
-		}{report, amort, trace, ckpt, trans})
+			Pipe  *bench.PipelineReport   `json:"pipeline"`
+		}{report, amort, trace, ckpt, trans, pipe})
 	} else {
 		writeReport := func(path string, write func(io.Writer) error) {
 			w := io.Writer(os.Stdout)
@@ -735,6 +741,7 @@ func cmdBench(args []string) {
 		writeReport(*out6, func(w io.Writer) error { return bench.WriteTrace(w, trace) })
 		writeReport(*out7, func(w io.Writer) error { return bench.WriteCheckpoint(w, ckpt) })
 		writeReport(*out8, func(w io.Writer) error { return bench.WriteTransport(w, trans) })
+		writeReport(*out9, func(w io.Writer) error { return bench.WritePipeline(w, pipe) })
 	}
 	if !report.Invariant {
 		fatal("protocol metrics diverged from the recorded baseline — the perf work changed behaviour")
@@ -760,6 +767,9 @@ func cmdBench(args []string) {
 	for _, row := range trans.Rows {
 		fmt.Fprintln(os.Stderr, bench.FormatTransportRow(row))
 	}
+	for _, row := range pipe.Rows {
+		fmt.Fprintln(os.Stderr, bench.FormatPipelineRow(row))
+	}
 	if !amort.OK {
 		fatal("E14 amortization gate failed: a session engine row diverged from one-shot outputs or did not amortize")
 	}
@@ -771,6 +781,9 @@ func cmdBench(args []string) {
 	}
 	if !trans.OK {
 		fatal("PR8 transport gate failed: a socket-backed run diverged from the simulator outputs or moved no wire bytes")
+	}
+	if !pipe.OK {
+		fatal("PR9 pipeline gate failed: a pipelined run diverged from one-shot outputs, did not beat the depth-1 ticks/eval at depth >= 4, or drifted >1% in msgs/eval")
 	}
 }
 

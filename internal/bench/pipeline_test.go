@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/circuit"
+)
+
+// TestE15Pipeline is the PR 9 acceptance gate behind `make bench-json`:
+// every tracked pipelined-serving row must reproduce the one-shot
+// outputs bit-for-bit, every depth >= 4 row must beat the depth-1
+// virtual ticks/eval, and its msgs/eval must stay within 1% of the
+// depth-1 figure.
+func TestE15Pipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E15 runs 16 evaluations per row across three depths; skipped under -short")
+	}
+	report := RunPipeline()
+	byName := map[string]PipelineRow{}
+	for _, row := range report.Rows {
+		if row.Depth == 1 {
+			byName[row.Name] = row
+		}
+	}
+	for _, row := range report.Rows {
+		if !row.OutputsOK {
+			t.Errorf("%s depth %d: outputs diverged from the one-shot reference", row.Name, row.Depth)
+		}
+		if base, ok := byName[row.Name]; ok && row.Depth >= 4 {
+			if row.TicksPerEval >= base.TicksPerEval {
+				t.Errorf("%s depth %d: %.1f ticks/eval does not beat depth-1 %.1f",
+					row.Name, row.Depth, row.TicksPerEval, base.TicksPerEval)
+			}
+			drift := row.MsgsPerEval/base.MsgsPerEval - 1
+			if drift < 0 {
+				drift = -drift
+			}
+			if drift > 0.01 {
+				t.Errorf("%s depth %d: msgs/eval %.0f drifted %.2f%% from depth-1 %.0f",
+					row.Name, row.Depth, row.MsgsPerEval, 100*drift, base.MsgsPerEval)
+			}
+		}
+		t.Log(FormatPipelineRow(row))
+	}
+	if !report.OK {
+		t.Error("report gate is false")
+	}
+}
+
+// TestE15SmallRow keeps a cheap fixed row under plain `go test`: K=4 at
+// depth 4, outputs identical and the span strictly below 4 sequential
+// spans laid end to end.
+func TestE15SmallRow(t *testing.T) {
+	circ := circuit.Product(5)
+	seq := E15Pipelined(Config5(), "E15Pipeline/product/n5/k4", circ, 4, 1, 1)
+	pipe := E15Pipelined(Config5(), "E15Pipeline/product/n5/k4", circ, 4, 4, 1)
+	if !seq.OutputsOK || !pipe.OutputsOK {
+		t.Fatalf("outputs diverged from the one-shot reference: %+v / %+v", seq, pipe)
+	}
+	if pipe.TicksSpan >= seq.TicksSpan {
+		t.Fatalf("depth-4 span %d ticks not below depth-1 span %d", pipe.TicksSpan, seq.TicksSpan)
+	}
+}

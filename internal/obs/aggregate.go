@@ -158,6 +158,18 @@ type Summary struct {
 	Pool []PoolPoint
 	// Phases lists engine lifecycle phases in begin order.
 	Phases []PhaseSpan
+	// Pipeline is the in-flight evaluation gauge series (KPipelineDepth
+	// events): one point per submit/complete, in emission order.
+	Pipeline []PipelinePoint
+}
+
+// PipelinePoint is one entry of the pipeline-occupancy gauge series.
+type PipelinePoint struct {
+	Tick int64
+	// InFlight is the engine's in-flight evaluation count after the
+	// change; Epoch the epoch seq whose submit/complete caused it.
+	InFlight int64
+	Epoch    int64
 }
 
 // Summarize reduces events (in emission order) to a Summary. delta is
@@ -215,12 +227,26 @@ func Summarize(events []Event, delta int64) *Summary {
 		case KPhaseBegin:
 			open = append(open, openPhase{name: ev.Inst, seq: ev.A, begin: ev.Tick})
 		case KPhaseEnd:
-			// Engine phases are sequential; match the innermost open one.
-			if n := len(open); n > 0 {
-				p := open[n-1]
-				open = open[:n-1]
+			// Phases of different names may overlap (a background refill
+			// spans live evaluations): close the oldest open phase with
+			// this name, falling back to the innermost open one.
+			at := -1
+			for k, p := range open {
+				if p.name == ev.Inst {
+					at = k
+					break
+				}
+			}
+			if at < 0 {
+				at = len(open) - 1
+			}
+			if at >= 0 {
+				p := open[at]
+				open = append(open[:at], open[at+1:]...)
 				s.Phases = append(s.Phases, PhaseSpan{Name: p.name, Seq: p.seq, Begin: p.begin, End: ev.Tick, Msgs: ev.B})
 			}
+		case KPipelineDepth:
+			s.Pipeline = append(s.Pipeline, PipelinePoint{Tick: ev.Tick, InFlight: ev.A, Epoch: ev.B})
 		}
 	}
 	for _, p := range open { // unterminated phases (run aborted)

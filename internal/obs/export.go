@@ -191,6 +191,11 @@ func WriteChromeTrace(w io.Writer, events []Event, n int) error {
 				Name: "pool exhausted", Ph: "i", Ts: ev.Tick, Pid: chromePid, Tid: ev.Party, S: "g",
 				Args: map[string]any{"need": ev.A, "have": ev.B},
 			})
+		case KPipelineDepth:
+			evs = append(evs, chromeEvent{
+				Name: "pipeline depth", Ph: "C", Ts: ev.Tick, Pid: chromePid, Tid: chromeSchedTid,
+				Args: map[string]any{"inFlight": ev.A},
+			})
 		}
 	}
 	enc := json.NewEncoder(w)

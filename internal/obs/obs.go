@@ -79,27 +79,33 @@ const (
 	// KPoolExhaust: a reservation failed on an empty pool. Party=party,
 	// A=triples needed, B=triples available.
 	KPoolExhaust
+	// KPipelineDepth: the engine's in-flight evaluation count changed
+	// (an epoch was submitted or completed). A=in-flight evaluations
+	// after the change, B=epoch seq that caused it. Plotted as a gauge,
+	// this is the pipeline-occupancy series.
+	KPipelineDepth
 
 	kindCount // number of kinds; keep last
 )
 
 // kindNames maps kinds to their stable wire names (JSONL "k" field).
 var kindNames = [kindCount]string{
-	KSend:         "send",
-	KDeliver:      "deliver",
-	KTimer:        "timer",
-	KTick:         "tick",
-	KInstance:     "instance",
-	KInstanceDrop: "instance-drop",
-	KEpochBegin:   "epoch-begin",
-	KEpochRetire:  "epoch-retire",
-	KPhaseBegin:   "phase-begin",
-	KPhaseEnd:     "phase-end",
-	KPoolFill:     "pool-fill",
-	KPoolFillDone: "pool-fill-done",
-	KPoolReserve:  "pool-reserve",
-	KPoolRelease:  "pool-release",
-	KPoolExhaust:  "pool-exhaust",
+	KSend:          "send",
+	KDeliver:       "deliver",
+	KTimer:         "timer",
+	KTick:          "tick",
+	KInstance:      "instance",
+	KInstanceDrop:  "instance-drop",
+	KEpochBegin:    "epoch-begin",
+	KEpochRetire:   "epoch-retire",
+	KPhaseBegin:    "phase-begin",
+	KPhaseEnd:      "phase-end",
+	KPoolFill:      "pool-fill",
+	KPoolFillDone:  "pool-fill-done",
+	KPoolReserve:   "pool-reserve",
+	KPoolRelease:   "pool-release",
+	KPoolExhaust:   "pool-exhaust",
+	KPipelineDepth: "pipeline-depth",
 }
 
 // String returns the kind's stable wire name.

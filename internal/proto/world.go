@@ -206,6 +206,18 @@ func (w *World) RunUntil(horizon sim.Time) { w.Sched.RunUntil(horizon) }
 // RunToQuiescence processes all pending events.
 func (w *World) RunToQuiescence() { w.Sched.RunToQuiescence() }
 
+// Step executes the next scheduler event if one exists and the event
+// limit is not exhausted, reporting whether an event ran. It is the
+// single-step driver the pipelined engine uses: all in-flight epochs
+// advance interleaved, one event at a time, until the one being waited
+// on completes.
+func (w *World) Step() bool {
+	if w.Sched.Limit > 0 && w.Sched.Processed() >= w.Sched.Limit {
+		return false
+	}
+	return w.Sched.Step()
+}
+
 // Metrics returns the network's communication metrics.
 func (w *World) Metrics() *sim.Metrics { return w.Net.Metrics() }
 

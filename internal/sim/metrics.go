@@ -46,6 +46,47 @@ type Metrics struct {
 	// string compare usually replaces the map probe.
 	lastLabel  string
 	lastCounts *Counts
+	// trackers attribute honest-origin traffic to instance-path
+	// prefixes. With epochs interleaved on one scheduler, before/after
+	// snapshot deltas no longer isolate one epoch's traffic — a tracker
+	// on "mpc/e7" counts exactly the sends under that namespace no
+	// matter what else is in flight. Empty when nothing is tracked, so
+	// the hot path pays one len() check.
+	trackers []*PrefixCounter
+}
+
+// PrefixCounter accumulates the honest-origin traffic of every send
+// whose instance path is the tracked prefix or lies under it. Obtain
+// one with Track, read Counts at any time, detach with Untrack.
+type PrefixCounter struct {
+	// Counts is the live tally; safe to read between scheduler steps.
+	Counts
+	exact string // the prefix itself ("mpc/e7")
+	under string // prefix + "/" (descendants)
+}
+
+// Prefix returns the tracked instance-path prefix.
+func (pc *PrefixCounter) Prefix() string { return pc.exact }
+
+// Track starts attributing honest-origin traffic under prefix (the
+// path itself and everything below it) to a fresh counter. Multiple
+// trackers may be live at once — overlapping epochs each track their
+// own namespace; a send under several tracked prefixes counts in each.
+func (m *Metrics) Track(prefix string) *PrefixCounter {
+	pc := &PrefixCounter{exact: prefix, under: prefix + "/"}
+	m.trackers = append(m.trackers, pc)
+	return pc
+}
+
+// Untrack detaches a tracker; its Counts stop advancing and keep their
+// final values. Untracking twice is a no-op.
+func (m *Metrics) Untrack(pc *PrefixCounter) {
+	for i, t := range m.trackers {
+		if t == pc {
+			m.trackers = append(m.trackers[:i], m.trackers[i+1:]...)
+			return
+		}
+	}
 }
 
 // NewMetrics returns empty metrics for n parties.
@@ -63,6 +104,13 @@ func (m *Metrics) Record(e Envelope, fromCorrupt bool, now Time) {
 		return
 	}
 	m.Honest.add(e)
+	if len(m.trackers) > 0 {
+		for _, pc := range m.trackers {
+			if e.Inst == pc.exact || strings.HasPrefix(e.Inst, pc.under) {
+				pc.add(e)
+			}
+		}
+	}
 	label := TopLabel(e.Inst)
 	if label == m.lastLabel && m.lastCounts != nil {
 		m.lastCounts.add(e)

@@ -3,6 +3,7 @@ package triples
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/aba"
 	"repro/internal/obs"
@@ -85,7 +86,15 @@ type Pool struct {
 	// without holding a live Preprocessing.
 	fillPending int
 
-	avail     []Triple
+	avail []Triple
+	// seqs[k] is the generation sequence number of avail[k]. The pool
+	// hands triples out strictly in generation order, and Release
+	// reinserts at the reservation's original offset, so seqs (and
+	// therefore avail) is always sorted ascending. Without the ordering,
+	// two overlapping epochs releasing out of order would permute the
+	// pool against generation order and break bit-identical replay.
+	seqs      []int64
+	nextSeq   int64
 	generated int
 	reserved  int
 }
@@ -140,6 +149,10 @@ func (p *Pool) Fill(budget int, start sim.Time, launch bool, onDone func(got int
 		p.filling = nil
 		p.fillPending = 0
 		p.avail = append(p.avail, ts...)
+		for range ts {
+			p.seqs = append(p.seqs, p.nextSeq)
+			p.nextSeq++
+		}
 		p.generated += len(ts)
 		p.trace(obs.KPoolFillDone, inst, len(ts), len(p.avail))
 		if onDone != nil {
@@ -189,8 +202,9 @@ func (p *Pool) Reserve(k int) (*Reservation, error) {
 		p.trace(obs.KPoolExhaust, "", k, len(p.avail))
 		return nil, &ExhaustedError{Need: k, Have: len(p.avail), Pending: p.fillPending}
 	}
-	r := &Reservation{pool: p, trips: p.avail[:k:k]}
+	r := &Reservation{pool: p, trips: p.avail[:k:k], seqs: p.seqs[:k:k]}
 	p.avail = p.avail[k:]
+	p.seqs = p.seqs[k:]
 	p.reserved += k
 	p.trace(obs.KPoolReserve, "", k, len(p.avail))
 	return r, nil
@@ -198,12 +212,13 @@ func (p *Pool) Reserve(k int) (*Reservation, error) {
 
 // Reservation is a claim on a contiguous run of pool triples, handed to
 // exactly one evaluation. Triples returns the shares; Release returns
-// an unconsumed reservation to the front of the pool (the error path
-// where a sibling party's reservation failed and the evaluation never
-// started).
+// an unconsumed reservation to the pool at its original generation
+// offset (the error path where a sibling party's reservation failed and
+// the evaluation never started).
 type Reservation struct {
 	pool     *Pool
 	trips    []Triple
+	seqs     []int64
 	released bool
 }
 
@@ -214,8 +229,12 @@ func (r *Reservation) Count() int { return len(r.trips) }
 // generation order.
 func (r *Reservation) Triples() []Triple { return r.trips }
 
-// Release puts the reservation back at the front of the pool, undoing
-// Reserve. Releasing twice is a no-op.
+// Release puts the reservation back into the pool at its original
+// generation offset, undoing Reserve. Reinsertion is by sequence
+// number, not at the pool front: overlapping epochs may release out of
+// order, and a front-prepend would permute the pool against generation
+// order, silently diverging a replay of the same call sequence.
+// Releasing twice is a no-op.
 func (r *Reservation) Release() {
 	if r.released || len(r.trips) == 0 {
 		r.released = true
@@ -223,7 +242,19 @@ func (r *Reservation) Release() {
 	}
 	r.released = true
 	p := r.pool
-	p.avail = append(r.trips[:len(r.trips):len(r.trips)], p.avail...)
+	// The reservation's seqs are a contiguous run no live pool entry
+	// falls inside (Reserve takes prefixes; releases restore sorted
+	// order), so the whole run splices in at one point.
+	at := sort.Search(len(p.seqs), func(k int) bool { return p.seqs[k] > r.seqs[0] })
+	avail := make([]Triple, 0, len(p.avail)+len(r.trips))
+	avail = append(avail, p.avail[:at]...)
+	avail = append(avail, r.trips...)
+	avail = append(avail, p.avail[at:]...)
+	seqs := make([]int64, 0, len(p.seqs)+len(r.seqs))
+	seqs = append(seqs, p.seqs[:at]...)
+	seqs = append(seqs, r.seqs...)
+	seqs = append(seqs, p.seqs[at:]...)
+	p.avail, p.seqs = avail, seqs
 	p.reserved -= len(r.trips)
 	p.trace(obs.KPoolRelease, "", len(r.trips), len(p.avail))
 }

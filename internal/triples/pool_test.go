@@ -105,6 +105,67 @@ func TestPoolFillReserveRefill(t *testing.T) {
 	}
 }
 
+// TestPoolReleaseOrderDeterminism is the regression test for the
+// prepend-on-release bug: with overlapping epochs, reservations can be
+// released in any order, and the pool must come back in generation
+// order regardless — a front-prepend would leave the pool permuted and
+// break bit-identical replay of the same call sequence.
+func TestPoolReleaseOrderDeterminism(t *testing.T) {
+	w, pools, cfg := poolWorld(t)
+	for i := 1; i <= cfg.N; i++ {
+		if _, err := pools[i].Fill(8, 0, true, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.RunToQuiescence()
+	p := pools[1]
+	want := append([]Triple(nil), p.avail...)
+
+	// Reserve three consecutive runs, then release them out of order
+	// (middle, first, last): every interleaving must restore generation
+	// order exactly.
+	a, err := p.Reserve(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Reserve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Reserve(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	a.Release()
+	c.Release()
+	if p.Available() != len(want) {
+		t.Fatalf("releases restored %d of %d triples", p.Available(), len(want))
+	}
+	for k, tr := range p.avail {
+		if tr != want[k] {
+			t.Fatalf("slot %d permuted after out-of-order release: %+v != %+v", k, tr, want[k])
+		}
+	}
+	for k := 1; k < len(p.seqs); k++ {
+		if p.seqs[k-1] >= p.seqs[k] {
+			t.Fatalf("pool seqs unsorted at %d: %v", k, p.seqs[k-3:k+1])
+		}
+	}
+
+	// A subsequent reserve hands out the same front run the pre-release
+	// pool would have.
+	r, err := p.Reserve(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, tr := range r.Triples() {
+		if tr != want[k] {
+			t.Fatalf("post-release reserve slot %d: %+v != %+v", k, tr, want[k])
+		}
+	}
+}
+
 // TestPoolReserveZero: an all-linear circuit takes an empty
 // reservation without touching the pool.
 func TestPoolReserveZero(t *testing.T) {

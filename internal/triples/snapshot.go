@@ -132,6 +132,14 @@ func RestorePool(rt *proto.Runtime, inst string, cfg proto.Config, coin aba.Coin
 	p.generated = st.Generated
 	p.reserved = st.Reserved
 	p.avail = ts
+	// A snapshot never has outstanding reservations, so the available
+	// triples ARE generation order: fresh consecutive sequence numbers
+	// reproduce the live pool's ordering behaviour exactly.
+	p.seqs = make([]int64, len(ts))
+	for i := range p.seqs {
+		p.seqs[i] = int64(i)
+	}
+	p.nextSeq = int64(len(ts))
 	if st.FillPending > 0 {
 		p.filling = abandonedFill
 		p.fillPending = st.FillPending

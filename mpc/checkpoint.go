@@ -132,6 +132,9 @@ func (e *Engine) Snapshot(w io.Writer) error {
 	if e.busy != "" {
 		return fmt.Errorf("%w (engine is inside %s)", ErrSnapshotMidEvaluate, e.busy)
 	}
+	if n := len(e.inflight); n > 0 {
+		return fmt.Errorf("%w (%d pipelined evaluations in flight: Flush first)", ErrSnapshotMidEvaluate, n)
+	}
 	for _, i := range e.world.Honest() {
 		if e.pools[i].Filling() {
 			return ErrSnapshotMidFill

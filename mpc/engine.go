@@ -31,6 +31,12 @@ var (
 	// more triples than the pool holds. Nothing is consumed and the
 	// World is untouched: Preprocess a refill batch and retry.
 	ErrTriplesExhausted = errors.New("mpc: triple pool exhausted")
+	// ErrEvalsInFlight is returned by Evaluate and Preprocess while
+	// pipelined evaluations or a background refill are in flight: both
+	// calls account their cost as a before/after delta of the world's
+	// counters, which is only meaningful with exclusive use of the
+	// scheduler. Flush the pipeline first.
+	ErrEvalsInFlight = errors.New("mpc: pipelined evaluations in flight (call Flush first)")
 )
 
 // Engine is a long-lived n-party MPC session: one simulated World whose
@@ -84,6 +90,19 @@ type Engine struct {
 	ppMsgs, ppBytes     uint64
 	evalMsgs, evalBytes uint64
 	evalSummaries       []EvalSummary
+
+	// inflight holds the pipelined evaluations submitted through
+	// EvaluateAsync and not yet completed, in submission order.
+	inflight []*PendingEval
+	// retired queues epoch namespaces whose evaluations completed but
+	// whose handlers cannot be dropped yet: with sibling epochs still in
+	// flight the scheduler may hold deliveries addressed to this
+	// namespace, and dropping early would re-buffer them as strays. The
+	// queue drains at the next quiescence point.
+	retired []retiredEpoch
+	// refill is the in-flight watermark-triggered background fill (nil
+	// when none).
+	refill *refillState
 
 	// tracer receives engine lifecycle events (phases, epoch
 	// retirement); nil means tracing is off. The same tracer is wired
@@ -288,11 +307,15 @@ func (e *Engine) Preprocess(budget int) (int, error) {
 	if budget < 1 {
 		return 0, fmt.Errorf("mpc: Preprocess budget must be >= 1, have %d", budget)
 	}
+	if len(e.inflight) > 0 || e.refill != nil {
+		return 0, ErrEvalsInFlight
+	}
 	if e.preprocessed && !e.evalSinceFill {
 		return 0, ErrDoublePreprocess
 	}
 	e.busy = "Preprocess"
 	defer func() { e.busy = "" }()
+	e.drainIdle()
 	pre := e.world.Metrics().Snapshot()
 	begin := int64(e.world.Sched.Now())
 	seq := int64(e.ppCalls)
@@ -336,13 +359,23 @@ func (e *Engine) tracePhase(kind obs.Kind, name string, a, b int64) {
 	}
 }
 
-// Available returns the number of unconsumed pool triples (measured on
-// the first honest party; all honest pools agree).
+// Available returns the number of unconsumed pool triples: the minimum
+// across the honest parties' pools, so the exhaustion pre-check agrees
+// with the reserve that would actually fail. (Honest pools agree in
+// every normal run; they can diverge after restoring a snapshot taken
+// with a party mid-fill, which is exactly when the first honest pool
+// alone would over-report.)
 func (e *Engine) Available() int {
+	have := -1
 	for _, i := range e.world.Honest() {
-		return e.pools[i].Available()
+		if a := e.pools[i].Available(); have < 0 || a < have {
+			have = a
+		}
 	}
-	return 0
+	if have < 0 {
+		return 0
+	}
+	return have
 }
 
 // Evaluations returns the number of completed Evaluate calls.
@@ -391,6 +424,9 @@ func (e *Engine) Evaluate(circ *circuit.Circuit, inputs []field.Element) (*Resul
 	if circ.N != e.cfg.N {
 		return nil, fmt.Errorf("mpc: circuit has %d input slots, engine has %d parties", circ.N, e.cfg.N)
 	}
+	if len(e.inflight) > 0 || e.refill != nil {
+		return nil, ErrEvalsInFlight
+	}
 	if have := e.Available(); circ.MulCount > have {
 		// An evaluation tried (and failed) to consume the pool: that
 		// re-arms Preprocess, so the documented recovery — refill and
@@ -401,18 +437,12 @@ func (e *Engine) Evaluate(circ *circuit.Circuit, inputs []field.Element) (*Resul
 
 	e.busy = "Evaluate"
 	defer func() { e.busy = "" }()
+	e.drainIdle()
 
-	// Reserve every party's shares. A corrupt party whose own pool fill
-	// never completed (it is running honest code on a sabotaged world)
-	// gets zero-share stand-ins: its traffic is adversarial anyway, and
-	// honest liveness/correctness never depends on it.
-	reserved := make([][]triples.Triple, e.cfg.N+1)
-	for i := 1; i <= e.cfg.N; i++ {
-		if r, err := e.pools[i].Reserve(circ.MulCount); err == nil {
-			reserved[i] = r.Triples()
-		} else {
-			reserved[i] = make([]triples.Triple, circ.MulCount)
-		}
+	reserved, err := e.reserveAll(circ.MulCount)
+	if err != nil {
+		e.evalSinceFill = true
+		return nil, err
 	}
 
 	epoch := e.world.BeginEpoch()
@@ -497,6 +527,38 @@ func (e *Engine) Evaluate(circ *circuit.Circuit, inputs []field.Element) (*Resul
 		})
 	}
 	return e.collect(res, engines)
+}
+
+// reserveAll reserves k triples from every party's pool for one
+// evaluation. A corrupt party whose own pool cannot serve the request
+// (e.g. its fill never completed on a sabotaged world, or its restored
+// pool is short) gets zero-share stand-ins: its traffic is adversarial
+// anyway, and honest liveness/correctness never depends on it. An
+// honest party's failure is a real exhaustion: every sibling
+// reservation already taken is released — the pools come back exactly
+// as they were — and the typed error surfaces so the caller refills
+// and retries instead of silently evaluating an honest party on zeroed
+// triples.
+func (e *Engine) reserveAll(k int) ([][]triples.Triple, error) {
+	reserved := make([][]triples.Triple, e.cfg.N+1)
+	taken := make([]*triples.Reservation, 0, e.cfg.N)
+	for i := 1; i <= e.cfg.N; i++ {
+		r, err := e.pools[i].Reserve(k)
+		if err == nil {
+			reserved[i] = r.Triples()
+			taken = append(taken, r)
+			continue
+		}
+		if e.world.IsCorrupt(i) {
+			reserved[i] = make([]triples.Triple, k)
+			continue
+		}
+		for _, rr := range taken {
+			rr.Release()
+		}
+		return nil, fmt.Errorf("mpc: honest party %d's pool cannot serve %d triples (%v): %w", i, k, err, ErrTriplesExhausted)
+	}
+	return reserved, nil
 }
 
 // gridStart returns the structural anchor of the next session phase:

@@ -89,6 +89,18 @@ type Config struct {
 	// reference differs only in message grouping and is kept for
 	// differential testing of the layered online phase.
 	PerGateEval bool
+	// RefillLowWater, when > 0, arms watermark-triggered background
+	// refills on the pipelined serving path (Engine.EvaluateAsync): when
+	// the available triple pool drops below the mark at a submit, the
+	// engine overlaps a fresh ΠPreProcessing fill with the live online
+	// phases instead of letting a later evaluation stall on
+	// ErrTriplesExhausted. Zero leaves refills to explicit Preprocess
+	// calls. The sequential Evaluate path is unaffected.
+	RefillLowWater int
+	// RefillBudget is the triple budget of each background refill
+	// (defaults to RefillLowWater; a submit needing more than the
+	// budget raises it to its shortfall).
+	RefillBudget int
 }
 
 // Adversary describes the static corruption and misbehaviour of a run.

@@ -22,6 +22,11 @@ import (
 // step; the full matrix runs in CI.
 func TestWorkloadKillResumeDifferential(t *testing.T) {
 	for _, m := range BuiltinWorkloads() {
+		if m.Workload.Pipeline > 0 {
+			// Pipelined workloads refuse per-step checkpointing by
+			// contract (TestWorkloadPipelineCheckpointIncompatible).
+			continue
+		}
 		for _, perGate := range []bool{false, true} {
 			m, perGate := m, perGate
 			t.Run(fmt.Sprintf("%s/perGate=%v", m.Name, perGate), func(t *testing.T) {

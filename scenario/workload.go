@@ -24,6 +24,20 @@ type WorkloadSpec struct {
 	// batches, so refills are only needed when a budget is set smaller
 	// than the workload consumes.
 	Budget int `json:"budget,omitempty"`
+	// Pipeline is the serving depth: 0 (the default) serves the steps
+	// strictly in sequence with Engine.Evaluate; k >= 1 serves them
+	// through a sliding window of k in-flight EvaluateAsync epochs
+	// multiplexed on the one engine. Step reports stay in step order
+	// regardless of completion order. Pipelined serving is incompatible
+	// with per-step checkpointing (Snapshot refuses mid-pipeline).
+	Pipeline int `json:"pipeline,omitempty"`
+	// RefillLowWater arms the engine's watermark-triggered background
+	// refills on the pipelined path (mpc.Config.RefillLowWater);
+	// RefillBudget sizes each background batch. Both require Pipeline
+	// >= 1 — the sequential path refills only on the explicit
+	// exhaustion-retry.
+	RefillLowWater int `json:"refillLowWater,omitempty"`
+	RefillBudget   int `json:"refillBudget,omitempty"`
 	// Steps are the evaluations, served in order over the one engine.
 	Steps []WorkloadStep `json:"steps"`
 }
@@ -65,6 +79,18 @@ func (m *Manifest) validateWorkload() error {
 	}
 	if w.Budget < 0 {
 		return bad("workload.budget must be >= 0, have %d", w.Budget)
+	}
+	if w.Pipeline < 0 {
+		return bad("workload.pipeline must be >= 0, have %d", w.Pipeline)
+	}
+	if w.RefillLowWater < 0 || w.RefillBudget < 0 {
+		return bad("workload.refillLowWater/refillBudget must be >= 0, have %d/%d", w.RefillLowWater, w.RefillBudget)
+	}
+	if w.RefillBudget > 0 && w.RefillLowWater == 0 {
+		return bad("workload.refillBudget without refillLowWater: the batch size only applies once the watermark is armed")
+	}
+	if w.RefillLowWater > 0 && w.Pipeline == 0 {
+		return bad("workload.refillLowWater requires pipeline >= 1: background refills overlap pipelined epochs only")
 	}
 	if len(w.Steps) == 0 {
 		return bad("workload needs at least one step")
@@ -172,6 +198,11 @@ type WorkloadRunOptions struct {
 	// starting fresh. The checkpoint must match the manifest and the
 	// Compare/PerGateEval options (mpc.ErrCheckpointConfig otherwise).
 	Resume *WorkloadCheckpoint
+	// Pipeline overrides the manifest's workload.pipeline depth: 0 (the
+	// zero value) keeps the manifest's, > 0 forces that depth, < 0
+	// forces sequential serving. The smoke tooling uses the override to
+	// run one manifest both ways and compare the reports.
+	Pipeline int
 	// Transport selects the session engine's message-plane backend
 	// (nil = the in-memory simulator). The backend is deliberately NOT
 	// part of the checkpoint identity: on a fixed seed a workload over
@@ -205,10 +236,16 @@ func RunWorkloadTraced(m *Manifest, compare bool, tr obs.Tracer) (*WorkloadRepor
 }
 
 // RunWorkloadOpts is the full-control workload runner: tracing,
-// evaluator mode, per-step checkpointing, simulated crashes and resume.
-// A workload interrupted after step k and resumed from its checkpoint
-// produces a final report bit-identical to the run that never stopped —
-// outputs, CS sets, per-family traffic, ticks and pool accounting.
+// evaluator mode, pipelined serving, per-step checkpointing, simulated
+// crashes and resume. A workload interrupted after step k and resumed
+// from its checkpoint produces a final report bit-identical to the run
+// that never stopped — outputs, CS sets, per-family traffic, ticks and
+// pool accounting. A pipelined run (workload.pipeline or opt.Pipeline
+// >= 1) serves the steps through a sliding window of in-flight epochs:
+// outputs and CS stay bit-identical to sequential serving at any
+// depth, the whole report is bit-identical at depth 1, and per-step
+// traffic/tick figures sit within a sub-percent noise band at depth >
+// 1 (see the mpc pipelining notes).
 func RunWorkloadOpts(m *Manifest, opt WorkloadRunOptions) (*WorkloadReport, error) {
 	if m.Workload == nil {
 		return nil, fmt.Errorf("scenario %q: not a workload manifest (no workload section)", m.Name)
@@ -216,13 +253,23 @@ func RunWorkloadOpts(m *Manifest, opt WorkloadRunOptions) (*WorkloadReport, erro
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	type step struct {
-		spec WorkloadStep
-		art  *RunArtifacts
+	depth := m.Workload.Pipeline
+	switch {
+	case opt.Pipeline > 0:
+		depth = opt.Pipeline
+	case opt.Pipeline < 0:
+		depth = 0
+	}
+	if depth > 0 && (opt.CheckpointPath != "" || opt.StopAfter > 0 || opt.Resume != nil) {
+		return nil, fmt.Errorf("scenario %q: pipelined serving (depth %d) is incompatible with checkpoint/resume/stop-after: Snapshot refuses mid-pipeline; force sequential serving instead", m.Name, depth)
 	}
 	cfg, adv := m.engineConfig()
 	cfg.PerGateEval = opt.PerGateEval
-	steps := make([]step, len(m.Workload.Steps))
+	if depth > 0 {
+		cfg.RefillLowWater = m.Workload.RefillLowWater
+		cfg.RefillBudget = m.Workload.RefillBudget
+	}
+	steps := make([]builtStep, len(m.Workload.Steps))
 	budget := m.Workload.Budget
 	autoBudget := budget == 0
 	for i, s := range m.Workload.Steps {
@@ -230,7 +277,7 @@ func RunWorkloadOpts(m *Manifest, opt WorkloadRunOptions) (*WorkloadReport, erro
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q: workload.steps[%d]: circuit: %w", m.Name, i, err)
 		}
-		steps[i] = step{spec: s, art: &RunArtifacts{
+		steps[i] = builtStep{spec: s, art: &RunArtifacts{
 			Cfg:       cfg,
 			Circuit:   circ,
 			Inputs:    buildInputs(s.Inputs, m.Parties.N),
@@ -284,9 +331,15 @@ func RunWorkloadOpts(m *Manifest, opt WorkloadRunOptions) (*WorkloadReport, erro
 		}
 		rep = &WorkloadReport{Name: m.Name, Pass: true, Budget: budget}
 	}
+	if depth > 0 {
+		if err := runWorkloadPipelined(m, eng, steps, rep, opt, depth, &totalTicks, &oneShotTotal); err != nil {
+			return nil, err
+		}
+		finalizeWorkloadReport(rep, eng, len(steps), totalTicks, oneShotTotal, opt.Compare)
+		return rep, nil
+	}
 	for i := startIdx; i < len(steps); i++ {
 		s := steps[i]
-		sr := WorkloadStepReport{Index: i, Circuit: s.spec.Circuit.String(), Triples: s.art.Circuit.MulCount}
 		res, runErr := eng.Evaluate(s.art.Circuit, s.art.Inputs)
 		if runErr != nil && isExhausted(runErr) {
 			// The budgeted pool ran dry mid-workload: refill one batch
@@ -296,42 +349,12 @@ func RunWorkloadOpts(m *Manifest, opt WorkloadRunOptions) (*WorkloadReport, erro
 				res, runErr = eng.Evaluate(s.art.Circuit, s.art.Inputs)
 			}
 		}
-		if runErr != nil {
-			// A transport fault is an environment failure, not a protocol
-			// outcome: surface it as a hard error instead of a step row.
-			if errors.Is(runErr, mpc.ErrTransport) {
-				return nil, fmt.Errorf("scenario %q: step %d: %w", m.Name, i, runErr)
-			}
-			sr.Err = errName(runErr)
+		// A transport fault is an environment failure, not a protocol
+		// outcome: surface it as a hard error instead of a step row.
+		if runErr != nil && errors.Is(runErr, mpc.ErrTransport) {
+			return nil, fmt.Errorf("scenario %q: step %d: %w", m.Name, i, runErr)
 		}
-		var lastAbs, lastRel int64
-		if res != nil {
-			corrupt := map[int]bool{}
-			for _, p := range m.Adversary.Corrupt() {
-				corrupt[p] = true
-			}
-			for idx, t := range res.TerminatedAt {
-				if !corrupt[idx] && t > lastAbs {
-					lastAbs = t
-				}
-			}
-			if lastAbs > 0 {
-				lastRel = lastAbs - res.StartedAt
-			}
-			sr.CS = res.CS
-			sr.HonestMessages = res.HonestMessages
-			sr.HonestBytes = res.HonestBytes
-			sr.ByFamily = res.ByFamily
-			sr.Ticks = lastRel
-			if runErr == nil {
-				sr.Outputs = make([]uint64, len(res.Outputs))
-				for k, o := range res.Outputs {
-					sr.Outputs[k] = o.Uint64()
-				}
-			}
-		}
-		sr.Failures = assertExpect(s.spec.Expect, m.Adversary, s.art, res, runErr, lastAbs, lastRel)
-		sr.Pass = len(sr.Failures) == 0
+		sr := workloadStepRow(m, i, s, res, runErr)
 		if !sr.Pass {
 			rep.Pass = false
 		}
@@ -363,6 +386,133 @@ func RunWorkloadOpts(m *Manifest, opt WorkloadRunOptions) (*WorkloadReport, erro
 
 	finalizeWorkloadReport(rep, eng, len(steps), totalTicks, oneShotTotal, opt.Compare)
 	return rep, nil
+}
+
+// builtStep pairs a workload step's spec with its built artifacts.
+type builtStep struct {
+	spec WorkloadStep
+	art  *RunArtifacts
+}
+
+// workloadStepRow builds one step's report row from an evaluation
+// outcome — shared by the sequential and pipelined serving loops so a
+// depth-1 pipelined report is field-for-field comparable to a
+// sequential one.
+func workloadStepRow(m *Manifest, i int, s builtStep, res *mpc.Result, runErr error) WorkloadStepReport {
+	sr := WorkloadStepReport{Index: i, Circuit: s.spec.Circuit.String(), Triples: s.art.Circuit.MulCount}
+	if runErr != nil {
+		sr.Err = errName(runErr)
+	}
+	var lastAbs, lastRel int64
+	if res != nil {
+		corrupt := map[int]bool{}
+		for _, p := range m.Adversary.Corrupt() {
+			corrupt[p] = true
+		}
+		for idx, t := range res.TerminatedAt {
+			if !corrupt[idx] && t > lastAbs {
+				lastAbs = t
+			}
+		}
+		if lastAbs > 0 {
+			lastRel = lastAbs - res.StartedAt
+		}
+		sr.CS = res.CS
+		sr.HonestMessages = res.HonestMessages
+		sr.HonestBytes = res.HonestBytes
+		sr.ByFamily = res.ByFamily
+		sr.Ticks = lastRel
+		if runErr == nil {
+			sr.Outputs = make([]uint64, len(res.Outputs))
+			for k, o := range res.Outputs {
+				sr.Outputs[k] = o.Uint64()
+			}
+		}
+	}
+	sr.Failures = assertExpect(s.spec.Expect, m.Adversary, s.art, res, runErr, lastAbs, lastRel)
+	sr.Pass = len(sr.Failures) == 0
+	return sr
+}
+
+// runWorkloadPipelined serves the steps through a sliding window of
+// depth in-flight EvaluateAsync epochs on the one engine. Rows are
+// indexed by step so the report stays in step order even though a
+// submission failure can land its row while earlier steps are still in
+// flight. Pool exhaustion at submit drains the window and refills via
+// the same Preprocess-and-retry path as the sequential loop (the
+// watermark knobs, when armed, refill in the background before it ever
+// comes to that).
+func runWorkloadPipelined(m *Manifest, eng *mpc.Engine, steps []builtStep, rep *WorkloadReport,
+	opt WorkloadRunOptions, depth int, totalTicks *int64, oneShotTotal *uint64) error {
+	rows := make([]WorkloadStepReport, len(steps))
+	type inflight struct {
+		idx int
+		p   *mpc.PendingEval
+	}
+	var window []inflight
+	settle := func() error {
+		f := window[0]
+		window = window[1:]
+		res, runErr := f.p.Wait()
+		if runErr != nil && errors.Is(runErr, mpc.ErrTransport) {
+			return fmt.Errorf("scenario %q: step %d: %w", m.Name, f.idx, runErr)
+		}
+		rows[f.idx] = workloadStepRow(m, f.idx, steps[f.idx], res, runErr)
+		return nil
+	}
+	for i, s := range steps {
+		if len(window) == depth {
+			if err := settle(); err != nil {
+				return err
+			}
+		}
+		p, runErr := eng.EvaluateAsync(s.art.Circuit, s.art.Inputs)
+		if runErr != nil && isExhausted(runErr) {
+			for len(window) > 0 {
+				if err := settle(); err != nil {
+					return err
+				}
+			}
+			if err := eng.Flush(); err != nil {
+				return fmt.Errorf("scenario %q: step %d: %w", m.Name, i, err)
+			}
+			if _, ferr := eng.Preprocess(max(1, s.art.Circuit.MulCount)); ferr == nil {
+				p, runErr = eng.EvaluateAsync(s.art.Circuit, s.art.Inputs)
+			}
+		}
+		if runErr != nil {
+			if errors.Is(runErr, mpc.ErrTransport) {
+				return fmt.Errorf("scenario %q: step %d: %w", m.Name, i, runErr)
+			}
+			rows[i] = workloadStepRow(m, i, s, nil, runErr)
+			continue
+		}
+		window = append(window, inflight{idx: i, p: p})
+	}
+	for len(window) > 0 {
+		if err := settle(); err != nil {
+			return err
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		return fmt.Errorf("scenario %q: %w", m.Name, err)
+	}
+	for i := range rows {
+		if !rows[i].Pass {
+			rep.Pass = false
+		}
+		*totalTicks += rows[i].Ticks
+		if opt.Compare {
+			s := steps[i]
+			ref, _ := mpc.Run(s.art.Cfg, s.art.Circuit, s.art.Inputs, s.art.Adversary)
+			if ref != nil {
+				rows[i].OneShotMessages = ref.HonestMessages
+				*oneShotTotal += ref.HonestMessages
+			}
+		}
+		rep.Steps = append(rep.Steps, rows[i])
+	}
+	return nil
 }
 
 // finalizeWorkloadReport fills the summary fields from the engine's
@@ -473,6 +623,44 @@ func init() {
 			honestStep(CircuitSpec{Family: "product"}, 5),
 			honestStep(CircuitSpec{Family: "product"}, 5),
 		}},
+	})
+	// workload-pipeline-sync serves eight evaluations through a depth-4
+	// pipeline on a fully budgeted pool: the smoke target runs it forced
+	// sequential and at depth 1 (reports must be bit-identical) and at
+	// its native depth 4 twice (reports must be deterministic).
+	registerWorkload(&Manifest{
+		Name:        "workload-pipeline-sync",
+		Description: "8 evaluations through a depth-4 pipeline on one engine, n=5, auto triple budget",
+		Parties:     boundaryN5, Network: syncNet(), Seed: 1,
+		Workload: &WorkloadSpec{Pipeline: 4, Steps: []WorkloadStep{
+			honestStep(CircuitSpec{Family: "product"}, 5),
+			honestStep(CircuitSpec{Family: "sum"}, 5),
+			honestStep(CircuitSpec{Family: "stats"}, 5),
+			honestStep(CircuitSpec{Family: "polyeval", Coeffs: []uint64{7, 3, 1}}, 5),
+			honestStep(CircuitSpec{Family: "membership"}, 5),
+			honestStep(CircuitSpec{Family: "depth", Depth: 2}, 5),
+			honestStep(CircuitSpec{Family: "product"}, 5),
+			honestStep(CircuitSpec{Family: "stats"}, 5),
+		}},
+	})
+	// workload-pipeline-refill-sync under-budgets the pool and arms the
+	// watermark: background refills land while pipelined epochs advance,
+	// so the serving loop never hits the exhaustion-retry path.
+	registerWorkload(&Manifest{
+		Name:        "workload-pipeline-refill-sync",
+		Description: "depth-4 pipeline on an under-budgeted pool with watermark-triggered background refills",
+		Parties:     boundaryN5, Network: syncNet(), Seed: 2,
+		Workload: &WorkloadSpec{
+			Budget: 8, Pipeline: 4, RefillLowWater: 8, RefillBudget: 16,
+			Steps: []WorkloadStep{
+				honestStep(CircuitSpec{Family: "product"}, 5),
+				honestStep(CircuitSpec{Family: "product"}, 5),
+				honestStep(CircuitSpec{Family: "stats"}, 5),
+				honestStep(CircuitSpec{Family: "product"}, 5),
+				honestStep(CircuitSpec{Family: "stats"}, 5),
+				honestStep(CircuitSpec{Family: "product"}, 5),
+			},
+		},
 	})
 	// workload-adversarial-sync keeps the engine serving under a
 	// full-budget adversary (one garbler, one crash) at the flagship

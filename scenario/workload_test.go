@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -80,6 +81,12 @@ func TestWorkloadValidation(t *testing.T) {
 		{"top-level expect", func(m *Manifest) { m.Expect.Consistent = true }, "assert per step"},
 		{"negative budget", func(m *Manifest) { m.Workload.Budget = -1 }, "budget must be >= 0"},
 		{"no steps", func(m *Manifest) { m.Workload.Steps = nil }, "at least one step"},
+		{"negative pipeline", func(m *Manifest) { m.Workload.Pipeline = -2 }, "pipeline must be >= 0"},
+		{"refill without pipeline", func(m *Manifest) { m.Workload.RefillLowWater = 4 }, "requires pipeline"},
+		{"refill budget without watermark", func(m *Manifest) {
+			m.Workload.Pipeline = 2
+			m.Workload.RefillBudget = 8
+		}, "without refillLowWater"},
 		{"bad step circuit", func(m *Manifest) { m.Workload.Steps[0].Circuit.Family = "nope" }, "workload.steps[0].circuit"},
 		{"bad step inputs", func(m *Manifest) { m.Workload.Steps[0].Inputs = []uint64{1} }, "workload.steps[0].inputs"},
 		{"bad step expect", func(m *Manifest) { m.Workload.Steps[0].Expect.MinAgreement = 9 }, "workload.steps[0].expect.minAgreement"},
@@ -135,5 +142,89 @@ func TestWorkloadRunRejectsWorkloadManifest(t *testing.T) {
 	}
 	if _, err := RunWorkload(plain, false); err == nil || !strings.Contains(err.Error(), "workload") {
 		t.Fatalf("RunWorkload accepted a plain manifest: %v", err)
+	}
+}
+
+// TestWorkloadPipelineDifferential pins the pipelined serving
+// contract at the report level: a depth-1 pipelined run reproduces
+// the sequential report field for field, and a depth-4 run reproduces
+// the sequential outputs and CS sets (its traffic/tick figures sit in
+// the PRNG noise band — see the mpc pipelining notes).
+func TestWorkloadPipelineDifferential(t *testing.T) {
+	m, err := LookupWorkload("workload-pipeline-sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunWorkloadOpts(m, WorkloadRunOptions{Pipeline: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Pass {
+		t.Fatalf("sequential reference failed: %+v", seq.Steps)
+	}
+	p1, err := RunWorkloadOpts(m, WorkloadRunOptions{Pipeline: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, seq) {
+		t.Errorf("depth-1 pipelined report differs from sequential:\n pipelined: %+v\nsequential: %+v", p1, seq)
+	}
+	p4, err := RunWorkloadOpts(m, WorkloadRunOptions{}) // manifest depth 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p4.Pass {
+		t.Fatalf("depth-4 run failed: %+v", p4.Steps)
+	}
+	for i, s := range p4.Steps {
+		ref := seq.Steps[i]
+		if !reflect.DeepEqual(s.Outputs, ref.Outputs) {
+			t.Errorf("step %d: depth-4 outputs %v, sequential %v", i, s.Outputs, ref.Outputs)
+		}
+		if !reflect.DeepEqual(s.CS, ref.CS) {
+			t.Errorf("step %d: depth-4 CS %v, sequential %v", i, s.CS, ref.CS)
+		}
+		if s.Triples != ref.Triples {
+			t.Errorf("step %d: depth-4 consumed %d triples, sequential %d", i, s.Triples, ref.Triples)
+		}
+	}
+}
+
+// TestWorkloadPipelineRefill pins the watermark path end to end: the
+// under-budgeted pipelined builtin passes with background refills (the
+// pool grows past the initial budget) and never falls back to the
+// drain-and-retry exhaustion path.
+func TestWorkloadPipelineRefill(t *testing.T) {
+	m, err := LookupWorkload("workload-pipeline-refill-sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunWorkload(m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("pipelined refill workload failed: %+v", rep.Steps)
+	}
+	if rep.TriplesGenerated <= rep.Budget {
+		t.Errorf("no background refill happened: generated %d, initial budget %d", rep.TriplesGenerated, rep.Budget)
+	}
+}
+
+// TestWorkloadPipelineCheckpointIncompatible: pipelined serving
+// refuses the checkpoint/resume options instead of snapshotting a
+// half-advanced pipeline.
+func TestWorkloadPipelineCheckpointIncompatible(t *testing.T) {
+	m, err := LookupWorkload("workload-pipeline-sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWorkloadOpts(m, WorkloadRunOptions{CheckpointPath: t.TempDir() + "/ck.bin"}); err == nil ||
+		!strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("checkpointing a pipelined workload: %v, want incompatible error", err)
+	}
+	if _, err := RunWorkloadOpts(m, WorkloadRunOptions{StopAfter: 2}); err == nil ||
+		!strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("stop-after on a pipelined workload: %v, want incompatible error", err)
 	}
 }
