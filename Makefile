@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race scenarios workload-smoke pipeline-smoke fuzz-smoke fuzz-native trace-smoke checkpoint-smoke deploy-smoke bench-smoke bench-msgs bench-json ci
+.PHONY: build vet test test-short test-race scenarios workload-smoke pipeline-smoke par-smoke fuzz-smoke fuzz-native trace-smoke checkpoint-smoke deploy-smoke bench-smoke bench-msgs bench-json ci
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,19 @@ pipeline-smoke:
 	cmp /tmp/repro-pipe-d4a.json /tmp/repro-pipe-d4b.json
 	$(GO) run ./cmd/scenario workload workload-pipeline-refill-sync
 
+# par-smoke drives the PR 10 parallel-ticks path end to end: the full
+# builtin corpus run serial and on a 4-worker intra-tick pool must
+# produce bit-identical JSON reports (the determinism contract of
+# docs/architecture.md — parallelism buys host wall-clock only), and
+# the staged-effect barrier must survive the race detector on real
+# protocol traffic.
+par-smoke:
+	$(GO) run ./cmd/scenario run --all -json > /tmp/repro-par-serial.json
+	$(GO) run ./cmd/scenario run --all -json -workers 4 > /tmp/repro-par-w4.json
+	cmp /tmp/repro-par-serial.json /tmp/repro-par-w4.json
+	$(GO) test -race -run 'TestParallel' ./internal/sim
+	$(GO) test -race -short -run 'TestWorkersBitIdenticalShort' ./scenario
+
 # trace-smoke runs one builtin with the PR 6 trace layer on, then
 # validates the exported Chrome trace (well-formed JSON, non-empty,
 # monotone timestamps). The zero-alloc nil-tracer guard and the
@@ -116,10 +129,12 @@ bench-msgs:
 # E15 trace-overhead rows) and BENCH_PR7.json (the E16
 # checkpoint-restore vs re-preprocess rows), BENCH_PR8.json (the
 # transport-backend rows: the tracked runs carried by the simulator,
-# unix sockets and TCP loopback) and BENCH_PR9.json (the pipelined
-# serving rows at depths 1/4/16); see docs/performance.md,
+# unix sockets and TCP loopback), BENCH_PR9.json (the pipelined
+# serving rows at depths 1/4/16) and BENCH_PR10.json (the parallel-
+# ticks worker ladder over E8ACS n=8/n=16 and E7VSS n=32, with the
+# serial-identity gate); see docs/performance.md,
 # docs/observability.md, docs/checkpointing.md and docs/deployment.md.
 bench-json:
-	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json -out5 BENCH_PR5.json -out6 BENCH_PR6.json -out7 BENCH_PR7.json -out8 BENCH_PR8.json -out9 BENCH_PR9.json
+	$(GO) run ./cmd/scenario bench -out BENCH_PR3.json -out5 BENCH_PR5.json -out6 BENCH_PR6.json -out7 BENCH_PR7.json -out8 BENCH_PR8.json -out9 BENCH_PR9.json -out10 BENCH_PR10.json
 
-ci: build vet test-short bench-smoke bench-msgs workload-smoke pipeline-smoke fuzz-smoke trace-smoke checkpoint-smoke deploy-smoke
+ci: build vet test-short bench-smoke bench-msgs workload-smoke pipeline-smoke par-smoke fuzz-smoke trace-smoke checkpoint-smoke deploy-smoke

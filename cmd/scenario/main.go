@@ -6,10 +6,10 @@
 //
 //	scenario list     [-json]
 //	scenario validate [-f file.json] [name ...]
-//	scenario run      [-f file.json] [-parallel N] [-json] [-trace] [-trace-out dir] [--all | name ...]
+//	scenario run      [-f file.json] [-parallel N] [-workers n] [-json] [-trace] [-trace-out dir] [--all | name ...]
 //	scenario sweep    [-seeds A..B] [-parallel N] [-json] [--all | name ...]
 //	scenario workload [-f file.json] [-json] [-compare] [-require-savings] [-trace] [-trace-out dir]
-//	                  [-checkpoint file] [-resume file] [-stop-after k] [-pipeline n] [--all | name ...]
+//	                  [-checkpoint file] [-resume file] [-stop-after k] [-pipeline n] [-workers n] [--all | name ...]
 //	scenario checkpoint [-json] file
 //	scenario fuzz     [-trials N] [-seed S] [-parallel N] [-json] [-out dir]
 //	scenario fuzz     -crash -trials N [-seed S] [-json]
@@ -19,7 +19,7 @@
 //	scenario deploy   [-f set.json] [-backend sim|unix|tcp] [-json] [-out report.json] [name]
 //	scenario serve    [-f set.json] [-backend sim|unix|tcp] [-rounds N] [-json] [name]
 //	scenario bench    [-out BENCH_PR3.json] [-out5 BENCH_PR5.json] [-out6 BENCH_PR6.json] [-out7 BENCH_PR7.json] [-out8 BENCH_PR8.json]
-//	                  [-out9 BENCH_PR9.json]
+//	                  [-out9 BENCH_PR9.json] [-out10 BENCH_PR10.json]
 //
 // Examples:
 //
@@ -249,6 +249,7 @@ func cmdWorkload(args []string) {
 	resumePath := fs.String("resume", "", "resume the workload from a checkpoint `file` instead of starting fresh (single workload only)")
 	stopAfter := fs.Int("stop-after", 0, "stop after `k` completed steps — a simulated crash for checkpoint testing (single workload only)")
 	pipeline := fs.Int("pipeline", 0, "override the manifest's serving depth: `n` > 0 pipelines n in-flight evaluations, -1 forces sequential serving, 0 keeps the manifest's")
+	workers := fs.Int("workers", 0, "override the manifest's intra-tick worker-pool size: `n` > 0 forces n workers, -1 forces the serial loop, 0 keeps the manifest's (reports are bit-identical either way)")
 	fs.Parse(args)
 	var ms []*scenario.Manifest
 	switch {
@@ -308,6 +309,7 @@ func cmdWorkload(args []string) {
 			StopAfter:      *stopAfter,
 			Resume:         resume,
 			Pipeline:       *pipeline,
+			Workers:        *workers,
 		})
 		if err != nil {
 			fatal("%s: %v", m.Name, err)
@@ -701,6 +703,7 @@ func cmdBench(args []string) {
 	out7 := fs.String("out7", "", "write the E16 checkpoint/restore JSON report to `file` (default stdout)")
 	out8 := fs.String("out8", "", "write the PR8 transport-backend JSON report to `file` (default stdout)")
 	out9 := fs.String("out9", "", "write the PR9 pipelined-serving JSON report to `file` (default stdout)")
+	out10 := fs.String("out10", "", "write the PR10 parallel-ticks JSON report to `file` (default stdout)")
 	fs.Parse(args)
 	report, err := bench.RunPerf()
 	if err != nil {
@@ -711,7 +714,8 @@ func cmdBench(args []string) {
 	ckpt := bench.RunCheckpoint()
 	trans := bench.RunTransport()
 	pipe := bench.RunPipeline()
-	if *out == "" && *out5 == "" && *out6 == "" && *out7 == "" && *out8 == "" && *out9 == "" {
+	par := bench.RunParallel()
+	if *out == "" && *out5 == "" && *out6 == "" && *out7 == "" && *out8 == "" && *out9 == "" && *out10 == "" {
 		// Keep stdout a single JSON document: combine the reports.
 		emitJSON(struct {
 			Perf  *bench.PerfReport       `json:"perf"`
@@ -720,7 +724,8 @@ func cmdBench(args []string) {
 			Ckpt  *bench.CheckpointReport `json:"checkpoint"`
 			Trans *bench.TransportReport  `json:"transport"`
 			Pipe  *bench.PipelineReport   `json:"pipeline"`
-		}{report, amort, trace, ckpt, trans, pipe})
+			Par   *bench.ParallelReport   `json:"parallel"`
+		}{report, amort, trace, ckpt, trans, pipe, par})
 	} else {
 		writeReport := func(path string, write func(io.Writer) error) {
 			w := io.Writer(os.Stdout)
@@ -742,6 +747,7 @@ func cmdBench(args []string) {
 		writeReport(*out7, func(w io.Writer) error { return bench.WriteCheckpoint(w, ckpt) })
 		writeReport(*out8, func(w io.Writer) error { return bench.WriteTransport(w, trans) })
 		writeReport(*out9, func(w io.Writer) error { return bench.WritePipeline(w, pipe) })
+		writeReport(*out10, func(w io.Writer) error { return bench.WriteParallel(w, par) })
 	}
 	if !report.Invariant {
 		fatal("protocol metrics diverged from the recorded baseline — the perf work changed behaviour")
@@ -770,6 +776,9 @@ func cmdBench(args []string) {
 	for _, row := range pipe.Rows {
 		fmt.Fprintln(os.Stderr, bench.FormatPipelineRow(row))
 	}
+	for _, row := range par.Rows {
+		fmt.Fprintln(os.Stderr, bench.FormatParallelRow(row))
+	}
 	if !amort.OK {
 		fatal("E14 amortization gate failed: a session engine row diverged from one-shot outputs or did not amortize")
 	}
@@ -784,6 +793,9 @@ func cmdBench(args []string) {
 	}
 	if !pipe.OK {
 		fatal("PR9 pipeline gate failed: a pipelined run diverged from one-shot outputs, did not beat the depth-1 ticks/eval at depth >= 4, or drifted >1% in msgs/eval")
+	}
+	if !par.OK {
+		fatal("PR10 parallel gate failed: a workers>0 run diverged from serial (msgs/bytes/ticks/outputs must be bit-identical) or workers=4 missed the 2x wall-clock speedup")
 	}
 }
 
@@ -897,15 +909,22 @@ func cmdRun(args []string) {
 	jsonOut := fs.Bool("json", false, "emit reports as JSON")
 	trace := fs.Bool("trace", false, "trace each run and print its timeline summary (forces serial execution)")
 	traceOut := fs.String("trace-out", "", "write per-run Chrome trace + JSONL files into `dir` (implies tracing)")
+	workers := fs.Int("workers", 0, "override each manifest's intra-tick worker-pool size: `n` > 0 forces n workers, -1 forces the serial loop, 0 keeps the manifest's (reports are bit-identical either way; forces serial manifest execution)")
 	fs.Parse(args)
 	ms := selectManifests(fs, *file, *all, fs.Args())
-	if *trace || *traceOut != "" {
+	if *trace || *traceOut != "" || *workers != 0 {
 		results := make([]scenario.SweepResult, 0, len(ms))
+		doTrace := *trace || *traceOut != ""
 		for _, m := range ms {
-			col := obs.NewCollector()
-			rep, err := scenario.RunTraced(m, col)
+			var col *obs.Collector
+			var tr obs.Tracer
+			if doTrace {
+				col = obs.NewCollector()
+				tr = col
+			}
+			rep, err := scenario.RunWith(m, scenario.RunOptions{Tracer: tr, Workers: *workers})
 			results = append(results, scenario.SweepResult{Manifest: m, Report: rep, Err: err})
-			if err != nil {
+			if err != nil || !doTrace {
 				continue
 			}
 			if *trace && !*jsonOut {

@@ -70,6 +70,15 @@ func Config5() proto.Config { return proto.Config{N: 5, Ts: 1, Ta: 1, Delta: 10,
 // ConfigN returns cfgFor(n) for table sweeps.
 func ConfigN(n int) proto.Config { return cfgFor(n) }
 
+// Config16 is the first tracked big-n configuration, at the paper's
+// feasibility boundary 3·ts + ta = n - 1 (n=16, ts=4, ta=3).
+func Config16() proto.Config { return proto.Config{N: 16, Ts: 4, Ta: 3, Delta: 10, CoinRounds: 8} }
+
+// Config32 is the n=32 scaling configuration, also at the boundary but
+// ts-heavy (n=32, ts=10, ta=1): the synchronous threshold dominates,
+// the shape where the O(n³)–O(n⁴) ΠACS/ΠPreProcessing cliffs bite.
+func Config32() proto.Config { return proto.Config{N: 32, Ts: 10, Ta: 1, Delta: 10, CoinRounds: 8} }
+
 // E1Acast measures Bracha's reliable broadcast (Lemma 2.4) with an
 // honest sender and payload size l bytes.
 func E1Acast(n, l int, seed uint64) Measure {

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/field"
+	"repro/internal/aba"
+	"repro/internal/acs"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/vss"
+	"repro/poly"
+
+	"math/rand/v2"
+)
+
+// ParallelRow is one PR10 parallel-ticks measurement: the same
+// experiment run at one intra-tick worker-pool size. The protocol
+// figures (msgs, bytes, ticks, events, outputs) must be bit-identical
+// to the workers=0 row of the same experiment — parallelism is only
+// allowed to buy host wall-clock.
+type ParallelRow struct {
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	// HostNS is the real host time of the run; Speedup divides the
+	// workers=0 row's HostNS by this row's (1.0 on the serial row).
+	HostNS  int64   `json:"host_ns"`
+	Speedup float64 `json:"speedup"`
+	// The protocol invariants, gated bit-identical across the ladder.
+	HonestMsgs  uint64 `json:"honest_msgs"`
+	HonestBytes uint64 `json:"honest_bytes"`
+	Ticks       int64  `json:"ticks"`
+	Events      uint64 `json:"events"`
+	// OK is the run's own correctness condition (all parties produced
+	// output within the derived bound); Identical is the cross-worker
+	// gate against the serial row (includes an output fingerprint).
+	OK        bool `json:"ok"`
+	Identical bool `json:"identical"`
+}
+
+// ParallelReport is the PR10 section written to BENCH_PR10.json.
+type ParallelReport struct {
+	Note string `json:"note"`
+	// HostCPUs is runtime.NumCPU() on the measuring host. The identity
+	// gate is host-independent; the speedup gate only applies when the
+	// host has at least 4 CPUs to express a workers=4 speedup (a
+	// single-core host can only measure the barrier's overhead).
+	HostCPUs int           `json:"host_cpus"`
+	Rows     []ParallelRow `json:"parallel_pr10"`
+	// OK is the gate: every row is correct and bit-identical to its
+	// serial twin, and — on a host with >= 4 CPUs — the flagship E8ACS
+	// row reaches >= 2x host wall-clock speedup at workers=4.
+	OK bool `json:"ok"`
+}
+
+// parallelMeasure is one run's observed figures plus an output
+// fingerprint for the cross-worker identity compare.
+type parallelMeasure struct {
+	m  Measure
+	fp string
+}
+
+// parallelACS is E8ACS with a workers knob and merge-safe
+// instrumentation: the per-party callbacks write only disjoint slots
+// (no shared counters), so the same runner measures every pool size
+// under -race.
+func parallelACS(cfg proto.Config, l int, seed uint64, workers int) parallelMeasure {
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg, Network: proto.Sync, Seed: seed, Workers: workers})
+	coin := aba.DefaultCoin(seed)
+	r := rand.New(rand.NewPCG(seed, 3))
+	doneAt := make([]sim.Time, cfg.N+1)
+	css := make([][]int, cfg.N+1)
+	insts := make([]*acs.ACS, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		i := i
+		insts[i] = acs.New(w.Runtimes[i], "acs", l, cfg, coin, 0, func(cs []int, _ map[int][]field.Element) {
+			doneAt[i] = w.Sched.Now()
+			css[i] = append([]int(nil), cs...)
+		})
+	}
+	for i := 1; i <= cfg.N; i++ {
+		qs := make([]poly.Poly, l)
+		for k := range qs {
+			qs[k] = poly.Random(r, cfg.Ts, field.Random(r))
+		}
+		insts[i].Start(qs)
+	}
+	w.RunToQuiescence()
+	done := 0
+	var last sim.Time
+	for i := 1; i <= cfg.N; i++ {
+		if doneAt[i] > 0 {
+			done++
+		}
+		if doneAt[i] > last {
+			last = doneAt[i]
+		}
+	}
+	bound := acs.Deadline(cfg)
+	return parallelMeasure{
+		m: Measure{
+			HonestMsgs:  w.Metrics().HonestMessages(),
+			HonestBytes: w.Metrics().HonestBytes(),
+			LastOutput:  last,
+			Bound:       bound,
+			Events:      w.Sched.Processed(),
+			OK:          done == cfg.N && last <= bound,
+		},
+		fp: fmt.Sprint(css[1:], doneAt[1:]),
+	}
+}
+
+// parallelVSS is E7VSS with a workers knob, instrumented like
+// parallelACS (disjoint per-party slots, output shares in the
+// fingerprint).
+func parallelVSS(cfg proto.Config, l int, seed uint64, workers int) parallelMeasure {
+	w := proto.NewWorld(proto.WorldOpts{Cfg: cfg, Network: proto.Sync, Seed: seed, Workers: workers})
+	coin := aba.DefaultCoin(seed)
+	r := rand.New(rand.NewPCG(seed, 2))
+	qs := make([]poly.Poly, l)
+	for i := range qs {
+		qs[i] = poly.Random(r, cfg.Ts, field.Random(r))
+	}
+	doneAt := make([]sim.Time, cfg.N+1)
+	shares := make([][]field.Element, cfg.N+1)
+	insts := make([]*vss.VSS, cfg.N+1)
+	for i := 1; i <= cfg.N; i++ {
+		i := i
+		insts[i] = vss.New(w.Runtimes[i], "vss", 1, l, cfg, coin, 0, func(s []field.Element) {
+			doneAt[i] = w.Sched.Now()
+			shares[i] = append([]field.Element(nil), s...)
+		})
+	}
+	insts[1].Start(qs)
+	w.RunToQuiescence()
+	done := 0
+	var last sim.Time
+	for i := 1; i <= cfg.N; i++ {
+		if doneAt[i] > 0 {
+			done++
+		}
+		if doneAt[i] > last {
+			last = doneAt[i]
+		}
+	}
+	bound := vss.Deadline(cfg)
+	return parallelMeasure{
+		m: Measure{
+			HonestMsgs:  w.Metrics().HonestMessages(),
+			HonestBytes: w.Metrics().HonestBytes(),
+			LastOutput:  last,
+			Bound:       bound,
+			Events:      w.Sched.Processed(),
+			OK:          done == cfg.N && last <= bound,
+		},
+		fp: fmt.Sprint(shares[1:], doneAt[1:]),
+	}
+}
+
+// parallelWorkers is the tracked PR10 worker ladder.
+var parallelWorkers = []int{0, 1, 4}
+
+// RunParallel measures the tracked PR10 rows: the flagship E8ACS at
+// n=8 and the first n>=16 rows (E8ACS/n16, E7VSS/n32), each across the
+// worker ladder. The gate requires bit-identical protocol figures at
+// every pool size and >= 2x host wall-clock on E8ACS (n8 or n16) at
+// workers=4.
+func RunParallel() *ParallelReport {
+	report := &ParallelReport{
+		Note: "PR10 parallel ticks: each experiment re-run at workers 0/1/4; honest msgs/bytes, " +
+			"final tick, event count and the per-party output fingerprint must be bit-identical " +
+			"across the ladder (parallelism buys host wall-clock only), and E8ACS at workers=4 " +
+			"must reach >= 2x the serial wall clock on n=8 or n=16 when the host has >= 4 CPUs",
+		HostCPUs: runtime.NumCPU(),
+		OK:       true,
+	}
+	cases := []struct {
+		name string
+		run  func(workers int) parallelMeasure
+	}{
+		{"E8ACS/n8", func(workers int) parallelMeasure { return parallelACS(Config8(), 1, 1, workers) }},
+		{"E8ACS/n16", func(workers int) parallelMeasure { return parallelACS(Config16(), 1, 1, workers) }},
+		{"E7VSS/n32", func(workers int) parallelMeasure { return parallelVSS(Config32(), 1, 1, workers) }},
+	}
+	acsSpeedup := 0.0
+	for _, c := range cases {
+		var base parallelMeasure
+		var baseNS int64
+		for _, workers := range parallelWorkers {
+			begin := time.Now()
+			pm := c.run(workers)
+			host := time.Since(begin).Nanoseconds()
+			row := ParallelRow{
+				Name:        c.name,
+				Workers:     workers,
+				HostNS:      host,
+				HonestMsgs:  pm.m.HonestMsgs,
+				HonestBytes: pm.m.HonestBytes,
+				Ticks:       int64(pm.m.LastOutput),
+				Events:      pm.m.Events,
+				OK:          pm.m.OK,
+			}
+			if workers == 0 {
+				base, baseNS = pm, host
+			}
+			row.Identical = pm.m.HonestMsgs == base.m.HonestMsgs &&
+				pm.m.HonestBytes == base.m.HonestBytes &&
+				pm.m.LastOutput == base.m.LastOutput &&
+				pm.m.Events == base.m.Events &&
+				pm.fp == base.fp
+			if host > 0 {
+				row.Speedup = float64(baseNS) / float64(host)
+			}
+			if workers == 4 && (c.name == "E8ACS/n8" || c.name == "E8ACS/n16") && row.Speedup > acsSpeedup {
+				acsSpeedup = row.Speedup
+			}
+			if !row.OK || !row.Identical {
+				report.OK = false
+			}
+			report.Rows = append(report.Rows, row)
+		}
+	}
+	if report.HostCPUs >= 4 && acsSpeedup < 2 {
+		report.OK = false
+	}
+	return report
+}
+
+// WriteParallel renders the report as indented JSON.
+func WriteParallel(w io.Writer, report *ParallelReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// FormatParallelRow renders a row for the stderr summary.
+func FormatParallelRow(r ParallelRow) string {
+	ident := "identical"
+	if !r.Identical {
+		ident = "DIVERGED"
+	}
+	return fmt.Sprintf("%-12s workers %-2d %8.0f ms  %6.2fx  %10d msgs  t=%-6d %s",
+		r.Name, r.Workers, float64(r.HostNS)/1e6, r.Speedup, r.HonestMsgs, r.Ticks, ident)
+}

@@ -37,6 +37,15 @@ type WorldOpts struct {
 	// RNG, so every backend consumes policy delays in the same order and
 	// a fixed seed replays the same virtual schedule on any backend.
 	Transport transport.Factory
+	// Workers sets the intra-tick worker-pool size: each tick's
+	// PrioDeliver events are partitioned by party and executed
+	// concurrently, with effects merged at a per-tick barrier in
+	// canonical order, so the run is bit-identical to serial at every
+	// pool size. 0 (the default) keeps the plain single-threaded loop.
+	// Only the in-memory simulator supports it: an explicit Transport
+	// factory (the lockstep socket backend rendezvouses party goroutines
+	// with scheduler events) forces serial execution.
+	Workers int
 }
 
 // World is an assembled n-party system: the shared virtual-time
@@ -141,6 +150,9 @@ func NewWorldE(opts WorldOpts) (*World, error) {
 	factory := opts.Transport
 	if factory == nil {
 		factory = transport.Sim
+		if opts.Workers > 0 {
+			sched.SetParallel(opts.Workers, cfg.N)
+		}
 	}
 	netPCG := rand.NewPCG(opts.Seed, 0x6e657477_6f726b00) // "network"
 	net, err := factory(cfg.N, sched, policy, rand.New(netPCG))
@@ -163,12 +175,16 @@ func NewWorldE(opts WorldOpts) (*World, error) {
 		sched.SetTracer(opts.Tracer)
 		net.SetTracer(opts.Tracer)
 	}
-	kernels := poly.NewKernelCache()
+	// One kernel registry per world — the O(m²) barycentric builds are
+	// paid once per distinct point set for the world's whole lifetime
+	// (all epochs, refills and parties) — with per-party clone caches so
+	// concurrent workers never share interpolation scratch.
+	kernels := poly.NewKernelRegistry()
 	for i := 1; i <= cfg.N; i++ {
 		pcg := rand.NewPCG(opts.Seed^uint64(i)*0x9e3779b97f4a7c15, uint64(i))
 		w.prngs[i] = pcg
 		w.Runtimes[i] = NewRuntime(i, cfg.N, sched, net, rand.New(pcg))
-		w.Runtimes[i].SetKernelCache(kernels)
+		w.Runtimes[i].SetKernelCache(kernels.NewCache())
 		w.Runtimes[i].SetTracer(opts.Tracer)
 	}
 	for _, c := range opts.Corrupt {
@@ -216,6 +232,21 @@ func (w *World) Step() bool {
 		return false
 	}
 	return w.Sched.Step()
+}
+
+// StepTick executes every event of the next pending tick (if any, and
+// if the event limit is not exhausted), reporting whether any ran. It
+// is the tick-granular driver the pipelined engine polls with: engine
+// state is only inspected at tick boundaries, which is the same
+// observation granularity at every worker count — a mid-tick stop
+// would make the submission point (and with it every later sequence
+// number and RNG draw) depend on where inside a tick a completion
+// landed, which parallel batches cannot reproduce.
+func (w *World) StepTick() bool {
+	if w.Sched.Limit > 0 && w.Sched.Processed() >= w.Sched.Limit {
+		return false
+	}
+	return w.Sched.StepTick()
 }
 
 // Metrics returns the network's communication metrics.

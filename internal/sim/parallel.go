@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Parallel tick execution.
+//
+// Within one simulated tick the n parties' computations are independent
+// by construction: a PrioDeliver lane holds deliveries (owned by their
+// destination party) and runtime timers (owned by their scheduling
+// party), and parties interact only through effects that re-enter the
+// scheduler — sends, timers, traces. The parallel mode exploits exactly
+// that: it partitions a lane's events by owning party, runs each
+// party's group in order on a fixed worker pool, and stages every
+// effect a worker emits in a per-event buffer. At the per-tick barrier
+// the coordinator merges the buffers back in canonical intra-lane seq
+// order — event i's trace header first, then event i's effects in
+// emission order — so the shared network RNG draws, the interceptor,
+// the metrics, and the trace JSONL all observe the exact serial
+// sequence. Per-party PRNG streams are drawn inside the workers, but in
+// per-party program order, which is what the serial loop produces too.
+// The result is bit-identical to workers=0 at every pool size.
+//
+// Events that cannot be attributed to a party (party 0: harness/global
+// timers) and PrioProcess events run on the serial path; a tick whose
+// batch would cross the Limit budget also falls back to serial so the
+// stop lands on exactly the same event. Both decisions depend only on
+// queue contents, which are identical across worker counts, so the
+// fallback itself is deterministic.
+
+// minParallelBatch is the smallest lane batch worth a barrier; smaller
+// batches run serially. The threshold only inspects canonical queue
+// state, so it never breaks worker-count invariance.
+const minParallelBatch = 2
+
+// effKind enumerates staged effect types.
+const (
+	effSend uint8 = iota
+	effTimer
+	effTrace
+	effDefer
+)
+
+// envSender re-enters a staged send at the barrier. *Network is the
+// only implementation; the indirection keeps the effect replay free of
+// a package cycle with the transport seam.
+type envSender interface{ Send(Envelope) }
+
+// effect is one staged side effect of a parallel-phase event, replayed
+// at the barrier in emission order.
+type effect struct {
+	kind   uint8
+	env    Envelope  // effSend
+	sender envSender // effSend
+	at     Time      // effTimer
+	prio   uint8     // effTimer
+	party  int32     // effTimer
+	fn     func()    // effTimer, effDefer
+	tev    obs.Event // effTrace
+}
+
+// stagedRec is one batch event plus the effects its execution emitted.
+type stagedRec struct {
+	ev  event
+	eff []effect
+}
+
+// parallelState is the worker pool plus per-batch staging buffers. The
+// worker goroutines reference only this struct (never the Scheduler),
+// so a finalizer on the Scheduler can close the task channel and let an
+// abandoned pool exit.
+type parallelState struct {
+	workers int
+	staging bool // a batch is executing; effect emission must stage
+	started bool
+	tasks   chan int // party numbers; one per touched party per batch
+	wg      sync.WaitGroup
+
+	recs    []stagedRec  // batch events in intra-lane seq order
+	groups  [][]int      // party -> indices into recs, in seq order
+	touched []int        // parties with non-empty groups this batch
+	curRec  []*stagedRec // party -> record its worker is executing
+}
+
+// SetParallel configures parallel tick execution: workers is the pool
+// size (<= 0 restores the serial loop) and nparties the number of
+// parties (events are tagged 1..nparties). Like SetTracer it must be
+// called before the run starts; the worker goroutines are spawned
+// lazily on the first parallel batch.
+func (s *Scheduler) SetParallel(workers, nparties int) {
+	if workers <= 0 {
+		s.par = nil
+		return
+	}
+	s.par = &parallelState{
+		workers: workers,
+		tasks:   make(chan int),
+		groups:  make([][]int, nparties+1),
+		curRec:  make([]*stagedRec, nparties+1),
+	}
+}
+
+// Workers returns the configured pool size (0 = serial).
+func (s *Scheduler) Workers() int {
+	if s.par == nil {
+		return 0
+	}
+	return s.par.workers
+}
+
+// Staging reports whether a parallel batch is executing right now, i.e.
+// whether effect emission must stage instead of acting directly. Reads
+// are safe from worker goroutines: the flag only flips between batches,
+// with happens-before edges through the task channel and the barrier.
+func (s *Scheduler) Staging() bool { return s.par != nil && s.par.staging }
+
+// StageTrace stages a trace event emitted by party code during a
+// parallel batch; the coordinator re-emits it at the barrier in
+// canonical order. Callers must check Staging() first.
+func (s *Scheduler) StageTrace(party int, ev obs.Event) {
+	rec := s.par.curRec[party]
+	rec.eff = append(rec.eff, effect{kind: effTrace, tev: ev})
+}
+
+// DeferParty runs fn on behalf of party: immediately on the serial
+// path, or staged to the barrier (at the event's canonical merge
+// position) during a parallel batch. Engine-level callbacks that fold
+// per-party completions into shared state use this so the fold happens
+// outside worker goroutines yet at the exact serial position.
+func (s *Scheduler) DeferParty(party int, fn func()) {
+	if s.par != nil && s.par.staging {
+		rec := s.par.curRec[party]
+		rec.eff = append(rec.eff, effect{kind: effDefer, fn: fn})
+		return
+	}
+	fn()
+}
+
+// stageTimer stages a party-tagged timer push (AtParty during a batch).
+func (s *Scheduler) stageTimer(party int, t Time, prio uint8, fn func()) {
+	rec := s.par.curRec[party]
+	rec.eff = append(rec.eff, effect{kind: effTimer, at: t, prio: prio, party: int32(party), fn: fn})
+}
+
+// stageSend stages an envelope accepted by the Network during a batch;
+// the barrier replays it through the full Network.Send path (interceptor,
+// metrics, delay draw from the shared RNG) in canonical order.
+func (s *Scheduler) stageSend(nw envSender, env Envelope) {
+	rec := s.par.curRec[env.From]
+	rec.eff = append(rec.eff, effect{kind: effSend, env: env, sender: nw})
+}
+
+// traceHead emits the event's own trace record (KDeliver/KTimer),
+// shared between the serial run path and the barrier merge. The caller
+// checks s.tracer != nil.
+func (s *Scheduler) traceHead(e *event) {
+	if e.kind == kindDeliver {
+		s.tracer.Emit(obs.Event{
+			Kind: obs.KDeliver, Tick: int64(s.now),
+			Party: e.env.To, Peer: e.env.From,
+			Inst: e.env.Inst, Type: e.env.Type,
+			Bytes: int64(e.env.WireSize()),
+			A:     int64(s.now - e.sent),
+		})
+		return
+	}
+	s.tracer.Emit(obs.Event{Kind: obs.KTimer, Tick: int64(s.now), A: int64(e.prio)})
+}
+
+// advanceTo moves the ring base up to tick t (the earliest pending tick,
+// per peekTime), releasing drained buckets and migrating overflow
+// events exactly as pop does, and returns t's bucket.
+func (s *Scheduler) advanceTo(t Time) *bucket {
+	if s.ringCount == 0 {
+		s.base = s.overflow[0].at
+		s.migrate()
+	}
+	for s.base < t {
+		b := &s.ring[s.base&(window-1)]
+		s.release(&b.lanes[0])
+		s.release(&b.lanes[1])
+		s.base++
+		s.migrate()
+	}
+	return &s.ring[t&(window-1)]
+}
+
+// batchable reports whether every pending event of the lane is owned by
+// a party; an untagged event forces the serial path for this batch.
+func batchable(ln *lane) bool {
+	for i := ln.head; i < len(ln.evs); i++ {
+		if ln.evs[i].party == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// stepTickParallel runs every event of tick t (the earliest pending
+// tick). PrioDeliver batches that are fully party-tagged, large enough,
+// and inside the Limit budget execute on the worker pool with staged
+// effects; everything else single-steps serially. Returns whether any
+// event ran.
+func (s *Scheduler) stepTickParallel(t Time) bool {
+	if s.Limit > 0 && s.processed >= s.Limit {
+		return false
+	}
+	if s.tracer != nil && t != s.now {
+		// Queue depth at tick entry, matching the serial Step emission.
+		s.tracer.Emit(obs.Event{Kind: obs.KTick, Tick: int64(t), A: int64(s.pending())})
+	}
+	b := s.advanceTo(t)
+	s.now = t
+	ran := false
+	for {
+		if s.Limit > 0 && s.processed >= s.Limit {
+			return ran
+		}
+		ln := &b.lanes[0]
+		if n := len(ln.evs) - ln.head; n > 0 {
+			// A batch that would cross the Limit single-steps so the run
+			// stops on exactly the same event as the serial loop.
+			if n >= minParallelBatch && (s.Limit == 0 || s.processed+uint64(n) <= s.Limit) && batchable(ln) {
+				s.execBatch(ln)
+			} else {
+				s.Step()
+			}
+			ran = true
+			continue
+		}
+		if !b.lanes[1].empty() {
+			// PrioProcess runs serially: its handlers may push same-tick
+			// PrioDeliver work that must preempt the rest of the lane,
+			// which Step's pop order handles naturally.
+			s.Step()
+			ran = true
+			continue
+		}
+		return ran
+	}
+}
+
+// execBatch runs the lane's pending events on the worker pool and
+// merges the staged effects at the barrier in intra-lane seq order.
+func (s *Scheduler) execBatch(ln *lane) {
+	par := s.par
+	if !par.started {
+		par.started = true
+		for i := 0; i < par.workers; i++ {
+			go par.worker()
+		}
+		// Workers reference only par, so an abandoned scheduler's pool
+		// exits when the finalizer closes the task channel.
+		runtime.SetFinalizer(s, func(*Scheduler) { close(par.tasks) })
+	}
+
+	start := ln.head
+	n := len(ln.evs) - start
+	if cap(par.recs) >= n {
+		par.recs = par.recs[:n]
+	} else {
+		old := par.recs[:cap(par.recs)]
+		par.recs = make([]stagedRec, n)
+		copy(par.recs, old) // keep the grown records' effect storage
+	}
+	par.touched = par.touched[:0]
+	for i := 0; i < n; i++ {
+		e := ln.evs[start+i]
+		ln.evs[start+i] = event{} // release references
+		rec := &par.recs[i]
+		rec.ev = e
+		rec.eff = rec.eff[:0]
+		p := int(e.party)
+		if len(par.groups[p]) == 0 {
+			par.touched = append(par.touched, p)
+		}
+		par.groups[p] = append(par.groups[p], i)
+	}
+	ln.head += n
+	s.ringCount -= n
+
+	if len(par.touched) == 1 {
+		// One party owns the whole batch: nothing to overlap, run it
+		// inline on the serial path (no staging, no barrier).
+		par.groups[par.touched[0]] = par.groups[par.touched[0]][:0]
+		for i := 0; i < n; i++ {
+			s.processed++
+			s.run(par.recs[i].ev)
+			par.recs[i].ev = event{}
+		}
+		return
+	}
+
+	par.staging = true
+	par.wg.Add(len(par.touched))
+	for _, p := range par.touched {
+		par.tasks <- p
+	}
+	par.wg.Wait()
+	par.staging = false
+
+	for i := range par.recs {
+		rec := &par.recs[i]
+		s.processed++
+		if s.tracer != nil {
+			s.traceHead(&rec.ev)
+		}
+		for j := range rec.eff {
+			ef := &rec.eff[j]
+			switch ef.kind {
+			case effSend:
+				ef.sender.Send(ef.env)
+			case effTimer:
+				s.push(event{at: ef.at, prio: ef.prio, party: ef.party, kind: kindTimer, fn: ef.fn})
+			case effTrace:
+				if s.tracer != nil {
+					s.tracer.Emit(ef.tev)
+				}
+			case effDefer:
+				ef.fn()
+			}
+			rec.eff[j] = effect{} // release references
+		}
+		rec.eff = rec.eff[:0]
+		rec.ev = event{}
+	}
+	for _, p := range par.touched {
+		par.groups[p] = par.groups[p][:0]
+	}
+}
+
+// worker executes party groups: all of a party's batch events, in
+// intra-lane seq order, stage into that party's current record.
+func (p *parallelState) worker() {
+	for party := range p.tasks {
+		for _, idx := range p.groups[party] {
+			rec := &p.recs[idx]
+			p.curRec[party] = rec
+			e := &rec.ev
+			if e.kind == kindDeliver {
+				e.sink.DispatchDelivered(e.env, e.tag)
+			} else {
+				e.fn()
+			}
+		}
+		p.wg.Done()
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// parHarness is a synthetic multi-party workload exercising everything
+// the parallel path stages: per-party RNG draws, sends through the
+// shared network (delays drawn from the shared policy RNG), party
+// timers (both priority classes), staged traces, defers and tracked
+// metrics prefixes. Callbacks only touch per-party state — the same
+// constraint real protocol runtimes obey — so the one harness runs at
+// every worker count, including under -race.
+type parHarness struct {
+	n     int
+	s     *Scheduler
+	nw    *Network
+	rngs  []*rand.Rand
+	logs  [][]string // per-party observation log, disjoint slots
+	folds []string   // shared; only appended via DeferParty (merge order)
+}
+
+func newParHarness(n int, workers int, seed uint64) *parHarness {
+	h := &parHarness{n: n, s: NewScheduler()}
+	if workers > 0 {
+		h.s.SetParallel(workers, n)
+	}
+	h.nw = NewNetwork(n, h.s, AsyncPolicy{Delta: 10}, rand.New(rand.NewPCG(seed, 7)))
+	h.rngs = make([]*rand.Rand, n+1)
+	h.logs = make([][]string, n+1)
+	for i := 1; i <= n; i++ {
+		i := i
+		h.rngs[i] = rand.New(rand.NewPCG(seed^uint64(i)*0x9e3779b97f4a7c15, uint64(i)))
+		h.nw.Attach(i, DispatcherFunc(func(env Envelope) { h.deliver(i, env) }))
+	}
+	return h
+}
+
+// deliver is the per-party protocol step: log the message, draw from
+// the party's stream, fan out to two peers, schedule a follow-up timer
+// and fold a completion into shared state via DeferParty.
+func (h *parHarness) deliver(i int, env Envelope) {
+	draw := h.rngs[i].Uint64()
+	h.logs[i] = append(h.logs[i], fmt.Sprintf("t=%d from=%d body=%x draw=%x", h.s.Now(), env.From, env.Body, draw))
+	hops := env.Body[0]
+	if hops == 0 {
+		h.s.DeferParty(i, func() { h.folds = append(h.folds, fmt.Sprintf("done %d@%d", i, h.s.Now())) })
+		return
+	}
+	for k := 0; k < 2; k++ {
+		to := int((draw>>(8*k))%uint64(h.n)) + 1
+		h.nw.Send(Envelope{From: i, To: to, Inst: fmt.Sprintf("fam%d/sub", i%3), Type: hops, Body: []byte{hops - 1, byte(draw)}})
+	}
+	h.s.AtParty(h.s.Now()+Time(1+draw%5), PrioDeliver, i, func() {
+		h.logs[i] = append(h.logs[i], fmt.Sprintf("timer0 %d@%d", i, h.s.Now()))
+	})
+	if hops%2 == 0 {
+		h.s.AtParty(h.s.Now(), PrioProcess, i, func() {
+			h.logs[i] = append(h.logs[i], fmt.Sprintf("proc %d@%d", i, h.s.Now()))
+		})
+	}
+}
+
+// runPar executes the harness to quiescence and flattens every
+// observable into one comparable fingerprint.
+func runPar(t *testing.T, n, workers int, seed uint64, trace bool) string {
+	t.Helper()
+	h := newParHarness(n, workers, seed)
+	var col *obs.Collector
+	if trace {
+		col = obs.NewCollector()
+		h.s.SetTracer(col)
+		h.nw.SetTracer(col)
+	}
+	tracked := h.nw.Metrics().Track("fam1")
+	for i := 1; i <= n; i++ {
+		h.nw.Send(Envelope{From: i, To: i%n + 1, Inst: "seed", Type: 0, Body: []byte{4, byte(i)}})
+	}
+	h.s.RunToQuiescence()
+	out := fmt.Sprintf("now=%d processed=%d honest=%+v tracked=%+v last=%d\n",
+		h.s.Now(), h.s.Processed(), h.nw.Metrics().Honest, tracked.Counts, h.nw.Metrics().LastTick())
+	for i := 1; i <= n; i++ {
+		out += fmt.Sprintf("party %d: %v\n", i, h.logs[i])
+	}
+	out += fmt.Sprintf("defers: %v\n", h.folds)
+	if trace {
+		for _, ev := range col.Events() {
+			out += fmt.Sprintf("%+v\n", ev)
+		}
+	}
+	return out
+}
+
+// TestParallelBitIdentical is the core PR10 contract: every observable
+// — event order, per-party RNG draws, shared network RNG draws (the
+// delivery times), metrics, tracked prefixes, trace stream, defer merge
+// order — is bit-identical at every worker-pool size.
+func TestParallelBitIdentical(t *testing.T) {
+	for _, n := range []int{3, 8} {
+		want := runPar(t, n, 0, 42, true)
+		for _, workers := range []int{1, 2, 4, 13} {
+			got := runPar(t, n, workers, 42, true)
+			if got != want {
+				t.Fatalf("n=%d workers=%d diverged from serial:\n--- serial ---\n%s--- workers ---\n%s", n, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestParallelUntaggedFallsBack mixes harness (party-0) timers into the
+// ticks: those batches must fall back to the serial path and the run
+// must stay bit-identical.
+func TestParallelUntaggedFallsBack(t *testing.T) {
+	run := func(workers int) string {
+		h := newParHarness(4, workers, 7)
+		var global []string
+		for i := 1; i <= 4; i++ {
+			h.nw.Send(Envelope{From: i, To: i%4 + 1, Inst: "seed", Type: 0, Body: []byte{3, byte(i)}})
+		}
+		for tick := Time(1); tick < 40; tick += 3 {
+			h.s.At(tick, func() { global = append(global, fmt.Sprintf("g@%d", h.s.Now())) })
+		}
+		h.s.RunToQuiescence()
+		out := fmt.Sprintf("now=%d processed=%d global=%v\n", h.s.Now(), h.s.Processed(), global)
+		for i := 1; i <= 4; i++ {
+			out += fmt.Sprintf("party %d: %v\n", i, h.logs[i])
+		}
+		return out
+	}
+	want := run(0)
+	for _, workers := range []int{1, 4} {
+		if got := run(workers); got != want {
+			t.Fatalf("workers=%d diverged with untagged events:\n%s\nvs serial:\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestParallelLimitStopsIdentically pins the Limit contract: a budget
+// that lands mid-tick stops the parallel run on exactly the same event
+// as the serial loop (the crossing batch single-steps).
+func TestParallelLimitStopsIdentically(t *testing.T) {
+	for limit := uint64(1); limit < 60; limit += 7 {
+		run := func(workers int) string {
+			h := newParHarness(5, workers, 9)
+			h.s.Limit = limit
+			for i := 1; i <= 5; i++ {
+				h.nw.Send(Envelope{From: i, To: i%5 + 1, Inst: "seed", Type: 0, Body: []byte{4, byte(i)}})
+			}
+			h.s.RunToQuiescence()
+			out := fmt.Sprintf("now=%d processed=%d pending=%d\n", h.s.Now(), h.s.Processed(), h.s.Pending())
+			for i := 1; i <= 5; i++ {
+				out += fmt.Sprintf("party %d: %v\n", i, h.logs[i])
+			}
+			return out
+		}
+		want := run(0)
+		for _, workers := range []int{1, 4} {
+			if got := run(workers); got != want {
+				t.Fatalf("limit=%d workers=%d diverged:\n%s\nvs serial:\n%s", limit, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelStepTickMatchesSerial drives the tick-granular StepTick
+// API (the pipelined engine's polling loop) instead of
+// RunToQuiescence, at every worker count.
+func TestParallelStepTickMatchesSerial(t *testing.T) {
+	run := func(workers int) string {
+		h := newParHarness(4, workers, 11)
+		for i := 1; i <= 4; i++ {
+			h.nw.Send(Envelope{From: i, To: i%4 + 1, Inst: "seed", Type: 0, Body: []byte{3, byte(i)}})
+		}
+		steps := 0
+		for h.s.StepTick() {
+			steps++
+		}
+		out := fmt.Sprintf("now=%d processed=%d stepTicks=%d\n", h.s.Now(), h.s.Processed(), steps)
+		for i := 1; i <= 4; i++ {
+			out += fmt.Sprintf("party %d: %v\n", i, h.logs[i])
+		}
+		return out
+	}
+	want := run(0)
+	for _, workers := range []int{1, 4} {
+		if got := run(workers); got != want {
+			t.Fatalf("workers=%d StepTick run diverged:\n%s\nvs serial:\n%s", workers, got, want)
+		}
+	}
+}

@@ -45,11 +45,16 @@ type event struct {
 	seq  uint64 // FIFO tie-break within a class; keeps runs deterministic
 	prio uint8  // same-tick ordering class: lower runs first
 	kind uint8
-	fn   func()      // kindTimer
-	env  Envelope    // kindDeliver
-	sink DeliverSink // kindDeliver
-	tag  uint64      // kindDeliver: opaque sink cookie
-	sent Time        // kindDeliver: send time, for traced delivery latency
+	// party is the event's owner: the destination party for deliveries,
+	// the scheduling party for runtime timers, 0 for harness/global
+	// timers. Parallel ticks partition a lane by party; 0 means the
+	// event cannot be attributed and forces the serial path.
+	party int32
+	fn    func()      // kindTimer
+	env   Envelope    // kindDeliver
+	sink  DeliverSink // kindDeliver
+	tag   uint64      // kindDeliver: opaque sink cookie
+	sent  Time        // kindDeliver: send time, for traced delivery latency
 }
 
 // Priority classes for same-tick ordering.
@@ -116,6 +121,10 @@ type Scheduler struct {
 	// tracer receives scheduler trace events; nil (the default) means
 	// tracing is off and every emission site reduces to one branch.
 	tracer obs.Tracer
+	// par holds the parallel-tick execution state; nil (the default)
+	// means every event runs on the caller's goroutine, exactly the
+	// single-threaded loop described above.
+	par *parallelState
 }
 
 // grab appends e to the lane, drawing recycled storage for the first
@@ -185,6 +194,18 @@ func (s *Scheduler) AtPrio(t Time, prio uint8, fn func()) {
 	s.push(event{at: t, prio: prio, kind: kindTimer, fn: fn})
 }
 
+// AtParty schedules fn at absolute time t in the given priority class
+// on behalf of party (1-based). The tag lets parallel ticks run the
+// timer on the party's worker; a timer scheduled from inside a parallel
+// batch is staged and merged at the barrier in canonical order.
+func (s *Scheduler) AtParty(t Time, prio uint8, party int, fn func()) {
+	if s.par != nil && s.par.staging {
+		s.stageTimer(party, t, prio, fn)
+		return
+	}
+	s.push(event{at: t, prio: prio, kind: kindTimer, party: int32(party), fn: fn})
+}
+
 // After schedules fn d ticks from now; d must be non-negative.
 func (s *Scheduler) After(d Time, fn func()) {
 	if d < 0 {
@@ -201,7 +222,7 @@ func (s *Scheduler) After(d Time, fn func()) {
 // that schedules through AfterDeliver replays the simulator's event
 // order bit-identically.
 func (s *Scheduler) AfterDeliver(d Time, sink DeliverSink, tag uint64, env Envelope) {
-	s.push(event{at: s.now + d, prio: PrioDeliver, kind: kindDeliver, env: env, sink: sink, tag: tag, sent: s.now})
+	s.push(event{at: s.now + d, prio: PrioDeliver, kind: kindDeliver, party: int32(env.To), env: env, sink: sink, tag: tag, sent: s.now})
 }
 
 // migrate moves overflow events that now fall inside the ring window
@@ -270,21 +291,12 @@ func (s *Scheduler) pop() event {
 
 // run executes one event.
 func (s *Scheduler) run(e event) {
+	if s.tracer != nil {
+		s.traceHead(&e)
+	}
 	if e.kind == kindDeliver {
-		if s.tracer != nil {
-			s.tracer.Emit(obs.Event{
-				Kind: obs.KDeliver, Tick: int64(s.now),
-				Party: e.env.To, Peer: e.env.From,
-				Inst: e.env.Inst, Type: e.env.Type,
-				Bytes: int64(e.env.WireSize()),
-				A:     int64(s.now - e.sent),
-			})
-		}
 		e.sink.DispatchDelivered(e.env, e.tag)
 		return
-	}
-	if s.tracer != nil {
-		s.tracer.Emit(obs.Event{Kind: obs.KTimer, Tick: int64(s.now), A: int64(e.prio)})
 	}
 	e.fn()
 }
@@ -309,10 +321,39 @@ func (s *Scheduler) Step() bool {
 	return true
 }
 
+// StepTick executes every event of the earliest pending tick — including
+// events pushed onto that same tick while it runs — and returns whether
+// any event ran. With a worker pool configured (SetParallel) the tick's
+// PrioDeliver batches run in parallel with staged effects; otherwise the
+// loop is the plain serial Step. Either way the observable run (event
+// order, RNG draws, traces, metrics) is bit-identical. A Limit hit stops
+// mid-tick at exactly the serial event count, leaving the rest queued.
+func (s *Scheduler) StepTick() bool {
+	t, ok := s.peekTime()
+	if !ok {
+		return false
+	}
+	if s.par != nil {
+		return s.stepTickParallel(t)
+	}
+	ran := false
+	for {
+		tt, ok := s.peekTime()
+		if !ok || tt != t {
+			return ran
+		}
+		if s.Limit > 0 && s.processed >= s.Limit {
+			return ran
+		}
+		s.Step()
+		ran = true
+	}
+}
+
 // RunUntil processes events until the queue is empty or the next event
 // is strictly after the horizon. It returns the number of events run.
 func (s *Scheduler) RunUntil(horizon Time) uint64 {
-	var n uint64
+	start := s.processed
 	for {
 		t, ok := s.peekTime()
 		if !ok || t > horizon {
@@ -321,27 +362,34 @@ func (s *Scheduler) RunUntil(horizon Time) uint64 {
 		if s.Limit > 0 && s.processed >= s.Limit {
 			break
 		}
-		s.Step()
-		n++
+		if s.par != nil {
+			s.stepTickParallel(t)
+		} else {
+			s.Step()
+		}
 	}
 	if s.now < horizon {
 		s.now = horizon
 	}
-	return n
+	return s.processed - start
 }
 
 // RunToQuiescence processes events until none remain (or Limit hits).
 // It returns the number of events run.
 func (s *Scheduler) RunToQuiescence() uint64 {
-	var n uint64
+	start := s.processed
 	for s.pending() > 0 {
 		if s.Limit > 0 && s.processed >= s.Limit {
 			break
 		}
-		s.Step()
-		n++
+		if s.par != nil {
+			t, _ := s.peekTime()
+			s.stepTickParallel(t)
+		} else {
+			s.Step()
+		}
 	}
-	return n
+	return s.processed - start
 }
 
 // Pending returns the number of queued events.

@@ -491,20 +491,27 @@ func (t *Transport) enqueueFrame(l *link, env sim.Envelope) {
 }
 
 // writeLoop drains the (from -> to) outbound queue onto the socket.
-// Each write carries a deadline, so a receiver that has genuinely
-// stopped draining (as opposed to being momentarily behind) surfaces
-// as ErrConnLost rather than a hang.
+// Each wakeup takes everything queued so far and coalesces it into a
+// single Write — a tick's burst of frames to one destination costs one
+// flush instead of one syscall per message. Each write carries a
+// deadline, so a receiver that has genuinely stopped draining (as
+// opposed to being momentarily behind) surfaces as ErrConnLost rather
+// than a hang.
 func (t *Transport) writeLoop(from, to int, l *link) {
 	defer t.wg.Done()
+	var batch []byte
 	for {
 		l.outMu.Lock()
-		var buf []byte
-		if len(l.outQ) > 0 {
-			buf = l.outQ[0]
-			l.outQ = l.outQ[1:]
+		frames := len(l.outQ)
+		if frames > 0 {
+			batch = batch[:0]
+			for _, buf := range l.outQ {
+				batch = append(batch, buf...)
+			}
+			l.outQ = l.outQ[:0]
 		}
 		l.outMu.Unlock()
-		if buf == nil {
+		if frames == 0 {
 			select {
 			case <-l.outBell:
 				continue
@@ -513,14 +520,14 @@ func (t *Transport) writeLoop(from, to int, l *link) {
 			}
 		}
 		l.wconn.SetWriteDeadline(time.Now().Add(t.ioTimeout))
-		nb, err := l.wconn.Write(buf)
+		nb, err := l.wconn.Write(batch)
 		if err != nil {
 			if !t.closed.Load() {
 				t.fail(fmt.Errorf("%w: write %d -> %d: wire: write frame: %w", ErrConnLost, from, to, err))
 			}
 			return
 		}
-		t.framesOut.Add(1)
+		t.framesOut.Add(uint64(frames))
 		t.bytesOut.Add(uint64(nb))
 	}
 }

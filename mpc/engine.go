@@ -275,6 +275,7 @@ func newEngine(cfg Config, adv *Adversary, tr obs.Tracer, factory transport.Fact
 		EventLimit:  limit,
 		Tracer:      tr,
 		Transport:   factory,
+		Workers:     cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrTransport, err)

@@ -101,6 +101,16 @@ type Config struct {
 	// (defaults to RefillLowWater; a submit needing more than the
 	// budget raises it to its shortfall).
 	RefillBudget int
+	// Workers sets the intra-tick worker-pool size: within each
+	// simulated tick the parties' independent computations execute
+	// concurrently, with all effects merged at a per-tick barrier in
+	// canonical order, so results, metrics and traces are bit-identical
+	// to serial at every pool size. 0 (the default) keeps the
+	// single-threaded loop. Ignored on a real transport backend
+	// (TransportSpec), and — like the backend — deliberately not part of
+	// the checkpoint identity: it is an execution knob, not a protocol
+	// parameter.
+	Workers int
 }
 
 // Adversary describes the static corruption and misbehaviour of a run.

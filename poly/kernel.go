@@ -2,6 +2,7 @@ package poly
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/field"
 )
@@ -167,16 +168,74 @@ func (k *Kernel) Interpolate(ys []field.Element) Poly {
 	return Poly{Coeffs: out}
 }
 
-// KernelCache memoises kernels per evaluation-point set. Protocol runs
-// interpolate over the same few grids (prefixes of α_1..α_n, provider
-// subsets) thousands of times; the cache makes every instance after the
-// first hit the precomputed path. A cache is single-goroutine, like the
-// simulated run that owns it.
-type KernelCache struct {
+// clone returns a kernel sharing the receiver's immutable tables (xs,
+// weights, basis — never written after NewKernel) with private scratch
+// buffers, so several goroutines can each own a clone of one master
+// kernel and interpolate concurrently.
+func (k *Kernel) clone() *Kernel {
+	m := len(k.xs)
+	return &Kernel{
+		xs:      k.xs,
+		weights: k.weights,
+		basis:   k.basis,
+		pre:     make([]field.Element, m),
+		suf:     make([]field.Element, m),
+		vals:    make([]field.Element, m),
+	}
+}
+
+// KernelRegistry is the world-wide master store of kernels: one
+// mutex-guarded build per distinct point set for the lifetime of a
+// World, shared across parties, epochs and background refills. Parties
+// do not interpolate on the masters directly — a Kernel carries mutable
+// scratch — they hold per-party KernelCaches (NewCache) of clones that
+// share the masters' O(m²) precomputed tables.
+type KernelRegistry struct {
+	mu      sync.Mutex
 	kernels map[string]*Kernel
 }
 
-// NewKernelCache returns an empty cache.
+// NewKernelRegistry returns an empty registry.
+func NewKernelRegistry() *KernelRegistry {
+	return &KernelRegistry{kernels: make(map[string]*Kernel)}
+}
+
+// get returns the master kernel for the point set, building it on first
+// use. Safe for concurrent callers.
+func (r *KernelRegistry) get(key string, xs []field.Element) (*Kernel, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.kernels[key]; ok {
+		return k, nil
+	}
+	k, err := NewKernel(xs)
+	if err != nil {
+		return nil, err
+	}
+	r.kernels[key] = k
+	return k, nil
+}
+
+// NewCache returns a per-party cache backed by this registry: local
+// lookups are map probes with no locking, misses take the registry
+// mutex once and clone the master (sharing its precomputed tables).
+func (r *KernelRegistry) NewCache() *KernelCache {
+	return &KernelCache{kernels: make(map[string]*Kernel), reg: r}
+}
+
+// KernelCache memoises kernels per evaluation-point set. Protocol runs
+// interpolate over the same few grids (prefixes of α_1..α_n, provider
+// subsets) thousands of times; the cache makes every instance after the
+// first hit the precomputed path. A cache is single-goroutine — one
+// party owns it — but caches created from a KernelRegistry share the
+// masters' precomputed tables, so the O(m²) build cost is paid once per
+// World rather than once per party.
+type KernelCache struct {
+	kernels map[string]*Kernel
+	reg     *KernelRegistry // nil: standalone cache, builds its own kernels
+}
+
+// NewKernelCache returns an empty standalone cache.
 func NewKernelCache() *KernelCache {
 	return &KernelCache{kernels: make(map[string]*Kernel)}
 }
@@ -192,7 +251,17 @@ func (c *KernelCache) Get(xs []field.Element) (*Kernel, error) {
 	if k, ok := c.kernels[string(key)]; ok {
 		return k, nil
 	}
-	k, err := NewKernel(xs)
+	var k *Kernel
+	var err error
+	if c.reg != nil {
+		var master *Kernel
+		master, err = c.reg.get(string(key), xs)
+		if err == nil {
+			k = master.clone()
+		}
+	} else {
+		k, err = NewKernel(xs)
+	}
 	if err != nil {
 		return nil, err
 	}

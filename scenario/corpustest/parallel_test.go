@@ -1,0 +1,91 @@
+// Package corpustest holds the corpus-scale PR 10 differential: every
+// builtin scenario, both evaluator modes, every rung of the worker
+// ladder. It lives in its own test-only package (exported scenario API
+// only) so the minutes-long matrix gets a test-binary timeout budget of
+// its own instead of crowding the scenario package's; the -short/-race
+// slice of the same contract stays in scenario (TestWorkersBitIdenticalShort).
+package corpustest
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/mpc"
+	"repro/scenario"
+)
+
+// workerLadder is the PR 10 differential ladder: serial, a pool of
+// one, the tracked pool of four and the measuring host's own CPU
+// count, deduplicated (on a single-core CI runner NumCPU collapses
+// into the workers=1 rung).
+func workerLadder() []int {
+	ladder := []int{1, 4}
+	if cpus := runtime.NumCPU(); cpus != 1 && cpus != 4 {
+		ladder = append(ladder, cpus)
+	}
+	return ladder
+}
+
+func runWorkers(art *scenario.RunArtifacts, perGate bool, workers int) (*mpc.Result, error) {
+	cfg := art.Cfg
+	cfg.PerGateEval = perGate
+	cfg.Workers = workers
+	return mpc.Run(cfg, art.Circuit, art.Inputs, art.Adversary)
+}
+
+// requireIdentical asserts the strongest differential contract in the
+// suite: unlike the layered-vs-per-gate compare (which only checks
+// computed values, since the two evaluators send different traffic by
+// construction), a worker pool is not allowed to change ANY observable
+// — traffic, ticks, event counts and per-family breakdowns included.
+func requireIdentical(t *testing.T, label string, want, got *mpc.Result, wantErr, gotErr error) {
+	t.Helper()
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("%s: engine errors differ: serial %v, parallel %v", label, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("%s: engine errors differ: serial %v, parallel %v", label, wantErr, gotErr)
+		}
+		return
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("%s: results diverged from serial:\nserial:   %+v\nparallel: %+v", label, want, got)
+	}
+}
+
+// TestCorpusWorkersBitIdentical replays the whole builtin scenario
+// corpus — every builtin, both evaluator modes — across the worker
+// ladder and requires the full mpc.Result bit-identical to the serial
+// run: outputs, CS, per-party termination ticks, honest traffic,
+// per-family breakdowns and event counts. Expected-failure scenarios
+// must fail identically at every pool size.
+func TestCorpusWorkersBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus workers replay is minutes of simulation; run without -short (scenario.TestWorkersBitIdenticalShort covers a slice)")
+	}
+	ladder := workerLadder()
+	for _, m := range scenario.Builtin() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			art, err := scenario.Build(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, perGate := range []bool{false, true} {
+				base, baseErr := runWorkers(art, perGate, 0)
+				for _, workers := range ladder {
+					got, gotErr := runWorkers(art, perGate, workers)
+					label := "layered"
+					if perGate {
+						label = "per-gate"
+					}
+					requireIdentical(t, fmt.Sprintf("%s/workers=%d", label, workers), base, got, baseErr, gotErr)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/mpc"
+)
+
+// runWorkers replays one built manifest with the given evaluator mode
+// and worker-pool size.
+func runWorkers(art *RunArtifacts, perGate bool, workers int) (*mpc.Result, error) {
+	cfg := art.Cfg
+	cfg.PerGateEval = perGate
+	cfg.Workers = workers
+	return mpc.Run(cfg, art.Circuit, art.Inputs, art.Adversary)
+}
+
+// TestWorkersBitIdenticalShort is the -short/-race slice of the PR 10
+// corpus matrix (the full matrix — every builtin × both evaluator
+// modes × the whole worker ladder — lives in scenario/corpustest, in
+// its own test binary): one flagship honest run, one full-budget
+// asynchronous adversarial run and one boundary-threshold garbling
+// run, serial vs workers=4 in both evaluator modes. Unlike the
+// layered-vs-per-gate differential, a worker pool is not allowed to
+// change ANY observable, so the whole mpc.Result is compared —
+// traffic, ticks, event counts and per-family breakdowns included.
+// The race build exercises the worker pool, the staging buffers and
+// the barrier merge on real protocol traffic.
+func TestWorkersBitIdenticalShort(t *testing.T) {
+	for _, name := range []string{"sync-sum-honest", "async-garble-ta", "sync-boundary-n5-garble"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m, err := Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			art, err := Build(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, perGate := range []bool{false, true} {
+				base, baseErr := runWorkers(art, perGate, 0)
+				got, gotErr := runWorkers(art, perGate, 4)
+				label := "layered"
+				if perGate {
+					label = "per-gate"
+				}
+				if (baseErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s: engine errors differ: serial %v, workers=4 %v", label, baseErr, gotErr)
+				}
+				if baseErr != nil {
+					if baseErr.Error() != gotErr.Error() {
+						t.Fatalf("%s: engine errors differ: serial %v, workers=4 %v", label, baseErr, gotErr)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(base, got) {
+					t.Errorf("%s: results diverged from serial:\nserial:   %+v\nworkers:  %+v", label, base, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinedWorkloadWorkersBitIdentical composes the two serving
+// optimizations: the depth-4 pipelined workload (PR 9, overlapping
+// epochs polled tick-by-tick) run with the PR 10 worker pool must
+// report bit-identically to the same pipelined run on the serial loop
+// — the overlapping epochs share one barrier per tick.
+func TestPipelinedWorkloadWorkersBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipelined workload replay is tens of seconds; run without -short")
+	}
+	m, err := LookupWorkload("workload-pipeline-sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunWorkloadOpts(m, WorkloadRunOptions{Pipeline: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunWorkloadOpts(m, WorkloadRunOptions{Pipeline: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("depth-4 workload diverged under workers=4:\nserial:   %+v\nworkers:  %+v", serial, par)
+	}
+	if !serial.Pass {
+		t.Fatalf("depth-4 workload did not pass: %+v", serial)
+	}
+}
